@@ -1,0 +1,534 @@
+// Package main_test is the benchmark harness: one benchmark per table and
+// figure of the paper's evaluation (printing the reproduced artifact on the
+// first iteration), plus performance and ablation benchmarks.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package main_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/ml"
+	"repro/internal/php/parser"
+	"repro/internal/symptom"
+	"repro/internal/taint"
+	"repro/internal/vuln"
+	"repro/internal/weapon"
+)
+
+var printOnce sync.Map
+
+// printArtifact emits the reproduced table/figure once per benchmark name.
+func printArtifact(b *testing.B, text string) {
+	b.Helper()
+	if _, loaded := printOnce.LoadOrStore(b.Name(), true); !loaded {
+		fmt.Printf("\n%s\n", text)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable1SymptomCatalog(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Table1()
+	}
+	printArtifact(b, out)
+}
+
+func BenchmarkTable2ClassifierMetrics(b *testing.B) {
+	var res *experiments.Table2And3Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunTable2And3(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact(b, experiments.RenderTable2(res))
+}
+
+func BenchmarkTable3ConfusionMatrix(b *testing.B) {
+	var res *experiments.Table2And3Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunTable2And3(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact(b, experiments.RenderTable3(res))
+}
+
+func BenchmarkTable4SubmoduleSinks(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Table4()
+	}
+	printArtifact(b, out)
+}
+
+func BenchmarkTable5WebAppSummary(b *testing.B) {
+	var res *experiments.WebAppsResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunWebApps(core.ModeWAPe, experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact(b, experiments.RenderTable5(res))
+}
+
+func BenchmarkTable6VersionComparison(b *testing.B) {
+	var old, neu *experiments.WebAppsResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		old, err = experiments.RunWebApps(core.ModeOriginal, experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		neu, err = experiments.RunWebApps(core.ModeWAPe, experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact(b, experiments.RenderTable6(old, neu))
+}
+
+func BenchmarkTable7WordPressPlugins(b *testing.B) {
+	var res *experiments.PluginsResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunWordPress(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact(b, experiments.RenderTable7(res))
+}
+
+// ---------------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig4PluginHistograms(b *testing.B) {
+	var fig *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunWordPress(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig = experiments.RunFig4(res)
+	}
+	printArtifact(b, experiments.RenderFig4(fig))
+}
+
+func BenchmarkFig5VulnsByClass(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		webApps, err := experiments.RunWebApps(core.ModeWAPe, experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plugins, err := experiments.RunWordPress(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.RenderFig5(webApps, plugins)
+	}
+	printArtifact(b, out)
+}
+
+// ---------------------------------------------------------------------------
+// Performance benchmarks (the paper's 7.2 s/app average claim)
+// ---------------------------------------------------------------------------
+
+// benchApp is a mid-sized generated application reused across benches.
+func benchApp() *corpus.App {
+	return corpus.WebAppSuite(experiments.DefaultSeed)[16] // vfront, the largest
+}
+
+func BenchmarkParser(b *testing.B) {
+	app := benchApp()
+	totalBytes := 0
+	for _, src := range app.Files {
+		totalBytes += len(src)
+	}
+	b.SetBytes(int64(totalBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for path, src := range app.Files {
+			f, _ := parser.Parse(path, src)
+			if f == nil {
+				b.Fatal("nil ast")
+			}
+		}
+	}
+}
+
+func BenchmarkTaintSingleClass(b *testing.B) {
+	app := benchApp()
+	proj := core.LoadMap(app.Name, app.Files)
+	cls := vuln.MustGet(vuln.SQLI)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range proj.Files {
+			taint.New(taint.Config{Class: cls, Resolver: proj}).File(f.AST)
+		}
+	}
+}
+
+func BenchmarkAnalyzeApp(b *testing.B) {
+	app := benchApp()
+	eng, err := core.New(core.Options{Mode: core.ModeWAPe, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Train(); err != nil {
+		b.Fatal(err)
+	}
+	proj := core.LoadMap(app.Name, app.Files)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Analyze(proj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLargeAppThroughput measures full-pipeline throughput on a
+// Play_sms-scale application (the paper's largest package was ~249k lines),
+// reporting bytes/sec over the source corpus.
+func BenchmarkLargeAppThroughput(b *testing.B) {
+	app := corpus.LargeApp(1, 120, 40)
+	eng, err := core.New(core.Options{Mode: core.ModeWAPe, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Train(); err != nil {
+		b.Fatal(err)
+	}
+	proj := core.LoadMap(app.Name, app.Files)
+	totalBytes := 0
+	for _, src := range app.Files {
+		totalBytes += len(src)
+	}
+	b.SetBytes(int64(totalBytes))
+	b.ReportMetric(float64(proj.TotalLines()), "lines")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eng.Analyze(proj)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Vulnerabilities()) == 0 {
+			b.Fatal("planted vulnerabilities not found")
+		}
+	}
+}
+
+func BenchmarkTrainEnsemble(b *testing.B) {
+	d := dataset.Generate(dataset.Config{Seed: 1})
+	for i := 0; i < b.N; i++ {
+		ens := ml.NewTop3(1)
+		if err := ens.Train(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictFinding(b *testing.B) {
+	d := dataset.Generate(dataset.Config{Seed: 1})
+	ens := ml.NewTop3(1)
+	if err := ens.Train(d); err != nil {
+		b.Fatal(err)
+	}
+	features := d.Instances[0].Features
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ens.Predict(features)
+	}
+}
+
+func BenchmarkWeaponGeneration(b *testing.B) {
+	specs := weapon.BuiltinSpecs()
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			if _, err := weapon.Generate(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md section 5)
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationAttributeGranularity compares prediction quality with the
+// original 16-attribute map vs the new 61-attribute map on the same
+// underlying symptom distribution — the paper's central data-mining change.
+func BenchmarkAblationAttributeGranularity(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		// The same drawn population rendered under both attribute layouts.
+		fine, coarse := dataset.GeneratePairedViews(experiments.DefaultSeed, 256)
+		rows := ""
+		for _, cfg := range []struct {
+			name string
+			d    *ml.Dataset
+		}{{"61 attributes (new)", fine}, {"16 attributes (original)", coarse}} {
+			cm, err := ml.CrossValidate(func() ml.Classifier { return &ml.SVM{Seed: 1} }, cfg.d, 10, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := cm.Compute()
+			rows += fmt.Sprintf("  %-26s acc=%.1f%% tpp=%.1f%% pfp=%.1f%%\n",
+				cfg.name, m.ACC*100, m.TPP*100, m.PFP*100)
+		}
+		out = "Ablation: attribute granularity (SVM, 10-fold CV, 256 instances)\n" + rows
+	}
+	printArtifact(b, out)
+}
+
+// BenchmarkAblationEnsembleVote compares the top-3 majority vote against its
+// individual members.
+func BenchmarkAblationEnsembleVote(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		d := dataset.Generate(dataset.Config{Seed: experiments.DefaultSeed})
+		rows := ""
+		for _, cfg := range []struct {
+			name string
+			mk   func() ml.Classifier
+		}{
+			{"SVM alone", func() ml.Classifier { return &ml.SVM{Seed: 1} }},
+			{"LR alone", func() ml.Classifier { return &ml.LogisticRegression{} }},
+			{"RF alone", func() ml.Classifier { return &ml.RandomForest{Seed: 1} }},
+			{"top-3 majority", func() ml.Classifier { return ml.NewTop3(1) }},
+		} {
+			cm, err := ml.CrossValidate(cfg.mk, d, 10, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := cm.Compute()
+			rows += fmt.Sprintf("  %-16s acc=%.1f%% tpp=%.1f%% pfp=%.1f%%\n",
+				cfg.name, m.ACC*100, m.TPP*100, m.PFP*100)
+		}
+		out = "Ablation: ensemble vote vs individual classifiers (10-fold CV)\n" + rows
+	}
+	printArtifact(b, out)
+}
+
+// BenchmarkAblationInterprocedural measures what cross-function taint
+// tracking contributes on flows mediated by user functions: sinks inside
+// helpers, taint returned from getters, and sanitizing wrappers.
+func BenchmarkAblationInterprocedural(b *testing.B) {
+	const src = `<?php
+function get_id() { return $_GET['id']; }
+function run_query($sql) { return mysql_query($sql); }
+function clean_str($v) { return mysql_real_escape_string($v); }
+
+run_query("SELECT a FROM t WHERE id=" . get_id());
+mysql_query("SELECT b FROM t WHERE x='" . clean_str($_GET['x']) . "'");
+mysql_query("SELECT c FROM t WHERE y=" . $_GET['y']);`
+	f, errs := parser.Parse("inter.php", src)
+	if len(errs) > 0 {
+		b.Fatal(errs)
+	}
+	cls := vuln.MustGet(vuln.SQLI)
+	var out string
+	for i := 0; i < b.N; i++ {
+		full := len(taint.New(taint.Config{Class: cls}).File(f))
+		flat := len(taint.New(taint.Config{Class: cls, DisableInlining: true}).File(f))
+		out = fmt.Sprintf("Ablation: interprocedural taint (SQLI micro-corpus)\n"+
+			"  with inlining:    %d candidates (helper sink found, sanitizer wrapper trusted)\n"+
+			"  without inlining: %d candidates (helper flows invisible)\n", full, flat)
+	}
+	printArtifact(b, out)
+}
+
+// BenchmarkAblationDynamicSymptoms measures the wpsqli weapon's dynamic
+// symptoms: the same plugin corpus scored with and without them.
+func BenchmarkAblationDynamicSymptoms(b *testing.B) {
+	specs := weapon.BuiltinSpecs()
+	var withDyn, withoutDyn weapon.Spec
+	for _, s := range specs {
+		if s.Name == "wpsqli" {
+			withDyn = s
+			withoutDyn = s
+			withoutDyn.Dynamics = nil
+		}
+	}
+	src := `<?php
+$cat = $_GET['cat'];
+if (absint($cat) == 0) { exit; }
+$wpdb->get_var("SELECT COUNT(*) FROM wp_items WHERE cat=" . $cat);`
+	var out string
+	for i := 0; i < b.N; i++ {
+		results := ""
+		for _, cfg := range []struct {
+			name string
+			spec weapon.Spec
+		}{{"with dynamic symptoms", withDyn}, {"without", withoutDyn}} {
+			w, err := weapon.Generate(cfg.spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := core.New(core.Options{
+				Mode: core.ModeWAPe, Classes: []vuln.ClassID{},
+				Weapons: []*weapon.Weapon{w}, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Train(); err != nil {
+				b.Fatal(err)
+			}
+			rep, err := eng.Analyze(core.LoadMap("p", map[string]string{"p.php": src}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			fp := len(rep.FalsePositives())
+			results += fmt.Sprintf("  %-24s predicted FP: %d of %d findings\n",
+				cfg.name, fp, len(rep.Findings))
+		}
+		out = "Ablation: wpsqli dynamic symptoms on an absint-guarded flow\n" + results
+	}
+	printArtifact(b, out)
+}
+
+// BenchmarkMicroSuiteAllClasses runs the all-classes micro corpus: one app
+// per vulnerability group, including the classes the paper's corpus never
+// triggered (OSCI, PHPCI, XPathI, NoSQLI).
+func BenchmarkMicroSuiteAllClasses(b *testing.B) {
+	eng, err := core.New(core.Options{Mode: core.ModeWAPe, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Train(); err != nil {
+		b.Fatal(err)
+	}
+	apps := corpus.MicroSuite(1, 3)
+	projs := make([]*core.Project, len(apps))
+	for i, app := range apps {
+		projs[i] = core.LoadMap(app.Name, app.Files)
+	}
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, proj := range projs {
+			rep, err := eng.Analyze(proj)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(rep.Vulnerabilities())
+		}
+		out = fmt.Sprintf("Micro suite: %d apps (one per class group), %d vulnerabilities detected\n", len(projs), total)
+	}
+	printArtifact(b, out)
+}
+
+// BenchmarkAblationFPPredictor quantifies what the data-mining stage buys:
+// the precision of the reported vulnerabilities with and without the false
+// positive predictor, on the full web-application suite.
+func BenchmarkAblationFPPredictor(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunWebApps(core.ModeWAPe, experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		real := res.TotalVulns                                   // 413
+		fpPredicted := res.TotalFPP                              // discarded by the predictor
+		fpResidual := res.TotalFP                                // reported but wrong
+		withoutPredictor := real + fpPredicted + fpResidual      // everything the analyzer flags
+		precWithout := float64(real) / float64(withoutPredictor) // taint analysis alone
+		precWith := float64(real) / float64(real+fpResidual)
+		out = fmt.Sprintf("Ablation: value of the false positive predictor (54-app suite)\n"+
+			"  taint analysis alone:  %d reports, %.1f%% precision\n"+
+			"  with top-3 predictor:  %d reports, %.1f%% precision (%d candidates auto-discarded)\n",
+			withoutPredictor, precWithout*100,
+			real+fpResidual, precWith*100, fpPredicted)
+	}
+	printArtifact(b, out)
+}
+
+// BenchmarkClassifierSelection reproduces the Section III-B1 re-evaluation
+// that picked the new top-3 ensemble: seven candidate models cross-validated
+// and ranked.
+func BenchmarkClassifierSelection(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunClassifierSelection(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.RenderSelection(r)
+	}
+	printArtifact(b, out)
+}
+
+// BenchmarkCodeDrivenDataset reproduces the paper's training-set
+// construction pipeline: run the analyzer over applications, label
+// candidates, eliminate noise — and compares against the generative set.
+func BenchmarkCodeDrivenDataset(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.RunCodeDrivenComparison(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.RenderCodeDrivenComparison(c)
+	}
+	printArtifact(b, out)
+}
+
+// BenchmarkSymptomImportance explains the predictor globally: symptoms
+// ranked by learned logistic-regression weight.
+func BenchmarkSymptomImportance(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		imp, err := experiments.RunSymptomImportance(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = experiments.RenderSymptomImportance(imp, 15)
+	}
+	printArtifact(b, out)
+}
+
+// BenchmarkSymptomExtraction isolates the false positive predictor's
+// feature-collection stage.
+func BenchmarkSymptomExtraction(b *testing.B) {
+	src := `<?php
+$id = $_GET['id'];
+if (!isset($_GET['id']) || !is_numeric($id)) { exit; }
+$id = trim(substr($id, 0, 10));
+mysql_query("SELECT COUNT(*) FROM users WHERE id=" . $id);`
+	f, errs := parser.Parse("b.php", src)
+	if len(errs) > 0 {
+		b.Fatal(errs)
+	}
+	cands := taint.New(taint.Config{Class: vuln.MustGet(vuln.SQLI)}).File(f)
+	if len(cands) != 1 {
+		b.Fatalf("candidates = %d", len(cands))
+	}
+	ex := symptom.NewExtractor(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Extract(cands[0], f)
+	}
+}

@@ -1,0 +1,87 @@
+// Command corpusgen materializes the synthetic evaluation corpus on disk:
+// the 54 web-application packages and/or the 115 WordPress plugins, with a
+// ground-truth manifest per application.
+//
+// Usage:
+//
+//	corpusgen -out corpus/               # both suites
+//	corpusgen -out corpus/ -suite web    # web applications only
+//	corpusgen -out corpus/ -suite wp     # WordPress plugins only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/corpus"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("corpusgen", flag.ContinueOnError)
+	var (
+		out   = fs.String("out", "corpus", "output directory")
+		suite = fs.String("suite", "both", "which suite to generate: web, wp, or both")
+		seed  = fs.Int64("seed", 2016, "generation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *suite == "web" || *suite == "both" {
+		for _, app := range corpus.WebAppSuite(*seed) {
+			if err := writeApp(filepath.Join(*out, "webapps"), app); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote 54 web applications to %s/webapps\n", *out)
+	}
+	if *suite == "wp" || *suite == "both" {
+		for _, p := range corpus.WordPressSuite(*seed) {
+			if err := writeApp(filepath.Join(*out, "plugins"), &p.App); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote 115 WordPress plugins to %s/plugins\n", *out)
+	}
+	return nil
+}
+
+func writeApp(root string, app *corpus.App) error {
+	slug := strings.ToLower(strings.ReplaceAll(app.Name, " ", "-")) + "-" + app.Version
+	dir := filepath.Join(root, slug)
+	for _, path := range app.SortedPaths() {
+		full := filepath.Join(dir, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(full, []byte(app.Files[path]), 0o644); err != nil {
+			return err
+		}
+	}
+	// Ground-truth manifest.
+	var b strings.Builder
+	fmt.Fprintf(&b, "# ground truth for %s %s\n", app.Name, app.Version)
+	for _, s := range app.Spots {
+		kind := "vulnerable"
+		switch s.FP {
+		case corpus.FPOriginalSymptoms:
+			kind = "false-positive(original-symptoms)"
+		case corpus.FPNewSymptoms:
+			kind = "false-positive(new-symptoms)"
+		case corpus.FPCustomSanitizer:
+			kind = "false-positive(custom-sanitizer)"
+		}
+		fmt.Fprintf(&b, "%s %s %d-%d %s\n", s.Group, s.File, s.StartLine, s.EndLine, kind)
+	}
+	return os.WriteFile(filepath.Join(dir, "TRUTH.txt"), []byte(b.String()), 0o644)
+}

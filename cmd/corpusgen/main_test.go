@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateWebSuite(t *testing.T) {
+	out := t.TempDir()
+	if err := run([]string{"-out", out, "-suite", "web"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(out, "webapps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 54 {
+		t.Fatalf("apps on disk = %d, want 54", len(entries))
+	}
+	// Every app has a ground-truth manifest.
+	truth, err := os.ReadFile(filepath.Join(out, "webapps", "vfront-0.99.3", "TRUTH.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(truth), "SQLI") || !strings.Contains(string(truth), "false-positive(custom-sanitizer)") {
+		t.Errorf("manifest incomplete:\n%s", truth)
+	}
+}
+
+func TestGenerateWPSuite(t *testing.T) {
+	out := t.TempDir()
+	if err := run([]string{"-out", out, "-suite", "wp"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(out, "plugins"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 115 {
+		t.Fatalf("plugins on disk = %d, want 115", len(entries))
+	}
+}

@@ -1,0 +1,114 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section in one run: Tables I–VII and Figures 4 and 5.
+//
+// Usage:
+//
+//	experiments            # everything
+//	experiments -only 6    # a single table (1-7) or figure (4-5 with -fig)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		seed = fs.Int64("seed", experiments.DefaultSeed, "corpus and training seed")
+		only = fs.Int("only", 0, "run a single table (1-7); 0 = all")
+		figs = fs.Bool("figs", true, "render figures 4 and 5")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := func(n int) bool { return *only == 0 || *only == n }
+
+	if want(1) {
+		fmt.Println(experiments.Table1())
+	}
+	if want(2) || want(3) {
+		r, err := experiments.RunTable2And3(*seed)
+		if err != nil {
+			return err
+		}
+		if want(2) {
+			fmt.Println(experiments.RenderTable2(r))
+		}
+		if want(3) {
+			fmt.Println(experiments.RenderTable3(r))
+		}
+	}
+	if want(4) {
+		fmt.Println(experiments.Table4())
+	}
+
+	var webOld, webNew *experiments.WebAppsResult
+	var err error
+	if want(5) || want(6) || (*figs && *only == 0) {
+		fmt.Println("running the 54-package web application suite (both tool versions)...")
+		webOld, err = experiments.RunWebApps(core.ModeOriginal, *seed)
+		if err != nil {
+			return err
+		}
+		webNew, err = experiments.RunWebApps(core.ModeWAPe, *seed)
+		if err != nil {
+			return err
+		}
+	}
+	if want(5) && webNew != nil {
+		fmt.Println(experiments.RenderTable5(webNew))
+	}
+	if want(6) && webNew != nil {
+		fmt.Println(experiments.RenderTable6(webOld, webNew))
+	}
+
+	var plugins *experiments.PluginsResult
+	if want(7) || (*figs && *only == 0) {
+		fmt.Println("running the 115-plugin WordPress suite (WAPe + weapons)...")
+		plugins, err = experiments.RunWordPress(*seed)
+		if err != nil {
+			return err
+		}
+	}
+	if want(7) && plugins != nil {
+		fmt.Println(experiments.RenderTable7(plugins))
+	}
+
+	if *figs && *only == 0 && plugins != nil && webNew != nil {
+		fmt.Println(experiments.RenderFig4(experiments.RunFig4(plugins)))
+		fmt.Println(experiments.RenderFig5(webNew, plugins))
+	}
+
+	if *only == 0 {
+		// Supplementary artifacts: classifier selection, symptom importance
+		// and the training-set construction pipeline.
+		sel, err := experiments.RunClassifierSelection(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSelection(sel))
+		imp, err := experiments.RunSymptomImportance(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSymptomImportance(imp, 15))
+		cd, err := experiments.RunCodeDrivenComparison(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderCodeDrivenComparison(cd))
+	}
+	return nil
+}

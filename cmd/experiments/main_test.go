@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestSingleTables(t *testing.T) {
+	// Static tables are cheap; run them through the CLI path.
+	for _, n := range []string{"1", "4"} {
+		if err := run([]string{"-only", n}); err != nil {
+			t.Fatalf("table %s: %v", n, err)
+		}
+	}
+}
+
+func TestTable2Through3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classifier CV run")
+	}
+	if err := run([]string{"-only", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable7Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full plugin suite")
+	}
+	if err := run([]string{"-only", "7"}); err != nil {
+		t.Fatal(err)
+	}
+}

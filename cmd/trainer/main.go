@@ -1,0 +1,105 @@
+// Command trainer builds the false-positive-prediction data sets, trains
+// the classifiers and prints the paper's Tables II and III. It can also
+// export the data sets in ARFF format for inspection.
+//
+// Usage:
+//
+//	trainer                 # evaluate the top-3 classifiers (Tables II/III)
+//	trainer -arff wap.arff  # additionally export the 256-instance set
+//	trainer -original       # evaluate on the WAP v2.1 data set instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/ml"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trainer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("trainer", flag.ContinueOnError)
+	var (
+		seed       = fs.Int64("seed", experiments.DefaultSeed, "generation and training seed")
+		arffPath   = fs.String("arff", "", "export the training set to this ARFF file")
+		original   = fs.Bool("original", false, "use the WAP v2.1 data set (76 instances, 16 attributes)")
+		folds      = fs.Int("folds", 10, "cross-validation folds")
+		selectAll  = fs.Bool("select", false, "re-evaluate every candidate classifier and rank the top 3")
+		importance = fs.Bool("importance", false, "rank symptoms by learned weight")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *folds < 2 {
+		return fmt.Errorf("cross-validation needs at least 2 folds, got %d", *folds)
+	}
+
+	d := dataset.Generate(dataset.Config{Seed: *seed, Original: *original})
+	pos, neg := d.CountLabels()
+	fmt.Printf("data set: %d instances (%d FP / %d RV), %d attributes (+class)\n\n",
+		d.Len(), pos, neg, d.NumFeatures())
+
+	if *arffPath != "" {
+		f, err := os.Create(*arffPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dataset.WriteARFF(f, "wap-false-positives", d); err != nil {
+			return err
+		}
+		fmt.Printf("exported to %s\n\n", *arffPath)
+	}
+
+	if *original {
+		// Evaluate the original ensemble members.
+		for _, mk := range []func() ml.Classifier{
+			func() ml.Classifier { return &ml.LogisticRegression{} },
+			func() ml.Classifier { return ml.NewRandomTree(d.NumFeatures(), *seed) },
+			func() ml.Classifier { return &ml.SVM{Seed: *seed} },
+		} {
+			cm, err := ml.CrossValidate(mk, d, *folds, *seed)
+			if err != nil {
+				return err
+			}
+			m := cm.Compute()
+			fmt.Printf("%-20s acc=%.1f%% tpp=%.1f%% pfp=%.1f%% %v\n",
+				mk().Name(), m.ACC*100, m.TPP*100, m.PFP*100, &cm)
+		}
+		return nil
+	}
+
+	if *selectAll {
+		sel, err := experiments.RunClassifierSelection(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSelection(sel))
+		return nil
+	}
+	if *importance {
+		imp, err := experiments.RunSymptomImportance(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSymptomImportance(imp, 20))
+		return nil
+	}
+
+	r, err := experiments.RunTable2And3(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.RenderTable2(r))
+	fmt.Println(experiments.RenderTable3(r))
+	return nil
+}

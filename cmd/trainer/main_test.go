@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTrainerDefault(t *testing.T) {
+	if err := run([]string{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainerOriginal(t *testing.T) {
+	if err := run([]string{"-original"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainerARFFExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wap.arff")
+	if err := run([]string{"-arff", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"@relation", "@attribute is_numeric {0,1}", "@attribute class {FP,RV}", "@data"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ARFF missing %q", want)
+		}
+	}
+	if strings.Count(s, "\n") < 256 {
+		t.Errorf("ARFF too short: %d lines", strings.Count(s, "\n"))
+	}
+}
+
+func TestTrainerBadFolds(t *testing.T) {
+	if err := run([]string{"-folds", "1"}); err == nil {
+		t.Error("want error for 1 fold")
+	}
+}

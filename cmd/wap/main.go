@@ -1,0 +1,263 @@
+// Command wap analyzes PHP source trees for input-validation
+// vulnerabilities, predicts false positives with the trained classifier
+// ensemble, and optionally corrects the code by inserting fixes — the Go
+// reproduction of the WAPe tool.
+//
+// Usage:
+//
+//	wap [flags] <dir>
+//
+// Class selection mirrors the paper's activation flags: -sqli, -xss, -rfi,
+// -lfi, -dt, -osci, -scd, -phpci, -ldapi, -xpathi, -nosqli, -cs, -hi, -ei,
+// -sf, -wpsqli. With no class flags every class (and the built-in weapons)
+// is active.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/vuln"
+	"repro/internal/weapon"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wap", flag.ContinueOnError)
+	var (
+		v21      = fs.Bool("v21", false, "run as the original WAP v2.1 (8 classes, old predictor)")
+		fix      = fs.Bool("fix", false, "write corrected copies of vulnerable files (*.fixed.php)")
+		showFP   = fs.Bool("show-fp", false, "also list candidates predicted to be false positives")
+		jsonOut  = fs.Bool("json", false, "emit the report as JSON on stdout")
+		htmlOut  = fs.String("html", "", "write an HTML report to this file")
+		seed     = fs.Int64("seed", 2016, "training seed for the false positive predictor")
+		sanList  = fs.String("san", "", "comma-separated project-specific sanitization functions")
+		weaponFS = fs.String("weapon", "", "comma-separated weapon spec files to load")
+		confPath = fs.String("conf", "", "project configuration file (default: <dir>/wap.conf if present)")
+		compare  = fs.String("compare", "", "diff against an older version of the application at this directory")
+	)
+	classFlags := make(map[vuln.ClassID]*bool)
+	for _, c := range vuln.WAPe() {
+		classFlags[c.ID] = fs.Bool(string(c.ID), false, "detect "+c.Name)
+	}
+	classFlags[vuln.WPSQLI] = fs.Bool(string(vuln.WPSQLI), false, "detect SQLI via the WordPress weapon")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: wap [flags] <dir>")
+	}
+	dir := fs.Arg(0)
+
+	opts := core.Options{Mode: core.ModeWAPe, Seed: *seed}
+	if *v21 {
+		opts.Mode = core.ModeOriginal
+	}
+	if *sanList != "" {
+		opts.ExtraSanitizers = splitTrim(*sanList)
+	}
+
+	// Project configuration: explicit -conf, or <dir>/wap.conf when present.
+	conf := *confPath
+	if conf == "" {
+		conf = filepath.Join(dir, "wap.conf")
+	}
+	pc, err := core.LoadProjectConfig(conf)
+	if err != nil {
+		return err
+	}
+	pc.ApplyTo(&opts)
+
+	// Class selection.
+	var selected []vuln.ClassID
+	wantWP := false
+	for id, on := range classFlags {
+		if *on {
+			if id == vuln.WPSQLI {
+				wantWP = true
+				continue
+			}
+			selected = append(selected, id)
+		}
+	}
+	if selected != nil || wantWP {
+		opts.Classes = selected
+	}
+
+	// Weapons: built-ins when running the full WAPe set or -wpsqli, plus any
+	// user-provided spec files.
+	if opts.Mode == core.ModeWAPe {
+		for _, spec := range weapon.BuiltinSpecs() {
+			// With an explicit class list, only the weapons asked for by
+			// flag are loaded (currently -wpsqli); with no class flags all
+			// built-in weapons run.
+			if opts.Classes != nil && !(spec.Name == "wpsqli" && wantWP) {
+				continue
+			}
+			w, err := weapon.Generate(spec)
+			if err != nil {
+				return err
+			}
+			opts.Weapons = append(opts.Weapons, w)
+		}
+		for _, path := range splitTrim(*weaponFS) {
+			w, err := loadWeapon(path)
+			if err != nil {
+				return err
+			}
+			opts.Weapons = append(opts.Weapons, w)
+		}
+	} else if *weaponFS != "" {
+		return fmt.Errorf("weapons require the new WAP version (drop -v21)")
+	}
+
+	eng, err := core.New(opts)
+	if err != nil {
+		return err
+	}
+	if !*jsonOut {
+		fmt.Printf("training false positive predictor (%s)...\n", opts.Mode)
+	}
+	if err := eng.Train(); err != nil {
+		return err
+	}
+
+	proj, err := core.LoadDir(filepath.Base(dir), dir)
+	if err != nil {
+		return err
+	}
+	if !*jsonOut {
+		fmt.Printf("analyzing %s: %d files, %d lines\n", dir, len(proj.Files), proj.TotalLines())
+	}
+	rep, err := eng.Analyze(proj)
+	if err != nil {
+		return err
+	}
+	if *compare != "" {
+		oldProj, err := core.LoadDir(filepath.Base(*compare), *compare)
+		if err != nil {
+			return err
+		}
+		oldRep, err := eng.Analyze(oldProj)
+		if err != nil {
+			return err
+		}
+		d := report.DiffFindings(report.Group(oldRep), report.Group(rep))
+		fmt.Print(d.Render(*compare, dir))
+		return nil
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteHTML(f, rep); err != nil {
+			return err
+		}
+		fmt.Printf("HTML report written to %s\n", *htmlOut)
+	}
+	if *jsonOut {
+		return report.WriteJSON(os.Stdout, rep)
+	}
+
+	grouped := report.Group(rep)
+	nVuln, nFP := 0, 0
+	for _, gf := range grouped {
+		if gf.PredictedFP {
+			nFP++
+			if *showFP {
+				fmt.Printf("  [predicted FP] %-6s %s:%d\n", gf.Group, gf.File, gf.Line)
+				fmt.Printf("                 why: %s\n", eng.Justify(gf.Findings[0]))
+			}
+			continue
+		}
+		nVuln++
+		f := gf.Findings[0]
+		src := "?"
+		if len(f.Candidate.Value.Sources) > 0 {
+			src = f.Candidate.Value.Sources[0].Name
+		}
+		fmt.Printf("  [%s] %s:%d  %s -> %s\n", gf.Group, gf.File, gf.Line, src, f.Candidate.SinkName)
+	}
+	for _, l := range rep.StoredLinks {
+		fmt.Printf("  [stored-XSS chain] table %s: write %s:%d -> read %s:%d\n",
+			strings.ToLower(l.Table), l.Write.File, l.Write.SinkPos.Line,
+			l.Read.File, l.Read.SinkPos.Line)
+	}
+
+	fmt.Printf("\n%d vulnerabilities, %d predicted false positives (%.0f ms)\n",
+		nVuln, nFP, float64(rep.Duration.Milliseconds()))
+
+	byGroup := make(map[string]int)
+	for _, gf := range grouped {
+		if !gf.PredictedFP {
+			byGroup[string(gf.Group)]++
+		}
+	}
+	groups := make([]string, 0, len(byGroup))
+	for g := range byGroup {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		fmt.Printf("  %-8s %d\n", g, byGroup[g])
+	}
+
+	if *fix && nVuln > 0 {
+		fixed, applied, err := eng.FixProject(rep)
+		if err != nil {
+			return err
+		}
+		for path, src := range fixed {
+			out := filepath.Join(dir, path+".fixed.php")
+			if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+				return err
+			}
+			if err := os.WriteFile(out, []byte(src), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("fixed %s -> %s (%d corrections)\n", path, out, len(applied[path]))
+		}
+	}
+	return nil
+}
+
+func loadWeapon(path string) (*weapon.Weapon, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load weapon: %w", err)
+	}
+	defer f.Close()
+	spec, err := weapon.ParseSpec(f)
+	if err != nil {
+		return nil, fmt.Errorf("weapon %s: %w", path, err)
+	}
+	return weapon.Generate(*spec)
+}
+
+func splitTrim(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

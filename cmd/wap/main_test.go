@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeApp(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for path, src := range files {
+		full := filepath.Join(dir, path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const vulnerablePage = `<?php
+mysql_query("SELECT * FROM t WHERE id=" . $_GET['id']);
+echo $_POST['msg'];
+`
+
+func TestRunBasic(t *testing.T) {
+	dir := writeApp(t, map[string]string{"index.php": vulnerablePage})
+	if err := run([]string{dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunClassSelection(t *testing.T) {
+	dir := writeApp(t, map[string]string{"index.php": vulnerablePage})
+	if err := run([]string{"-sqli", dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunV21Mode(t *testing.T) {
+	dir := writeApp(t, map[string]string{"index.php": vulnerablePage})
+	if err := run([]string{"-v21", dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	dir := writeApp(t, map[string]string{"index.php": vulnerablePage})
+	if err := run([]string{"-json", dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFixWritesFiles(t *testing.T) {
+	dir := writeApp(t, map[string]string{"index.php": vulnerablePage})
+	if err := run([]string{"-fix", dir}); err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "index.php.fixed.php"))
+	if err != nil {
+		t.Fatalf("fixed file missing: %v", err)
+	}
+	if !strings.Contains(string(fixed), "san_sqli(") {
+		t.Errorf("fix not applied:\n%s", fixed)
+	}
+}
+
+func TestRunCustomWeaponFile(t *testing.T) {
+	dir := writeApp(t, map[string]string{
+		"index.php": `<?php zap($_GET['x']);`,
+	})
+	weaponFile := filepath.Join(t.TempDir(), "zapi.weapon")
+	spec := `name zapi
+sink zap arg=0
+fix-template user_val
+fix-chars ' "
+`
+	if err := os.WriteFile(weaponFile, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-weapon", weaponFile, dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("want usage error without a directory")
+	}
+	if err := run([]string{"/no/such/dir"}); err == nil {
+		t.Error("want error for missing directory")
+	}
+	dir := writeApp(t, map[string]string{"a.php": `<?php echo 1;`})
+	if err := run([]string{"-weapon", "/no/such.weapon", dir}); err == nil {
+		t.Error("want error for missing weapon file")
+	}
+	// Weapons are a WAPe feature.
+	if err := run([]string{"-v21", "-weapon", "/no/such.weapon", dir}); err == nil {
+		t.Error("want error for weapon with -v21 or missing file")
+	}
+}
+
+func TestSplitTrim(t *testing.T) {
+	got := splitTrim(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("splitTrim = %v", got)
+	}
+	if splitTrim("") != nil {
+		t.Error("empty input should be nil")
+	}
+}
+
+func TestRunHTMLReport(t *testing.T) {
+	dir := writeApp(t, map[string]string{"index.php": vulnerablePage})
+	out := filepath.Join(t.TempDir(), "report.html")
+	if err := run([]string{"-html", out, dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<!DOCTYPE html>") || !strings.Contains(string(data), "SQLI") {
+		t.Errorf("HTML report incomplete")
+	}
+}
+
+func TestRunShowFPWithJustification(t *testing.T) {
+	dir := writeApp(t, map[string]string{"guard.php": `<?php
+$id = $_GET['id'];
+if (!isset($_GET['id']) || !is_numeric($id)) { exit; }
+mysql_query("SELECT * FROM t WHERE id=" . $id);
+`})
+	if err := run([]string{"-show-fp", dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	oldDir := writeApp(t, map[string]string{"a.php": `<?php echo $_GET['x'];`})
+	newDir := writeApp(t, map[string]string{"a.php": `<?php
+echo $_GET['x'];
+mysql_query("SELECT " . $_GET['q']);`})
+	if err := run([]string{"-compare", oldDir, newDir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", "/no/such/dir", newDir}); err == nil {
+		t.Error("want error for missing compare dir")
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuiltinBundle(t *testing.T) {
+	out := t.TempDir()
+	if err := run([]string{"-builtin", "nosqli", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := os.ReadFile(filepath.Join(out, "nosqli", "nosqli.weapon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"name nosqli", "sink find method", "san mysql_real_escape_string", "fix-template php_san"} {
+		if !strings.Contains(string(spec), want) {
+			t.Errorf("spec missing %q:\n%s", want, spec)
+		}
+	}
+	fix, err := os.ReadFile(filepath.Join(out, "nosqli", "san_nosqli.php"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fix), "function san_nosqli($v)") {
+		t.Errorf("fix file:\n%s", fix)
+	}
+}
+
+func TestSpecRoundtripThroughBundle(t *testing.T) {
+	out := t.TempDir()
+	// Emit a built-in, then regenerate from the emitted spec file.
+	if err := run([]string{"-builtin", "wpsqli", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(out, "wpsqli", "wpsqli.weapon")
+	out2 := t.TempDir()
+	if err := run([]string{"-spec", specPath, "-out", out2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out2, "wpsqli", "san_wpsqli.php")); err != nil {
+		t.Error("regenerated bundle incomplete")
+	}
+}
+
+func TestCheckMode(t *testing.T) {
+	specPath := filepath.Join(t.TempDir(), "x.weapon")
+	if err := os.WriteFile(specPath, []byte("name x\nsink f\nfix-template user_val\nfix-chars '\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-check", specPath}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("want error without -spec/-builtin")
+	}
+	if err := run([]string{"-builtin", "nope"}); err == nil {
+		t.Error("want error for unknown builtin")
+	}
+	if err := run([]string{"-spec", "/no/such.weapon"}); err == nil {
+		t.Error("want error for missing spec")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.weapon")
+	os.WriteFile(bad, []byte("name broken\n"), 0o644)
+	if err := run([]string{"-check", bad}); err == nil {
+		t.Error("want validation error for sink-less spec")
+	}
+}

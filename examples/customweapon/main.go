@@ -1,0 +1,107 @@
+// Custom weapon: extend the tool to a brand-new vulnerability class —
+// "template injection" through a fictitious render_template() engine —
+// without touching any detector code, exactly as the paper's weapon
+// generator does (Section III-D). The weapon supplies the sensitive sink,
+// the sanitization function, a fix template and a dynamic symptom.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corrector"
+	"repro/internal/symptom"
+	"repro/internal/vuln"
+	"repro/internal/weapon"
+)
+
+const app = `<?php
+// Profile page rendered through a homegrown template engine.
+$bio = $_POST['bio'];
+render_template("profile", "Bio: " . $bio);
+
+$safe = tpl_escape($_POST['quote']);
+render_template("profile", "Quote: " . $safe);
+
+$nick = $_GET['nick'];
+if (val_word($nick)) {
+    render_template("badge", $nick);
+}`
+
+func main() {
+	// 1. Describe the new class: its sink, sanitizer, fix and symptoms.
+	spec := weapon.Spec{
+		Name:        "tpli",
+		Description: "Template injection through render_template()",
+		Sinks:       []vuln.Sink{{Name: "render_template", Args: []int{1}}},
+		Sanitizers:  []string{"tpl_escape"},
+		Fix: corrector.Template{
+			Kind:    corrector.PHPSanitization,
+			SanFunc: "tpl_escape",
+		},
+		Dynamics: []symptom.Dynamic{
+			// val_word behaves like a pattern check for the FP predictor.
+			{Func: "val_word", Category: symptom.Validation, MapsTo: "preg_match"},
+		},
+	}
+
+	// 2. Generate the weapon and round-trip it through the spec-file format
+	// (what `weaponsmith` writes to disk).
+	var buf strings.Builder
+	if err := weapon.WriteSpec(&buf, &spec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("generated weapon spec:")
+	fmt.Println(buf.String())
+	parsed, err := weapon.ParseSpec(strings.NewReader(buf.String()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := weapon.Generate(*parsed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weapon ready: activate with `wap %s`\n\n", w.Flag())
+
+	// 3. Link it into an engine running ONLY this weapon and analyze.
+	engine, err := core.New(core.Options{
+		Mode:    core.ModeWAPe,
+		Classes: []vuln.ClassID{}, // no native classes
+		Weapons: []*weapon.Weapon{w},
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Train(); err != nil {
+		log.Fatal(err)
+	}
+	project := core.LoadMap("templates", map[string]string{"profile.php": app})
+	rep, err := engine.Analyze(project)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, f := range rep.Findings {
+		verdict := "REAL VULNERABILITY"
+		if f.PredictedFP {
+			verdict = "predicted false positive (val_word guard recognized)"
+		}
+		fmt.Printf("finding at line %d: %s\n", f.Candidate.SinkPos.Line, verdict)
+	}
+
+	// 4. Fix the confirmed vulnerability with the weapon's generated fix.
+	fixed, _, err := engine.FixProject(rep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncorrected source:")
+	fmt.Println(fixed["profile.php"])
+	if len(rep.Vulnerabilities()) == 0 {
+		fmt.Fprintln(os.Stderr, "expected at least one vulnerability")
+		os.Exit(1)
+	}
+}

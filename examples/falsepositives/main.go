@@ -1,0 +1,87 @@
+// False positives: a walkthrough of the prediction pipeline (paper Fig. 3)
+// on three flows — raw, validated, and custom-sanitized — showing the
+// extracted symptoms, the 61-attribute vector and each classifier's vote.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/php/parser"
+	"repro/internal/symptom"
+	"repro/internal/taint"
+	"repro/internal/vuln"
+)
+
+var flows = []struct {
+	name string
+	src  string
+}{
+	{"raw flow (real vulnerability)", `<?php
+$id = $_GET['id'];
+mysql_query("SELECT login FROM users WHERE id=" . $id);`},
+	{"validated flow (false positive)", `<?php
+$id = $_GET['id'];
+if (!isset($_GET['id']) || !is_numeric($id)) { exit; }
+mysql_query("SELECT login FROM users WHERE id=" . $id);`},
+	{"regex-guarded flow (false positive)", `<?php
+$code = $_GET['code'];
+if (!preg_match('/^[A-Z]{2}[0-9]{4}$/', $code)) { die("bad code"); }
+mysql_query("SELECT * FROM coupons WHERE code='" . $code . "'");`},
+}
+
+func main() {
+	// Train the paper's top-3 ensemble on the 256-instance set.
+	train := dataset.Generate(dataset.Config{Seed: 2016})
+	ensemble := ml.NewTop3(2016)
+	if err := ensemble.Train(train); err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"SVM", "Logistic Regression", "Random Forest"}
+	extractor := symptom.NewExtractor(nil)
+
+	for _, flow := range flows {
+		fmt.Printf("=== %s ===\n", flow.name)
+		file, errs := parser.Parse("flow.php", flow.src)
+		if len(errs) > 0 {
+			log.Fatalf("parse: %v", errs)
+		}
+		cands := taint.New(taint.Config{Class: vuln.MustGet(vuln.SQLI)}).File(file)
+		if len(cands) != 1 {
+			log.Fatalf("expected 1 candidate, got %d", len(cands))
+		}
+
+		// Step 1: collect symptoms (Fig. 3 "collecting symptoms").
+		symptoms := extractor.Extract(cands[0], file)
+		fmt.Printf("symptoms: %v\n", symptom.PresentNames(symptom.NewVectorFromSet(symptoms, false)))
+
+		// Step 2: create the attribute vector.
+		vec := symptom.NewVectorFromSet(symptoms, false)
+		set := 0
+		for _, a := range vec.Attrs {
+			if a {
+				set++
+			}
+		}
+		fmt.Printf("attribute vector: %d of %d attributes set\n", set, len(vec.Attrs))
+
+		// Step 3: classify with the top-3 ensemble.
+		inst := ml.NewInstance(vec.Attrs, false)
+		votes := ensemble.Votes(inst.Features)
+		for i, v := range votes {
+			verdict := "real vulnerability"
+			if v {
+				verdict = "false positive"
+			}
+			fmt.Printf("  %-20s -> %s\n", names[i], verdict)
+		}
+		if ensemble.Predict(inst.Features) {
+			fmt.Println("ensemble verdict: FALSE POSITIVE (not reported)")
+		} else {
+			fmt.Println("ensemble verdict: REAL VULNERABILITY (sent to the code corrector)")
+		}
+		fmt.Println()
+	}
+}

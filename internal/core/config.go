@@ -1,0 +1,150 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/vuln"
+)
+
+// ProjectConfig is the persistent per-application configuration the paper's
+// Section V-A workflow implies: the user teaches the tool an application's
+// own sanitization and validation functions once, and every later analysis
+// of that application uses them. Stored as a `wap.conf` file next to the
+// code:
+//
+//	# vfront's own escaping helper (paper Section V-A)
+//	san escape
+//	san-for sqli quote_smart
+//	ep _APP_INPUT
+//	sink audit_query arg=0 class=sqli
+//
+// Directives:
+//
+//	san <func>                 sanitizer for every class
+//	san-for <class> <func>    sanitizer for one class
+//	ep <superglobal>           extra entry point (without $)
+//	sink <func> [arg=i] class=<class>   extra sensitive sink
+type ProjectConfig struct {
+	// Sanitizers apply to every class.
+	Sanitizers []string
+	// SanitizersFor maps a class to extra sanitizers for it only.
+	SanitizersFor map[vuln.ClassID][]string
+	// EntryPoints are extra input superglobals.
+	EntryPoints []string
+	// SinksFor maps a class to extra sinks.
+	SinksFor map[vuln.ClassID][]vuln.Sink
+}
+
+// ParseProjectConfig reads a wap.conf stream.
+func ParseProjectConfig(r io.Reader) (*ProjectConfig, error) {
+	cfg := &ProjectConfig{
+		SanitizersFor: make(map[vuln.ClassID][]string),
+		SinksFor:      make(map[vuln.ClassID][]vuln.Sink),
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "san":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("core: wap.conf line %d: san needs a function name", lineNo)
+			}
+			cfg.Sanitizers = append(cfg.Sanitizers, strings.ToLower(fields[1]))
+		case "san-for":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("core: wap.conf line %d: san-for needs a class and a function", lineNo)
+			}
+			id := vuln.ClassID(strings.ToLower(fields[1]))
+			if vuln.Get(id) == nil {
+				return nil, fmt.Errorf("core: wap.conf line %d: unknown class %q", lineNo, fields[1])
+			}
+			cfg.SanitizersFor[id] = append(cfg.SanitizersFor[id], strings.ToLower(fields[2]))
+		case "ep":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("core: wap.conf line %d: ep needs a superglobal name", lineNo)
+			}
+			cfg.EntryPoints = append(cfg.EntryPoints, strings.TrimPrefix(fields[1], "$"))
+		case "sink":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("core: wap.conf line %d: sink needs a name and class=", lineNo)
+			}
+			s := vuln.Sink{Name: strings.ToLower(fields[1])}
+			var cls vuln.ClassID
+			for _, opt := range fields[2:] {
+				switch {
+				case strings.HasPrefix(opt, "arg="):
+					var idx int
+					if _, err := fmt.Sscanf(opt, "arg=%d", &idx); err != nil || idx < 0 {
+						return nil, fmt.Errorf("core: wap.conf line %d: bad %q", lineNo, opt)
+					}
+					s.Args = append(s.Args, idx)
+				case strings.HasPrefix(opt, "class="):
+					cls = vuln.ClassID(strings.ToLower(strings.TrimPrefix(opt, "class=")))
+				case opt == "method":
+					s.Method = true
+				default:
+					return nil, fmt.Errorf("core: wap.conf line %d: unknown option %q", lineNo, opt)
+				}
+			}
+			if vuln.Get(cls) == nil {
+				return nil, fmt.Errorf("core: wap.conf line %d: sink needs a valid class=", lineNo)
+			}
+			cfg.SinksFor[cls] = append(cfg.SinksFor[cls], s)
+		default:
+			return nil, fmt.Errorf("core: wap.conf line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: read wap.conf: %w", err)
+	}
+	return cfg, nil
+}
+
+// LoadProjectConfig reads a wap.conf file; a missing file yields an empty
+// configuration without error.
+func LoadProjectConfig(path string) (*ProjectConfig, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &ProjectConfig{
+			SanitizersFor: make(map[vuln.ClassID][]string),
+			SinksFor:      make(map[vuln.ClassID][]vuln.Sink),
+		}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ParseProjectConfig(f)
+}
+
+// ApplyTo folds the project configuration into engine options.
+func (c *ProjectConfig) ApplyTo(opts *Options) {
+	opts.ExtraSanitizers = append(opts.ExtraSanitizers, c.Sanitizers...)
+	opts.ExtraEntryPoints = append(opts.ExtraEntryPoints, c.EntryPoints...)
+	if len(c.SanitizersFor) > 0 {
+		if opts.ClassSanitizers == nil {
+			opts.ClassSanitizers = make(map[vuln.ClassID][]string)
+		}
+		for id, sans := range c.SanitizersFor {
+			opts.ClassSanitizers[id] = append(opts.ClassSanitizers[id], sans...)
+		}
+	}
+	if len(c.SinksFor) > 0 {
+		if opts.ClassSinks == nil {
+			opts.ClassSinks = make(map[vuln.ClassID][]vuln.Sink)
+		}
+		for id, sinks := range c.SinksFor {
+			opts.ClassSinks[id] = append(opts.ClassSinks[id], sinks...)
+		}
+	}
+}

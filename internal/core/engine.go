@@ -1,0 +1,437 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/corrector"
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/php/ast"
+	"repro/internal/symptom"
+	"repro/internal/taint"
+	"repro/internal/vuln"
+	"repro/internal/weapon"
+)
+
+// Mode selects the tool generation being reproduced.
+type Mode int
+
+// Engine modes.
+const (
+	// ModeOriginal reproduces WAP v2.1: eight classes, the 16-attribute
+	// false positive predictor (Logistic Regression, Random Tree, SVM).
+	ModeOriginal Mode = iota + 1
+	// ModeWAPe reproduces the paper's tool: fifteen classes, weapons, the
+	// 61-attribute predictor (SVM, Logistic Regression, Random Forest).
+	ModeWAPe
+)
+
+// String returns the tool name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeOriginal:
+		return "WAP v2.1"
+	case ModeWAPe:
+		return "WAPe"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	Mode Mode
+	// Classes restricts analysis to these classes; nil means the mode's
+	// full set.
+	Classes []vuln.ClassID
+	// Weapons are generated extensions to link in (ModeWAPe only).
+	Weapons []*weapon.Weapon
+	// ExtraSanitizers are project-specific sanitization functions the user
+	// feeds the tool (paper Section V-A, the "escape" example).
+	ExtraSanitizers []string
+	// ExtraEntryPoints are project-specific input superglobals.
+	ExtraEntryPoints []string
+	// ClassSanitizers adds per-class sanitizers (from wap.conf san-for).
+	ClassSanitizers map[vuln.ClassID][]string
+	// ClassSinks adds per-class sinks (from wap.conf sink directives).
+	ClassSinks map[vuln.ClassID][]vuln.Sink
+	// Seed drives classifier training determinism.
+	Seed int64
+	// TrainSize overrides the training-set size (0 = paper defaults).
+	TrainSize int
+	// TrainARFF trains the predictor from a WEKA-style ARFF file instead of
+	// the generated set (the paper's "trained data sets" input of Fig. 1).
+	// The attribute layout must match the mode (60 features for WAPe, 15
+	// for the original version, plus the class column).
+	TrainARFF string
+	// Parallelism bounds concurrent per-file analysis workers; 0 uses
+	// GOMAXPROCS capped at 8, 1 forces sequential analysis. Results are
+	// identical at any setting: findings are ordered by (file, class)
+	// regardless of completion order.
+	Parallelism int
+}
+
+// Finding is one analyzed candidate vulnerability.
+type Finding struct {
+	Candidate *taint.Candidate
+	// Symptoms is the extracted symptom set.
+	Symptoms map[string]bool
+	// PredictedFP reports the ensemble's decision: true = false positive.
+	PredictedFP bool
+	// Votes are the per-classifier decisions (SVM, LR, RF order for WAPe).
+	Votes []bool
+	// Weapon is set when a weapon's detector produced the candidate.
+	Weapon string
+}
+
+// Report is the result of analyzing a project.
+type Report struct {
+	Project *Project
+	Mode    Mode
+	// Findings holds every candidate with its FP prediction.
+	Findings []*Finding
+	// StoredLinks pairs tainted database writes with stored-XSS reads of
+	// the same table (end-to-end stored XSS evidence).
+	StoredLinks []taint.StoredLink
+	// Duration is the analysis wall time.
+	Duration time.Duration
+}
+
+// Vulnerabilities returns findings predicted to be real vulnerabilities.
+func (r *Report) Vulnerabilities() []*Finding {
+	var out []*Finding
+	for _, f := range r.Findings {
+		if !f.PredictedFP {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FalsePositives returns findings predicted to be false positives.
+func (r *Report) FalsePositives() []*Finding {
+	var out []*Finding
+	for _, f := range r.Findings {
+		if f.PredictedFP {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// CountByClass tallies non-FP findings per class.
+func (r *Report) CountByClass() map[vuln.ClassID]int {
+	out := make(map[vuln.ClassID]int)
+	for _, f := range r.Vulnerabilities() {
+		out[f.Candidate.Class]++
+	}
+	return out
+}
+
+// VulnerableFiles returns the distinct files with non-FP findings.
+func (r *Report) VulnerableFiles() []string {
+	seen := make(map[string]bool)
+	for _, f := range r.Vulnerabilities() {
+		seen[f.Candidate.File] = true
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Engine is a configured WAP instance.
+type Engine struct {
+	opts      Options
+	classes   []*vuln.Class
+	weapons   map[vuln.ClassID]*weapon.Weapon
+	extractor *symptom.Extractor
+	ensemble  *ml.Ensemble
+	corrector *corrector.Corrector
+	trained   bool
+}
+
+// New builds an engine. Classifiers are trained lazily on first use (or via
+// Train).
+func New(opts Options) (*Engine, error) {
+	if opts.Mode == 0 {
+		opts.Mode = ModeWAPe
+	}
+	e := &Engine{opts: opts, weapons: make(map[vuln.ClassID]*weapon.Weapon)}
+
+	// Resolve the class set.
+	var classSet []*vuln.Class
+	switch {
+	case opts.Classes != nil:
+		for _, id := range opts.Classes {
+			c := vuln.Get(id)
+			if c == nil {
+				return nil, fmt.Errorf("core: unknown vulnerability class %q", id)
+			}
+			classSet = append(classSet, c)
+		}
+	case opts.Mode == ModeOriginal:
+		classSet = vuln.Original()
+	default:
+		classSet = vuln.WAPe()
+	}
+
+	var dynamics []symptom.Dynamic
+	if opts.Mode == ModeWAPe {
+		for _, w := range opts.Weapons {
+			e.weapons[w.Class.ID] = w
+			classSet = append(classSet, w.Class)
+			dynamics = append(dynamics, w.Dynamics...)
+		}
+	} else if len(opts.Weapons) > 0 {
+		return nil, fmt.Errorf("core: weapons require ModeWAPe")
+	}
+	e.classes = dedupeClasses(classSet)
+	e.extractor = symptom.NewExtractor(dynamics)
+
+	// Assemble the corrector: library fixes plus weapon fixes.
+	e.corrector = corrector.New()
+	for _, w := range opts.Weapons {
+		e.corrector.Register(w.Fix)
+	}
+
+	// Assemble the (untrained) ensemble.
+	if opts.Mode == ModeOriginal {
+		e.ensemble = ml.NewOriginalTop3(symptom.NumOriginalAttributes, opts.Seed)
+	} else {
+		e.ensemble = ml.NewTop3(opts.Seed)
+	}
+	return e, nil
+}
+
+func dedupeClasses(in []*vuln.Class) []*vuln.Class {
+	seen := make(map[vuln.ClassID]bool, len(in))
+	out := make([]*vuln.Class, 0, len(in))
+	for _, c := range in {
+		if seen[c.ID] {
+			continue
+		}
+		seen[c.ID] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// Classes returns the engine's active class set.
+func (e *Engine) Classes() []*vuln.Class {
+	return append([]*vuln.Class(nil), e.classes...)
+}
+
+// Train fits the false positive predictor on the mode's training set (or a
+// user-provided ARFF file).
+func (e *Engine) Train() error {
+	var d *ml.Dataset
+	if e.opts.TrainARFF != "" {
+		f, err := os.Open(e.opts.TrainARFF)
+		if err != nil {
+			return fmt.Errorf("core: open training set: %w", err)
+		}
+		defer f.Close()
+		d, err = dataset.ReadARFF(f)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		want := symptom.NumNewAttributes
+		if e.opts.Mode == ModeOriginal {
+			want = symptom.NumOriginalAttributes
+		}
+		if d.NumFeatures() != want {
+			return fmt.Errorf("core: training set has %d attributes, %s needs %d",
+				d.NumFeatures(), e.opts.Mode, want)
+		}
+	} else {
+		d = dataset.Generate(dataset.Config{
+			Seed:     e.opts.Seed,
+			Original: e.opts.Mode == ModeOriginal,
+			Size:     e.opts.TrainSize,
+		})
+	}
+	if err := e.ensemble.Train(d); err != nil {
+		return fmt.Errorf("core: train predictor: %w", err)
+	}
+	e.trained = true
+	return nil
+}
+
+// Analyze runs the full pipeline over a project: taint detection for every
+// active class, then false positive prediction for every candidate.
+func (e *Engine) Analyze(p *Project) (*Report, error) {
+	if !e.trained {
+		if err := e.Train(); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	rep := &Report{Project: p, Mode: e.opts.Mode}
+
+	// One task per (file, class) pair; results keep task order so output is
+	// independent of scheduling.
+	type task struct {
+		file *SourceFile
+		cls  *vuln.Class
+	}
+	tasks := make([]task, 0, len(p.Files)*len(e.classes))
+	for _, file := range p.Files {
+		for _, cls := range e.classes {
+			tasks = append(tasks, task{file: file, cls: cls})
+		}
+	}
+	results := make([][]*Finding, len(tasks))
+
+	runTask := func(i int) {
+		t := tasks[i]
+		// The tool's own fix for the class counts as a sanitizer so
+		// corrected code is not re-flagged.
+		sans := append([]string(nil), e.opts.ExtraSanitizers...)
+		if fixID := e.fixIDFor(t.cls); fixID != "" {
+			sans = append(sans, fixID)
+		}
+		sans = append(sans, e.opts.ClassSanitizers[t.cls.ID]...)
+		an := taint.New(taint.Config{
+			Class:            t.cls,
+			Resolver:         p,
+			ExtraSanitizers:  sans,
+			ExtraEntryPoints: e.opts.ExtraEntryPoints,
+			ExtraSinks:       e.opts.ClassSinks[t.cls.ID],
+		})
+		for _, cand := range an.File(t.file.AST) {
+			f := &Finding{Candidate: cand}
+			if w, ok := e.weapons[cand.Class]; ok {
+				f.Weapon = string(w.Class.ID)
+			}
+			f.Symptoms = e.extractor.Extract(cand, t.file.AST)
+			f.PredictedFP, f.Votes = e.predict(f.Symptoms)
+			results[i] = append(results[i], f)
+		}
+	}
+
+	workers := e.opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	if workers <= 1 || len(tasks) < 2 {
+		for i := range tasks {
+			runTask(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					runTask(i)
+				}
+			}()
+		}
+		for i := range tasks {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	for _, fs := range results {
+		rep.Findings = append(rep.Findings, fs...)
+	}
+	rep.linkStoredXSS()
+	rep.Duration = time.Since(start)
+	return rep, nil
+}
+
+// linkStoredXSS runs the two-phase stored-XSS linker over the report's
+// confirmed findings: tainted write queries paired with stored-XSS reads of
+// the same table.
+func (rep *Report) linkStoredXSS() {
+	var writes, reads []*taint.Candidate
+	for _, f := range rep.Findings {
+		if f.PredictedFP {
+			continue
+		}
+		switch f.Candidate.Class {
+		case vuln.SQLI, vuln.WPSQLI:
+			if taint.IsWriteQuery(f.Candidate) {
+				writes = append(writes, f.Candidate)
+			}
+		case vuln.XSSS:
+			reads = append(reads, f.Candidate)
+		}
+	}
+	if len(writes) == 0 || len(reads) == 0 {
+		return
+	}
+	files := make(map[string]*ast.File, len(rep.Project.Files))
+	for _, sf := range rep.Project.Files {
+		files[sf.Path] = sf.AST
+	}
+	rep.StoredLinks = taint.LinkStoredXSS(writes, reads, files)
+}
+
+// fixIDFor returns the fix function name used for the class (weapon fix
+// when the class came from a weapon).
+func (e *Engine) fixIDFor(cls *vuln.Class) string {
+	if w, ok := e.weapons[cls.ID]; ok {
+		return w.Fix.ID
+	}
+	return cls.FixID
+}
+
+// predict classifies a symptom set, returning the decision and the votes.
+func (e *Engine) predict(symptoms map[string]bool) (bool, []bool) {
+	var vec symptom.Vector
+	if e.opts.Mode == ModeOriginal {
+		vec = symptom.OriginalVectorFromSet(symptoms, false)
+	} else {
+		vec = symptom.NewVectorFromSet(symptoms, false)
+	}
+	inst := ml.NewInstance(vec.Attrs, false)
+	return e.ensemble.Predict(inst.Features), e.ensemble.Votes(inst.Features)
+}
+
+// FixProject applies the code corrector to every real (non-FP)
+// vulnerability, returning corrected sources by path.
+func (e *Engine) FixProject(rep *Report) (map[string]string, map[string][]corrector.Correction, error) {
+	byFile := make(map[string][]*taint.Candidate)
+	for _, f := range rep.Vulnerabilities() {
+		byFile[f.Candidate.File] = append(byFile[f.Candidate.File], f.Candidate)
+	}
+	fixed := make(map[string]string, len(byFile))
+	applied := make(map[string][]corrector.Correction, len(byFile))
+	for path, cands := range byFile {
+		sf := rep.Project.File(path)
+		if sf == nil {
+			return nil, nil, fmt.Errorf("core: fix: file %q not in project", path)
+		}
+		out, corrs, err := e.corrector.Apply(sf.Src, cands, func(c *taint.Candidate) string {
+			if w, ok := e.weapons[c.Class]; ok {
+				return w.Fix.ID
+			}
+			if cls := vuln.Get(c.Class); cls != nil {
+				return cls.FixID
+			}
+			return ""
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: fix %s: %w", path, err)
+		}
+		fixed[path] = out
+		applied[path] = corrs
+	}
+	return fixed, applied, nil
+}

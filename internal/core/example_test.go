@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// ExampleEngine_Analyze shows the minimal detection pipeline: build an
+// engine, train the predictor, analyze a project.
+func ExampleEngine_Analyze() {
+	engine, err := core.New(core.Options{Mode: core.ModeWAPe, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Train(); err != nil {
+		log.Fatal(err)
+	}
+	project := core.LoadMap("demo", map[string]string{
+		"page.php": `<?php mysql_query("SELECT * FROM t WHERE id=" . $_GET['id']);`,
+	})
+	rep, err := engine.Analyze(project)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, gf := range report.Group(rep) {
+		fmt.Printf("%s at %s:%d (false positive: %v)\n", gf.Group, gf.File, gf.Line, gf.PredictedFP)
+	}
+	// Output:
+	// SQLI at page.php:1 (false positive: false)
+}
+
+// ExampleEngine_FixProject shows automatic correction.
+func ExampleEngine_FixProject() {
+	engine, err := core.New(core.Options{Mode: core.ModeWAPe, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Train(); err != nil {
+		log.Fatal(err)
+	}
+	project := core.LoadMap("demo", map[string]string{
+		"page.php": `<?php echo $_GET['name'];`,
+	})
+	rep, err := engine.Analyze(project)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, applied, err := engine.FixProject(rep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range applied["page.php"] {
+		fmt.Printf("line %d: %s\n", c.Line, c.After)
+	}
+	// Output:
+	// line 1: san_out($_GET['name'])
+}

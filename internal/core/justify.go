@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/symptom"
+)
+
+// Justification explains a false positive prediction (the "justifying false
+// positives" stage of the predictor, paper Fig. 3): which symptoms were
+// found, grouped by category, and how the ensemble voted.
+type Justification struct {
+	// ByCategory maps each symptom category to the present symptom names.
+	ByCategory map[symptom.Category][]string
+	// Votes are the per-classifier decisions.
+	Votes []bool
+	// VoterNames name the ensemble members in vote order.
+	VoterNames []string
+}
+
+// Justify builds the justification for a finding. It is meaningful for
+// predicted false positives but works for any finding.
+func (e *Engine) Justify(f *Finding) *Justification {
+	j := &Justification{
+		ByCategory: make(map[symptom.Category][]string),
+		Votes:      append([]bool(nil), f.Votes...),
+	}
+	for _, m := range e.ensemble.Members {
+		j.VoterNames = append(j.VoterNames, m.Name())
+	}
+	for _, s := range symptom.Catalog() {
+		if f.Symptoms[s.Name] {
+			j.ByCategory[s.Category] = append(j.ByCategory[s.Category], s.Name)
+		}
+	}
+	for _, names := range j.ByCategory {
+		sort.Strings(names)
+	}
+	return j
+}
+
+// String renders a one-paragraph human-readable justification.
+func (j *Justification) String() string {
+	var parts []string
+	for _, cat := range [...]symptom.Category{
+		symptom.Validation, symptom.StringManipulation, symptom.SQLQueryManipulation,
+	} {
+		if names := j.ByCategory[cat]; len(names) > 0 {
+			parts = append(parts, fmt.Sprintf("%s: %s", cat, strings.Join(names, ", ")))
+		}
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "no symptoms found")
+	}
+	votes := make([]string, len(j.Votes))
+	for i, v := range j.Votes {
+		name := fmt.Sprintf("#%d", i+1)
+		if i < len(j.VoterNames) {
+			name = j.VoterNames[i]
+		}
+		if v {
+			votes[i] = name + ":FP"
+		} else {
+			votes[i] = name + ":vuln"
+		}
+	}
+	return strings.Join(parts, "; ") + " [" + strings.Join(votes, " ") + "]"
+}

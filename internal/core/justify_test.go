@@ -1,0 +1,58 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/symptom"
+)
+
+func TestJustifyPredictedFP(t *testing.T) {
+	e := newEngine(t, Options{Mode: ModeWAPe, Seed: 1})
+	p := LoadMap("app", map[string]string{"page.php": guardedApp})
+	rep, err := e.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 || !rep.Findings[0].PredictedFP {
+		t.Fatalf("expected one predicted FP, got %+v", rep.Findings)
+	}
+	j := e.Justify(rep.Findings[0])
+	val := j.ByCategory[symptom.Validation]
+	if len(val) == 0 {
+		t.Fatalf("no validation symptoms in justification: %+v", j.ByCategory)
+	}
+	joined := strings.Join(val, ",")
+	if !strings.Contains(joined, "is_numeric") || !strings.Contains(joined, "isset") {
+		t.Errorf("validation symptoms = %v", val)
+	}
+	if len(j.Votes) != 3 || len(j.VoterNames) != 3 {
+		t.Errorf("votes/names = %v/%v", j.Votes, j.VoterNames)
+	}
+	s := j.String()
+	for _, want := range []string{"validation:", "is_numeric", "SVM", "["} {
+		if !strings.Contains(s, want) {
+			t.Errorf("justification text missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestJustifyNoSymptoms(t *testing.T) {
+	e := newEngine(t, Options{Mode: ModeWAPe, Seed: 1})
+	p := LoadMap("app", map[string]string{"raw.php": `<?php mysql_query("DELETE FROM t WHERE id=" . $_GET['id']);`})
+	rep, err := e.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatal("expected one finding")
+	}
+	j := e.Justify(rep.Findings[0])
+	// Raw flow: only string-manipulation (concat) and SQL-shape symptoms.
+	if len(j.ByCategory[symptom.Validation]) != 0 {
+		t.Errorf("unexpected validation symptoms: %v", j.ByCategory[symptom.Validation])
+	}
+	if !strings.Contains(j.String(), "vuln") {
+		t.Errorf("votes missing from %q", j.String())
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// TestParallelMatchesSequential asserts the worker pool produces exactly the
+// same report as sequential analysis, in the same order.
+func TestParallelMatchesSequential(t *testing.T) {
+	app := corpus.WebAppSuite(2016)[16] // the largest generated app
+	proj := LoadMap(app.Name, app.Files)
+
+	runWith := func(par int) []*Finding {
+		e, err := New(Options{Mode: ModeWAPe, Seed: 1, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Train(); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Analyze(proj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Findings
+	}
+
+	seq := runWith(1)
+	for _, par := range []int{2, 4, 8} {
+		got := runWith(par)
+		if len(got) != len(seq) {
+			t.Fatalf("parallelism %d: %d findings vs %d sequential", par, len(got), len(seq))
+		}
+		for i := range got {
+			if got[i].Candidate.Key() != seq[i].Candidate.Key() {
+				t.Fatalf("parallelism %d: finding %d differs: %s vs %s",
+					par, i, got[i].Candidate.Key(), seq[i].Candidate.Key())
+			}
+			if got[i].PredictedFP != seq[i].PredictedFP {
+				t.Fatalf("parallelism %d: finding %d prediction differs", par, i)
+			}
+		}
+	}
+}
+
+// TestDetectionTotalsInvariantAcrossSeeds asserts the taint detector finds
+// exactly the planted vulnerabilities for any corpus seed — the detection
+// columns of Table VI do not depend on the seed, only the FPP/FP columns
+// (decided by trained classifiers) may drift slightly.
+func TestDetectionTotalsInvariantAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed suite runs")
+	}
+	for _, seed := range []int64{7, 99, 31337} {
+		e, err := New(Options{Mode: ModeWAPe, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Train(); err != nil {
+			t.Fatal(err)
+		}
+		totalFound, totalPlanted := 0, 0
+		for _, app := range corpus.WebAppSuite(seed) {
+			proj := LoadMap(app.Name, app.Files)
+			rep, err := e.Analyze(proj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			totalPlanted += len(app.Spots) // vulnerable + FP spots all produce candidates
+			// Count grouped candidates matched to spots.
+			found := 0
+			matched := make(map[int]bool)
+			for _, f := range rep.Findings {
+				for i, spot := range app.Spots {
+					if matched[i] {
+						continue
+					}
+					if spot.Contains(f.Candidate.File, f.Candidate.SinkPos.Line) {
+						matched[i] = true
+						found++
+						break
+					}
+				}
+			}
+			totalFound += found
+		}
+		if totalPlanted != 413+122 {
+			t.Fatalf("seed %d: planted spots = %d, want 535", seed, totalPlanted)
+		}
+		if totalFound != totalPlanted {
+			t.Errorf("seed %d: matched %d of %d planted spots", seed, totalFound, totalPlanted)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package core assembles WAP's pipeline: project loading, the code analyzer
+// (taint detectors for every active class and weapon), the false positive
+// predictor (symptom extraction + top-3 classifier ensemble) and the code
+// corrector. It offers two configurations: the original WAP v2.1 and the
+// paper's extended WAPe.
+package core
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/php/ast"
+	"repro/internal/php/parser"
+)
+
+// SourceFile is one PHP file of a project.
+type SourceFile struct {
+	// Path is the project-relative path.
+	Path string
+	// Src is the raw source text.
+	Src string
+	// AST is the parsed file.
+	AST *ast.File
+	// ParseErrs records recoverable syntax errors.
+	ParseErrs []*parser.Error
+	// Lines is the line count of Src.
+	Lines int
+}
+
+// Project is a parsed web application (or plugin): all files plus a
+// project-wide function index so taint analysis crosses include boundaries.
+type Project struct {
+	// Name identifies the application.
+	Name  string
+	Files []*SourceFile
+
+	funcs   map[string]*ast.FunctionDecl
+	methods map[string]*ast.FunctionDecl
+}
+
+// ResolveFunc implements taint.FuncResolver.
+func (p *Project) ResolveFunc(name string) *ast.FunctionDecl {
+	return p.funcs[name]
+}
+
+// ResolveMethod implements taint.FuncResolver.
+func (p *Project) ResolveMethod(name string) *ast.FunctionDecl {
+	return p.methods[name]
+}
+
+// TotalLines returns the project's total line count.
+func (p *Project) TotalLines() int {
+	total := 0
+	for _, f := range p.Files {
+		total += f.Lines
+	}
+	return total
+}
+
+// File returns the source file with the given path, or nil.
+func (p *Project) File(path string) *SourceFile {
+	for _, f := range p.Files {
+		if f.Path == path {
+			return f
+		}
+	}
+	return nil
+}
+
+// LoadMap builds a project from an in-memory path→source map (used by the
+// synthetic corpus and tests).
+func LoadMap(name string, files map[string]string) *Project {
+	p := &Project{Name: name}
+	paths := make([]string, 0, len(files))
+	for path := range files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		p.addFile(path, files[path])
+	}
+	p.index()
+	return p
+}
+
+// LoadDir builds a project from every .php file under dir.
+func LoadDir(name, dir string) (*Project, error) {
+	p := &Project{Name: name}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(strings.ToLower(d.Name()), ".php") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("core: read %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			rel = path
+		}
+		p.addFile(rel, string(data))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: load %s: %w", dir, err)
+	}
+	p.index()
+	return p, nil
+}
+
+func (p *Project) addFile(path, src string) {
+	f, errs := parser.Parse(path, src)
+	p.Files = append(p.Files, &SourceFile{
+		Path:      path,
+		Src:       src,
+		AST:       f,
+		ParseErrs: errs,
+		Lines:     strings.Count(src, "\n") + 1,
+	})
+}
+
+// index builds the project-wide function and method tables.
+func (p *Project) index() {
+	p.funcs = make(map[string]*ast.FunctionDecl)
+	p.methods = make(map[string]*ast.FunctionDecl)
+	for _, f := range p.Files {
+		for key, fn := range f.AST.Funcs {
+			if strings.Contains(key, "::") {
+				// Method key Class::name; also index by bare name.
+				parts := strings.SplitN(key, "::", 2)
+				if _, exists := p.methods[parts[1]]; !exists {
+					p.methods[parts[1]] = fn
+				}
+				p.funcs[key] = fn
+				continue
+			}
+			if _, exists := p.funcs[key]; !exists {
+				p.funcs[key] = fn
+			}
+		}
+	}
+}

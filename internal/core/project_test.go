@@ -1,0 +1,96 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"index.php":          `<?php echo "hello";`,
+		"lib/db.php":         `<?php function connect() { return 1; }`,
+		"lib/model/user.php": `<?php class User { function name() { return $this->n; } }`,
+		"assets/style.css":   `body { color: red }`, // not PHP: skipped
+		"README.txt":         `docs`,
+		"templates/page.PHP": `<?php echo 1;`, // extension case-insensitive
+	}
+	for path, src := range files {
+		full := filepath.Join(dir, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := LoadDir("demo", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Files) != 4 {
+		t.Fatalf("files = %d, want 4 (php only)", len(p.Files))
+	}
+	if p.ResolveFunc("connect") == nil {
+		t.Error("cross-file function not indexed")
+	}
+	if p.ResolveMethod("name") == nil {
+		t.Error("method not indexed")
+	}
+	if p.TotalLines() == 0 {
+		t.Error("no lines counted")
+	}
+}
+
+func TestLoadDirMissing(t *testing.T) {
+	if _, err := LoadDir("x", "/definitely/not/here"); err == nil {
+		t.Error("want error for missing directory")
+	}
+}
+
+func TestLoadMapDeterministicOrder(t *testing.T) {
+	files := map[string]string{
+		"z.php": `<?php function dup() { return 1; }`,
+		"a.php": `<?php function dup() { return 2; }`,
+	}
+	p1 := LoadMap("m", files)
+	p2 := LoadMap("m", files)
+	// First-wins indexing must be deterministic: a.php sorts first.
+	f1 := p1.ResolveFunc("dup")
+	f2 := p2.ResolveFunc("dup")
+	if f1 == nil || f2 == nil {
+		t.Fatal("function missing")
+	}
+	if f1.Pos().File != "a.php" || f2.Pos().File != "a.php" {
+		t.Errorf("indexing not deterministic: %s vs %s", f1.Pos().File, f2.Pos().File)
+	}
+}
+
+func TestProjectFileLookup(t *testing.T) {
+	p := LoadMap("m", map[string]string{"a.php": `<?php echo 1;`})
+	if p.File("a.php") == nil {
+		t.Error("file lookup failed")
+	}
+	if p.File("b.php") != nil {
+		t.Error("missing file should return nil")
+	}
+}
+
+func TestParseErrorsRecorded(t *testing.T) {
+	p := LoadMap("m", map[string]string{"bad.php": `<?php $x = ;`})
+	if len(p.Files[0].ParseErrs) == 0 {
+		t.Error("parse errors not recorded")
+	}
+	// The project is still analyzable.
+	eng, err := New(Options{Mode: ModeWAPe, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Analyze(p); err != nil {
+		t.Errorf("analysis must tolerate parse errors: %v", err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package corpus generates the synthetic evaluation workload that stands in
+// for the paper's proprietary corpus (54 real web-application packages and
+// 115 WordPress plugins). Applications are generated deterministically from
+// a seed, with planted flows of three kinds per vulnerability class:
+//
+//   - vulnerable: an entry point reaches a sink unsanitized (ground truth:
+//     real vulnerability);
+//   - safe: the flow is properly sanitized (the analyzer must stay silent);
+//   - fp: the flow is validated in ways the taint analyzer cannot see, so a
+//     candidate is reported whose ground truth is "false positive". FP
+//     spots come in three flavours mirroring the paper's Table VI dynamics:
+//     guarded by original-WAP symptoms (both tool versions should predict
+//     them), guarded by symptoms only the new version knows (only WAPe
+//     should predict them), and sanitized by custom application functions
+//     (neither predicts them — the residual FP column).
+//
+// Ground truth is recorded per planted spot so the benchmark harness can
+// score detection and prediction exactly.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group is a vulnerability reporting group, matching the paper's table
+// columns (RFI/LFI/DT are lumped as "Files"; HI covers header and email
+// injection; SQLI covers the native and the WordPress weapon detectors).
+type Group string
+
+// groupOrder is the deterministic iteration order for generation.
+var groupOrder = []Group{
+	GroupSQLI, GroupXSS, GroupFiles, GroupSCD, GroupOSCI, GroupPHPCI,
+	GroupLDAPI, GroupXPathI, GroupNoSQLI, GroupCS, GroupHI, GroupSF,
+}
+
+// Reporting groups.
+const (
+	GroupSQLI   Group = "SQLI"
+	GroupXSS    Group = "XSS"
+	GroupFiles  Group = "Files"
+	GroupSCD    Group = "SCD"
+	GroupOSCI   Group = "OSCI"
+	GroupPHPCI  Group = "PHPCI"
+	GroupLDAPI  Group = "LDAPI"
+	GroupXPathI Group = "XPathI"
+	GroupNoSQLI Group = "NoSQLI"
+	GroupCS     Group = "CS"
+	GroupHI     Group = "HI"
+	GroupSF     Group = "SF"
+)
+
+// FPKind distinguishes the planted false-positive flavours.
+type FPKind int
+
+// FP flavours.
+const (
+	// FPNone marks spots that are real vulnerabilities.
+	FPNone FPKind = iota
+	// FPOriginalSymptoms is guarded by symptoms WAP v2.1 already knew
+	// (isset, is_numeric, preg_match): both versions should predict it.
+	FPOriginalSymptoms
+	// FPNewSymptoms is guarded only by symptoms added in the new version
+	// (empty, is_integer, preg_match_all): only WAPe should predict it.
+	FPNewSymptoms
+	// FPCustomSanitizer is cleaned by an application-specific function the
+	// tool does not know: neither version predicts it (residual FP).
+	FPCustomSanitizer
+)
+
+// Spot is one planted flow with its ground truth.
+type Spot struct {
+	Group Group
+	File  string
+	// StartLine and EndLine delimit the snippet within the file, so
+	// detector findings can be matched back to their ground truth.
+	StartLine int
+	EndLine   int
+	// Vulnerable is true when the spot is a real vulnerability; false means
+	// the detector will flag it but it is a false positive.
+	Vulnerable bool
+	// FP describes the false-positive flavour (FPNone when Vulnerable).
+	FP FPKind
+}
+
+// Contains reports whether a finding at the given file/line belongs to this
+// spot.
+func (s Spot) Contains(file string, line int) bool {
+	return s.File == file && line >= s.StartLine && line <= s.EndLine
+}
+
+// App is one generated application with ground truth.
+type App struct {
+	Name    string
+	Version string
+	Files   map[string]string
+	Spots   []Spot
+}
+
+// NumFiles returns the file count.
+func (a *App) NumFiles() int { return len(a.Files) }
+
+// TotalLines counts lines across all files.
+func (a *App) TotalLines() int {
+	total := 0
+	for _, src := range a.Files {
+		total += countLines(src)
+	}
+	return total
+}
+
+// VulnerableSpots returns the planted real vulnerabilities.
+func (a *App) VulnerableSpots() []Spot {
+	var out []Spot
+	for _, s := range a.Spots {
+		if s.Vulnerable {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FPSpots returns the planted false-positive flows.
+func (a *App) FPSpots() []Spot {
+	var out []Spot
+	for _, s := range a.Spots {
+		if !s.Vulnerable {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TruthByGroup tallies planted real vulnerabilities per group.
+func (a *App) TruthByGroup() map[Group]int {
+	out := make(map[Group]int)
+	for _, s := range a.VulnerableSpots() {
+		out[s.Group]++
+	}
+	return out
+}
+
+// SortedPaths returns file paths in deterministic order.
+func (a *App) SortedPaths() []string {
+	paths := make([]string, 0, len(a.Files))
+	for p := range a.Files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+func countLines(s string) int {
+	n := 1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// Plugin is a generated WordPress plugin with marketplace metadata used by
+// the Fig. 4 histograms.
+type Plugin struct {
+	App
+	// Downloads is the total download count.
+	Downloads int
+	// ActiveInstalls is the number of sites with the plugin active.
+	ActiveInstalls int
+	// Tag is the plugin directory tag (arts, food, shopping, ...).
+	Tag string
+	// KnownCVE marks the plugins whose vulnerabilities were already
+	// registered in CVE (5 of the 115, per the paper).
+	KnownCVE bool
+}
+
+// spotKey renders a stable identifier for error messages.
+func (s Spot) String() string {
+	kind := "vuln"
+	if !s.Vulnerable {
+		kind = fmt.Sprintf("fp(%d)", int(s.FP))
+	}
+	return fmt.Sprintf("%s %s in %s", kind, s.Group, s.File)
+}

@@ -1,0 +1,282 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/php/parser"
+)
+
+func TestWebAppSuiteShape(t *testing.T) {
+	apps := WebAppSuite(1)
+	if len(apps) != 54 {
+		t.Fatalf("apps = %d, want 54", len(apps))
+	}
+	vulnerable := 0
+	for _, a := range apps {
+		if len(a.VulnerableSpots()) > 0 {
+			vulnerable++
+		}
+	}
+	if vulnerable != 17 {
+		t.Errorf("vulnerable apps = %d, want 17", vulnerable)
+	}
+}
+
+func TestWebAppSuiteGroundTruthTotals(t *testing.T) {
+	apps := WebAppSuite(1)
+	totals := map[Group]int{}
+	fpKinds := map[FPKind]int{}
+	for _, a := range apps {
+		for _, s := range a.Spots {
+			if s.Vulnerable {
+				totals[s.Group]++
+			} else {
+				fpKinds[s.FP]++
+			}
+		}
+	}
+	want := map[Group]int{
+		GroupSQLI: 72, GroupXSS: 255, GroupFiles: 55, GroupSCD: 4,
+		GroupLDAPI: 2, GroupSF: 1, GroupHI: 19, GroupCS: 5,
+	}
+	for g, n := range want {
+		if totals[g] != n {
+			t.Errorf("group %s = %d, want %d (paper Table VI)", g, totals[g], n)
+		}
+	}
+	grand := 0
+	for _, n := range totals {
+		grand += n
+	}
+	if grand != 413 {
+		t.Errorf("total vulns = %d, want 413", grand)
+	}
+	if fpKinds[FPOriginalSymptoms] != 62 {
+		t.Errorf("FP (original symptoms) = %d, want 62", fpKinds[FPOriginalSymptoms])
+	}
+	if fpKinds[FPNewSymptoms] != 42 {
+		t.Errorf("FP (new symptoms) = %d, want 42", fpKinds[FPNewSymptoms])
+	}
+	if fpKinds[FPCustomSanitizer] != 18 {
+		t.Errorf("FP (custom sanitizer) = %d, want 18", fpKinds[FPCustomSanitizer])
+	}
+}
+
+func TestWebAppFilesParse(t *testing.T) {
+	apps := WebAppSuite(2)
+	for _, a := range apps[:20] {
+		for path, src := range a.Files {
+			if _, errs := parser.Parse(path, src); len(errs) > 0 {
+				t.Errorf("%s %s/%s: parse errors: %v", a.Name, a.Version, path, errs)
+			}
+		}
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a := WebAppSuite(7)
+	b := WebAppSuite(7)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].TotalLines() != b[i].TotalLines() {
+			t.Fatalf("app %d differs", i)
+		}
+		for path, src := range a[i].Files {
+			if b[i].Files[path] != src {
+				t.Fatalf("app %d file %s differs", i, path)
+			}
+		}
+	}
+}
+
+func TestSpotSpansValid(t *testing.T) {
+	for _, a := range WebAppSuite(3)[:17] {
+		for _, s := range a.Spots {
+			src, ok := a.Files[s.File]
+			if !ok {
+				t.Fatalf("%s: spot file %s missing", a.Name, s.File)
+			}
+			lines := countLines(src)
+			if s.StartLine < 1 || s.EndLine > lines || s.StartLine > s.EndLine {
+				t.Errorf("%s: bad span %d-%d (file has %d lines)", a.Name, s.StartLine, s.EndLine, lines)
+			}
+		}
+	}
+}
+
+func TestSpotContains(t *testing.T) {
+	s := Spot{File: "a.php", StartLine: 5, EndLine: 8}
+	if !s.Contains("a.php", 5) || !s.Contains("a.php", 8) {
+		t.Error("boundary lines must be contained")
+	}
+	if s.Contains("a.php", 4) || s.Contains("a.php", 9) || s.Contains("b.php", 6) {
+		t.Error("out-of-span must not match")
+	}
+}
+
+func TestWordPressSuiteShape(t *testing.T) {
+	plugins := WordPressSuite(1)
+	if len(plugins) != 115 {
+		t.Fatalf("plugins = %d, want 115", len(plugins))
+	}
+	vulnerable, cves := 0, 0
+	totals := map[Group]int{}
+	fpp, fp := 0, 0
+	for _, p := range plugins {
+		if len(p.VulnerableSpots()) > 0 {
+			vulnerable++
+		}
+		if p.KnownCVE {
+			cves++
+		}
+		for _, s := range p.Spots {
+			if s.Vulnerable {
+				totals[s.Group]++
+			} else if s.FP == FPCustomSanitizer {
+				fp++
+			} else {
+				fpp++
+			}
+		}
+	}
+	// 23 rows are vulnerable, but two of them (BuddyPress, WP ultimate
+	// recipe) only have FP flows.
+	if vulnerable != 21 {
+		t.Errorf("plugins with real vulns = %d, want 21", vulnerable)
+	}
+	if cves != 5 {
+		t.Errorf("CVE plugins = %d, want 5", cves)
+	}
+	want := map[Group]int{
+		GroupSQLI: 55, GroupXSS: 71, GroupFiles: 31, GroupSCD: 5,
+		GroupCS: 2, GroupHI: 5,
+	}
+	grand := 0
+	for g, n := range want {
+		if totals[g] != n {
+			t.Errorf("group %s = %d, want %d (paper Table VII)", g, totals[g], n)
+		}
+	}
+	for _, n := range totals {
+		grand += n
+	}
+	if grand != 169 {
+		t.Errorf("total plugin vulns = %d, want 169", grand)
+	}
+	if fpp != 3 || fp != 2 {
+		t.Errorf("FPP/FP = %d/%d, want 3/2", fpp, fp)
+	}
+}
+
+func TestWordPressMetadata(t *testing.T) {
+	plugins := WordPressSuite(1)
+	highDownloads := 0
+	var lightbox *Plugin
+	for _, p := range plugins {
+		if p.Downloads <= 0 || p.ActiveInstalls <= 0 {
+			t.Fatalf("%s: missing metadata", p.Name)
+		}
+		if len(p.VulnerableSpots()) > 0 && p.Downloads > 10000 {
+			highDownloads++
+		}
+		if p.Name == "Lightbox Plus Colorbox" {
+			lightbox = p
+		}
+	}
+	if highDownloads < 10 {
+		t.Errorf("vulnerable plugins with >10K downloads = %d, want >= 10", highDownloads)
+	}
+	if lightbox == nil || lightbox.ActiveInstalls < 200000 {
+		t.Errorf("Lightbox Plus Colorbox must be active on >200K sites: %+v", lightbox)
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	if DownloadBucket(1500) != 0 {
+		t.Errorf("1500 downloads bucket = %d", DownloadBucket(1500))
+	}
+	if DownloadBucket(600000) != 6 {
+		t.Errorf("600K downloads bucket = %d", DownloadBucket(600000))
+	}
+	if InstallBucket(50) != 0 || InstallBucket(20000) != 6 {
+		t.Errorf("install buckets wrong: %d %d", InstallBucket(50), InstallBucket(20000))
+	}
+	if len(DownloadBucketLabels()) != 7 || len(InstallBucketLabels()) != 7 {
+		t.Error("bucket label counts")
+	}
+}
+
+func TestCleanAppsHaveNoSpots(t *testing.T) {
+	apps := WebAppSuite(5)
+	for _, a := range apps[17:] {
+		if len(a.Spots) != 0 {
+			t.Errorf("clean app %s has %d spots", a.Name, len(a.Spots))
+		}
+	}
+}
+
+func TestAppHelpers(t *testing.T) {
+	apps := WebAppSuite(6)
+	a := apps[0]
+	if a.NumFiles() == 0 || a.TotalLines() == 0 {
+		t.Error("empty app")
+	}
+	if len(a.SortedPaths()) != a.NumFiles() {
+		t.Error("sorted paths mismatch")
+	}
+	truth := a.TruthByGroup()
+	if truth[GroupSQLI] != 9 || truth[GroupXSS] != 72 {
+		t.Errorf("truth = %v", truth)
+	}
+	if got := a.Spots[0].String(); got == "" {
+		t.Error("spot string empty")
+	}
+}
+
+func TestMicroSuiteShape(t *testing.T) {
+	apps := MicroSuite(3, 3)
+	if len(apps) != 12 {
+		t.Fatalf("micro apps = %d, want 12 (one per group)", len(apps))
+	}
+	seen := map[Group]bool{}
+	for _, a := range apps {
+		truth := a.TruthByGroup()
+		if len(truth) != 1 {
+			t.Errorf("%s: groups = %v, want exactly one", a.Name, truth)
+		}
+		for g, n := range truth {
+			seen[g] = true
+			if n != 3 {
+				t.Errorf("%s: %d planted, want 3", a.Name, n)
+			}
+		}
+		for path, src := range a.Files {
+			if _, errs := parser.Parse(path, src); len(errs) > 0 {
+				t.Errorf("%s/%s: %v", a.Name, path, errs)
+			}
+		}
+	}
+	if len(seen) != 12 {
+		t.Errorf("groups covered = %d, want 12", len(seen))
+	}
+}
+
+func TestLargeAppShape(t *testing.T) {
+	app := LargeApp(1, 30, 20)
+	if app.NumFiles() != 30 {
+		t.Fatalf("files = %d", app.NumFiles())
+	}
+	if app.TotalLines() < 1500 {
+		t.Errorf("lines = %d, want a large app", app.TotalLines())
+	}
+	if len(app.VulnerableSpots()) == 0 {
+		t.Error("no planted vulnerabilities")
+	}
+	for path, src := range app.Files {
+		if _, errs := parser.Parse(path, src); len(errs) > 0 {
+			t.Fatalf("%s: %v", path, errs)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MicroSuite generates one small application per reporting group, covering
+// every vulnerability class the tool detects — including the classes the
+// paper's evaluation corpus never triggered (OSCI, PHPCI, XPathI, NoSQLI).
+// Each app plants `perClass` vulnerable flows, safe flows, and (for the
+// groups with guard templates) false-positive flows. Used by the
+// all-classes coverage test and benchmark.
+func MicroSuite(seed int64, perClass int) []*App {
+	if perClass <= 0 {
+		perClass = 3
+	}
+	rng := rand.New(rand.NewSource(seed + 15))
+	groups := []Group{
+		GroupSQLI, GroupXSS, GroupFiles, GroupSCD, GroupOSCI, GroupPHPCI,
+		GroupLDAPI, GroupXPathI, GroupNoSQLI, GroupCS, GroupHI, GroupSF,
+	}
+	// The groups fpSnippet has guard templates for.
+	fpAble := map[Group]bool{GroupSQLI: true, GroupXSS: true, GroupFiles: true, GroupHI: true}
+
+	apps := make([]*App, 0, len(groups))
+	for _, g := range groups {
+		row := appRow{
+			name:    fmt.Sprintf("micro-%s", g),
+			version: "1.0",
+			vulns:   map[Group]int{g: perClass},
+			files:   2,
+		}
+		if fpAble[g] {
+			row.fpOrig = 1
+		}
+		apps = append(apps, generateApp(row, rng, false))
+	}
+	return apps
+}
+
+// LargeApp generates a filler-heavy application of roughly nFiles files with
+// snippetsPerFile clean snippets each — the capacity workload used to
+// benchmark throughput against the paper's 2-MLoC corpus (Play_sms alone was
+// 248,875 lines). A handful of vulnerabilities are planted so the full
+// pipeline (detection, extraction, prediction) runs end to end.
+func LargeApp(seed int64, nFiles, snippetsPerFile int) *App {
+	rng := rand.New(rand.NewSource(seed + 248875))
+	app := &App{Name: "large-app", Version: "1.0", Files: make(map[string]string, nFiles+1)}
+	id := 0
+	for fi := 0; fi < nFiles; fi++ {
+		fb := newFileBuilder()
+		fb.add(fillerHTML(fmt.Sprintf("large page %d", fi)))
+		fb.add("<?php")
+		for s := 0; s < snippetsPerFile; s++ {
+			id++
+			switch s % 3 {
+			case 0:
+				fb.add(fillerFunc(id, rng))
+			default:
+				fb.add(safeSnippet(safeGroupFor(rng), id, rng.Intn(2)))
+			}
+		}
+		// One planted vulnerability every few files keeps the pipeline hot.
+		if fi%7 == 0 {
+			id++
+			start, end := fb.add(vulnSnippet(GroupSQLI, id, rng.Intn(3)))
+			app.Spots = append(app.Spots, Spot{
+				Group: GroupSQLI, File: largePageName(fi),
+				StartLine: start, EndLine: end, Vulnerable: true,
+			})
+		}
+		fb.add("?>")
+		fb.add(fillerHTML("footer"))
+		app.Files[largePageName(fi)] = fb.String()
+	}
+	return app
+}
+
+func largePageName(i int) string { return fmt.Sprintf("modules/mod_%03d.php", i) }

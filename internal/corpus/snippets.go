@@ -1,0 +1,261 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// snippet generators produce PHP fragments with unique identifiers so many
+// snippets coexist in one file. Each returns the page-body code; helper
+// definitions (custom sanitizers) are added separately.
+
+// vulnSnippet returns an unsanitized entry-point→sink flow for the group.
+// The variant index selects among sink styles within the group.
+func vulnSnippet(g Group, n int, variant int) string {
+	switch g {
+	case GroupSQLI:
+		switch variant % 3 {
+		case 0:
+			return fmt.Sprintf(`$uid%d = $_GET['uid%d'];
+$res%d = mysql_query("SELECT name, email FROM users WHERE id=" . $uid%d);`, n, n, n, n)
+		case 1:
+			return fmt.Sprintf(`$name%d = $_POST['name%d'];
+mysql_query("UPDATE users SET last_name='$name%d' WHERE id=1");`, n, n, n)
+		default:
+			return fmt.Sprintf(`$ord%d = $_REQUEST['order%d'];
+$q%d = "SELECT * FROM items ORDER BY " . $ord%d;
+mysqli_query($link, $q%d);`, n, n, n, n, n)
+		}
+	case GroupXSS:
+		switch variant % 3 {
+		case 0:
+			return fmt.Sprintf(`echo "<div class='greet'>Hello, " . $_GET['visitor%d'] . "</div>";`, n)
+		case 1:
+			return fmt.Sprintf(`$msg%d = $_POST['msg%d'];
+print "<p>" . $msg%d . "</p>";`, n, n, n)
+		default:
+			// Stored XSS: data read back from the database.
+			return fmt.Sprintf(`$r%d = mysql_fetch_assoc($comments%d);
+echo "<li>" . $r%d['body'] . "</li>";`, n, n, n)
+		}
+	case GroupFiles:
+		switch variant % 3 {
+		case 0:
+			return fmt.Sprintf(`$page%d = $_GET['page%d'];
+include($page%d . ".php");`, n, n, n)
+		case 1:
+			return fmt.Sprintf(`readfile("/var/app/data/" . $_GET['doc%d']);`, n)
+		default:
+			return fmt.Sprintf(`$tpl%d = $_COOKIE['tpl%d'];
+require_once("themes/" . $tpl%d);`, n, n, n)
+		}
+	case GroupSCD:
+		return fmt.Sprintf(`show_source($_GET['src%d']);`, n)
+	case GroupOSCI:
+		if variant%2 == 0 {
+			return fmt.Sprintf(`system("convert uploads/" . $_GET['img%d'] . " -resize 80x80 thumb.png");`, n)
+		}
+		return fmt.Sprintf(`$host%d = $_POST['host%d'];
+exec("ping -c 1 " . $host%d, $out%d);`, n, n, n, n)
+	case GroupPHPCI:
+		return fmt.Sprintf(`eval("\$calc%d = " . $_POST['expr%d'] . ";");`, n, n)
+	case GroupLDAPI:
+		return fmt.Sprintf(`$u%d = $_GET['user%d'];
+ldap_search($ldap, "dc=example,dc=com", "(uid=" . $u%d . ")");`, n, n, n)
+	case GroupXPathI:
+		return fmt.Sprintf(`$who%d = $_GET['who%d'];
+xpath_eval($xpctx, "//user[login='" . $who%d . "']/mail");`, n, n, n)
+	case GroupNoSQLI:
+		return fmt.Sprintf(`$login%d = $_POST['login%d'];
+$users->find(array("login" => $login%d));`, n, n, n)
+	case GroupCS:
+		return fmt.Sprintf(`$comment%d = $_POST['comment%d'];
+file_put_contents("data/comments.txt", $comment%d, FILE_APPEND);`, n, n, n)
+	case GroupHI:
+		if variant%2 == 0 {
+			return fmt.Sprintf(`header("Location: " . $_GET['next%d']);`, n)
+		}
+		return fmt.Sprintf(`mail($_POST['rcpt%d'], "Welcome", "Thanks for registering.");`, n)
+	case GroupSF:
+		if variant%2 == 0 {
+			return fmt.Sprintf(`session_id($_GET['sess%d']);
+session_start();`, n)
+		}
+		return fmt.Sprintf(`setcookie("auth%d", $_REQUEST['token%d'], time() + 3600);`, n, n)
+	default:
+		return fmt.Sprintf(`// unknown group %s`, g)
+	}
+}
+
+// wpVulnSnippet returns a $wpdb-based SQLI flow (detected by the wpsqli
+// weapon, not the native SQLI detector).
+func wpVulnSnippet(n, variant int) string {
+	switch variant % 3 {
+	case 0:
+		return fmt.Sprintf(`$title%d = $_POST['title%d'];
+$wpdb->query("SELECT ID FROM {$wpdb->posts} WHERE post_title = '" . $title%d . "'");`, n, n, n)
+	case 1:
+		return fmt.Sprintf(`$mid%d = $_GET['item%d'];
+$row%d = $wpdb->get_row("SELECT * FROM wp_market_items WHERE id=" . $mid%d);`, n, n, n, n)
+	default:
+		return fmt.Sprintf(`$cat%d = $_REQUEST['cat%d'];
+$ids%d = $wpdb->get_col("SELECT ID FROM wp_shop WHERE category='$cat%d'");`, n, n, n, n)
+	}
+}
+
+// safeSnippet returns a properly sanitized flow that must NOT be flagged.
+func safeSnippet(g Group, n int, variant int) string {
+	switch g {
+	case GroupSQLI:
+		if variant%2 == 0 {
+			return fmt.Sprintf(`$sid%d = mysql_real_escape_string($_GET['sid%d']);
+mysql_query("SELECT * FROM sessions WHERE token='" . $sid%d . "'");`, n, n, n)
+		}
+		return fmt.Sprintf(`$pg%d = intval($_GET['pg%d']);
+mysql_query("SELECT * FROM posts LIMIT " . $pg%d . ", 10");`, n, n, n)
+	case GroupXSS:
+		return fmt.Sprintf(`echo "<span>" . htmlspecialchars($_GET['q%d']) . "</span>";`, n)
+	case GroupFiles:
+		return fmt.Sprintf(`$f%d = basename($_GET['file%d']);
+readfile("downloads/" . $f%d);`, n, n, n)
+	case GroupOSCI:
+		return fmt.Sprintf(`system("du -sh " . escapeshellarg($_GET['dir%d']));`, n)
+	case GroupHI:
+		return fmt.Sprintf(`header("X-Trace: req-" . intval($_GET['trace%d']));`, n)
+	case GroupSF:
+		return fmt.Sprintf(`session_regenerate_id(true);
+setcookie("lang%d", "en", time() + 86400);`, n)
+	default:
+		return fmt.Sprintf(`$ok%d = intval($_GET['v%d']);
+echo $ok%d;`, n, n, n)
+	}
+}
+
+// fpSnippet returns a flow guarded so the taint analyzer still reports a
+// candidate whose ground truth is "false positive".
+func fpSnippet(g Group, kind FPKind, n int, variant int) string {
+	guardedSink := func(guard, sink string) string {
+		return guard + "\n" + sink
+	}
+	varName := fmt.Sprintf("$in%d", n)
+	read := fmt.Sprintf(`%s = $_GET['p%d'];`, varName, n)
+	var sink string
+	switch g {
+	case GroupSQLI:
+		sink = fmt.Sprintf(`mysql_query("SELECT login FROM accounts WHERE id=" . %s);`, varName)
+	case GroupXSS:
+		sink = fmt.Sprintf(`echo "<td>" . %s . "</td>";`, varName)
+	case GroupFiles:
+		sink = fmt.Sprintf(`readfile("reports/" . %s);`, varName)
+	case GroupHI:
+		sink = fmt.Sprintf(`header("Location: " . %s);`, varName)
+	default:
+		sink = fmt.Sprintf(`mysql_query("SELECT 1 FROM t WHERE c=" . %s);`, varName)
+	}
+
+	switch kind {
+	case FPOriginalSymptoms:
+		// Guards built from symptoms WAP v2.1 already knows.
+		switch variant % 3 {
+		case 0:
+			return guardedSink(fmt.Sprintf(`%s
+if (!isset($_GET['p%d']) || !is_numeric(%s)) { exit; }`, read, n, varName), sink)
+		case 1:
+			return guardedSink(fmt.Sprintf(`%s
+if (!preg_match('/^[0-9]+$/', %s)) { die("bad input"); }`, read, varName), sink)
+		default:
+			return guardedSink(fmt.Sprintf(`%s
+if (!ctype_digit(%s)) { exit; }
+%s = substr(%s, 0, 8);`, read, varName, varName, varName), sink)
+		}
+	case FPNewSymptoms:
+		// Guards visible only through the new symptom set (empty,
+		// is_integer/is_long, preg_match_all, str_split/explode, rtrim) —
+		// written as positive conditions so no original-WAP symptom (exit,
+		// isset, is_numeric) appears: WAP v2.1 sees a bare flow here.
+		switch variant % 3 {
+		case 0:
+			return fmt.Sprintf(`%s
+if (!empty(%s) && is_integer(%s + 0)) {
+    %s = rtrim(%s);
+    %s
+}`, read, varName, varName, varName, varName, sink)
+		case 1:
+			return fmt.Sprintf(`%s
+if (!empty(%s) && preg_match_all('/^[0-9]{1,6}$/', %s, $mm%d) == 1) {
+    %s = ltrim(%s, "0");
+    %s
+}`, read, varName, varName, n, varName, varName, sink)
+		default:
+			return fmt.Sprintf(`%s
+$parts%d = explode("-", %s);
+%s = $parts%d[0];
+if (!empty(%s) && is_long(%s + 0)) {
+    %s
+}`, read, n, varName, varName, n, varName, varName, sink)
+		}
+	case FPCustomSanitizer:
+		// Cleaned by an application-specific function the tool does not
+		// know; the visible symptom is at most the str_replace inside it.
+		return guardedSink(fmt.Sprintf(`%s
+%s = app_escape(%s);`, read, varName, varName), sink)
+	default:
+		return read + "\n" + sink
+	}
+}
+
+// customSanitizerDef is the application-specific sanitizer used by
+// FPCustomSanitizer spots (the paper's vfront "escape" example). It uses
+// strtr, which is not in the symptom catalog, so the flow looks exactly like
+// a raw vulnerability to the predictor — these are the residual FPs neither
+// tool version predicts.
+const customSanitizerDef = `function app_escape($v) {
+    return strtr($v, array("'" => "''", "\\" => "\\\\"));
+}`
+
+// wpFPSnippet returns a guarded $wpdb flow (false positive in plugins).
+func wpFPSnippet(kind FPKind, n int) string {
+	switch kind {
+	case FPCustomSanitizer:
+		return fmt.Sprintf(`$w%d = app_escape($_POST['w%d']);
+$wpdb->query("SELECT ID FROM wp_items WHERE sku='" . $w%d . "'");`, n, n, n)
+	default:
+		return fmt.Sprintf(`$w%d = $_GET['w%d'];
+if (!isset($_GET['w%d']) || !is_numeric($w%d)) { exit; }
+$wpdb->get_var("SELECT COUNT(*) FROM wp_items WHERE id=" . $w%d);`, n, n, n, n, n)
+	}
+}
+
+// fillerFunc emits an innocuous helper function, giving files realistic
+// structure without adding taint flows.
+func fillerFunc(n int, rng *rand.Rand) string {
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf(`function format_price%d($cents) {
+    return sprintf("$%%0.2f", $cents / 100.0);
+}`, n)
+	case 1:
+		return fmt.Sprintf(`function nav_link%d($href, $label) {
+    return "<a href='" . htmlspecialchars($href) . "'>" . htmlspecialchars($label) . "</a>";
+}`, n)
+	case 2:
+		return fmt.Sprintf(`function cache_key%d($parts) {
+    return md5(implode("|", $parts));
+}`, n)
+	default:
+		return fmt.Sprintf(`class Widget%d {
+    public $title = "widget";
+    function render() { return "<div>" . htmlspecialchars($this->title) . "</div>"; }
+}`, n)
+	}
+}
+
+// fillerHTML emits static page chrome.
+func fillerHTML(name string) string {
+	return fmt.Sprintf(`<!-- %s -->
+<div class="wrap">
+  <h2>%s</h2>
+  <p>Static content block.</p>
+</div>`, name, strings.ReplaceAll(name, "_", " "))
+}

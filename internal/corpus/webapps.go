@@ -1,0 +1,246 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// appRow drives generation of one web application: its identity and the
+// planted real vulnerabilities per group, following the 17 vulnerable
+// packages of the paper's Tables V and VI. The per-class column totals match
+// the paper exactly (SQLI 72, XSS 255, Files 55, SCD 4, LDAPI 2, SF 1,
+// HI 19, CS 5 = 413); the per-row split reconstructs the table as closely as
+// the published text allows.
+type appRow struct {
+	name    string
+	version string
+	vulns   map[Group]int
+	// fpOrig/fpNew/fpCustom are planted false-positive flows of each
+	// flavour. Totals across rows are 62/42/18, reproducing Table VI's
+	// prediction dynamics (62 predicted by both, +42 only by WAPe, 18 by
+	// neither).
+	fpOrig, fpNew, fpCustom int
+	// files scales the amount of filler (clean) files.
+	files int
+}
+
+// paperWebApps are the 17 vulnerable applications.
+var paperWebApps = []appRow{
+	{name: "Admin Control Panel Lite 2", version: "0.10.2", vulns: map[Group]int{GroupSQLI: 9, GroupXSS: 72}, fpOrig: 6, fpNew: 2, files: 6},
+	{name: "Anywhere Board Games", version: "0.150215", vulns: map[Group]int{GroupSQLI: 1, GroupXSS: 1, GroupFiles: 1}, files: 3},
+	{name: "Clip Bucket", version: "2.7.0.4", vulns: map[Group]int{GroupXSS: 10, GroupFiles: 11, GroupSCD: 1}, fpOrig: 2, fpNew: 2, fpCustom: 2, files: 12},
+	{name: "Clip Bucket", version: "2.8", vulns: map[Group]int{GroupSQLI: 4, GroupXSS: 10, GroupFiles: 11, GroupSCD: 1}, fpOrig: 2, fpNew: 2, fpCustom: 2, files: 12},
+	{name: "Community Mobile Channels", version: "0.2.0", vulns: map[Group]int{GroupSQLI: 14, GroupXSS: 27, GroupFiles: 3, GroupHI: 3}, fpOrig: 4, files: 10},
+	{name: "divine", version: "0.1.3a", vulns: map[Group]int{GroupXSS: 4, GroupFiles: 2, GroupHI: 3}, files: 3},
+	{name: "Ldap address book", version: "0.22", vulns: map[Group]int{GroupLDAPI: 1}, files: 4},
+	{name: "Minutes", version: "0.42", vulns: map[Group]int{GroupSQLI: 1, GroupXSS: 8, GroupFiles: 1}, files: 4},
+	{name: "Mle Moodle", version: "0.8.8.5", vulns: map[Group]int{GroupXSS: 6, GroupFiles: 1}, fpOrig: 2, fpCustom: 1, files: 10},
+	{name: "Php Open Chat", version: "3.0.2", vulns: map[Group]int{GroupXSS: 10, GroupSCD: 1}, files: 8},
+	{name: "Pivotx", version: "2.3.10", vulns: map[Group]int{GroupXSS: 1}, fpOrig: 5, fpNew: 4, files: 8},
+	{name: "Play sms", version: "1.3.1", vulns: map[Group]int{GroupXSS: 6}, fpOrig: 2, files: 14},
+	{name: "RCR AEsir", version: "0.11a", vulns: map[Group]int{GroupSQLI: 9, GroupXSS: 3, GroupCS: 1}, fpNew: 1, files: 3},
+	{name: "refbase", version: "0.9.6", vulns: map[Group]int{GroupXSS: 46, GroupFiles: 2}, fpOrig: 7, fpNew: 4, files: 10},
+	{name: "SAE", version: "1.1", vulns: map[Group]int{GroupSQLI: 11, GroupXSS: 25, GroupFiles: 10, GroupSF: 1, GroupHI: 1}, fpOrig: 12, fpNew: 11, files: 9},
+	{name: "Tomahawk Mail", version: "2.0", vulns: map[Group]int{GroupFiles: 2, GroupHI: 1}, fpOrig: 1, fpNew: 2, files: 5},
+	{name: "vfront", version: "0.99.3", vulns: map[Group]int{GroupSQLI: 23, GroupXSS: 26, GroupFiles: 11, GroupSCD: 1, GroupLDAPI: 1, GroupHI: 11, GroupCS: 4}, fpOrig: 19, fpNew: 14, fpCustom: 13, files: 12},
+}
+
+// cleanWebAppNames are the remaining analyzed packages in which no
+// vulnerability is found (54 total in the paper).
+var cleanWebAppNames = []string{
+	"phpBB Es", "Wordpress Lite", "Gallery Zen", "Form Mailer Pro", "Wiki Mini",
+	"Task Board", "Photo Album X", "News Flash", "Poll Station", "Guestbook Plus",
+	"Shop Basket", "Event Planner", "Doc Viewer", "Mail List Manager", "Chat Relay",
+	"Forum Lite", "Link Directory", "Survey Monkey PHP", "Recipe Box", "Time Tracker",
+	"Invoice Maker", "Quiz Engine", "File Share", "Code Paste", "Status Page",
+	"Weather Widget", "RSS Reader", "Bookmark Keeper", "Note Pad", "Address Book Pro",
+	"Calendar Sync", "Ticket Desk", "FAQ Builder", "Blog Roll", "Banner Rotator",
+	"Site Search", "Redirect Manager",
+}
+
+// WebAppSuite generates the 54-package evaluation corpus (17 vulnerable + 37
+// clean), deterministic under seed.
+func WebAppSuite(seed int64) []*App {
+	rng := rand.New(rand.NewSource(seed + 54))
+	apps := make([]*App, 0, len(paperWebApps)+len(cleanWebAppNames))
+	for _, row := range paperWebApps {
+		apps = append(apps, generateApp(row, rng, false))
+	}
+	for i, name := range cleanWebAppNames {
+		row := appRow{
+			name:    name,
+			version: fmt.Sprintf("1.%d", i%10),
+			files:   3 + rng.Intn(10),
+		}
+		apps = append(apps, generateApp(row, rng, false))
+	}
+	return apps
+}
+
+// generateApp plants the row's flows across generated PHP files.
+func generateApp(row appRow, rng *rand.Rand, wordpress bool) *App {
+	app := &App{
+		Name:    row.name,
+		Version: row.version,
+		Files:   make(map[string]string),
+	}
+	nextID := 0
+	id := func() int { nextID++; return nextID }
+
+	// Work queue of planted snippets.
+	type planted struct {
+		group Group
+		fp    FPKind
+	}
+	var queue []planted
+	for _, g := range groupOrder {
+		for i := 0; i < row.vulns[g]; i++ {
+			queue = append(queue, planted{group: g})
+		}
+	}
+	for i := 0; i < row.fpOrig; i++ {
+		queue = append(queue, planted{group: fpGroupFor(i), fp: FPOriginalSymptoms})
+	}
+	for i := 0; i < row.fpNew; i++ {
+		queue = append(queue, planted{group: fpGroupFor(i + 1), fp: FPNewSymptoms})
+	}
+	for i := 0; i < row.fpCustom; i++ {
+		queue = append(queue, planted{group: GroupSQLI, fp: FPCustomSanitizer})
+	}
+	rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
+
+	// Distribute snippets over page files, tracking the line span of every
+	// planted snippet so findings can be scored against ground truth.
+	nFiles := row.files
+	if nFiles < 1 {
+		nFiles = 1
+	}
+	perFile := (len(queue) + nFiles - 1) / nFiles
+	if perFile == 0 {
+		perFile = 1
+	}
+	needsCustomSan := false
+	fileIdx := 0
+	for start := 0; start < len(queue) || fileIdx < nFiles; fileIdx++ {
+		pageName := pageFileName(fileIdx, wordpress)
+		fb := newFileBuilder()
+		fb.add(fillerHTML(fmt.Sprintf("%s page %d", row.name, fileIdx)))
+		fb.add("<?php")
+		fb.add(fillerFunc(id(), rng))
+		end := start + perFile
+		if end > len(queue) {
+			end = len(queue)
+		}
+		for _, pl := range queue[start:end] {
+			n := id()
+			variant := rng.Intn(3)
+			var code string
+			switch {
+			case pl.fp != FPNone && wordpress && pl.group == GroupSQLI:
+				code = wpFPSnippet(pl.fp, n)
+			case pl.fp != FPNone:
+				code = fpSnippet(pl.group, pl.fp, n, variant)
+			case wordpress && pl.group == GroupSQLI:
+				code = wpVulnSnippet(n, variant)
+			default:
+				code = vulnSnippet(pl.group, n, variant)
+			}
+			if pl.fp == FPCustomSanitizer {
+				needsCustomSan = true
+			}
+			startLine, endLine := fb.add(code)
+			app.Spots = append(app.Spots, Spot{
+				Group:      pl.group,
+				File:       pageName,
+				StartLine:  startLine,
+				EndLine:    endLine,
+				Vulnerable: pl.fp == FPNone,
+				FP:         pl.fp,
+			})
+		}
+		// Sanitized (safe) flows and filler in every file.
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			fb.add(safeSnippet(safeGroupFor(rng), id(), rng.Intn(2)))
+		}
+		fb.add("?>")
+		fb.add(fillerHTML("footer"))
+		app.Files[pageName] = fb.String()
+		start = end
+	}
+
+	// Shared helper file.
+	hb := newFileBuilder()
+	hb.add("<?php")
+	if needsCustomSan {
+		hb.add(customSanitizerDef)
+	}
+	hb.add(fillerFunc(id(), rng))
+	hb.add(fillerFunc(id(), rng))
+	app.Files["includes/util.php"] = hb.String()
+	return app
+}
+
+// fileBuilder assembles a file from parts while tracking line numbers.
+type fileBuilder struct {
+	parts []string
+	line  int // next part's starting line (1-based)
+}
+
+func newFileBuilder() *fileBuilder { return &fileBuilder{line: 1} }
+
+// add appends a part and returns its (startLine, endLine) span.
+func (fb *fileBuilder) add(part string) (startLine, endLine int) {
+	startLine = fb.line
+	endLine = startLine + countLines(part) - 1
+	fb.parts = append(fb.parts, part)
+	fb.line = endLine + 1 // parts are joined with a newline
+	return startLine, endLine
+}
+
+// String renders the file.
+func (fb *fileBuilder) String() string { return joinPHP(fb.parts) }
+
+// fpGroupFor spreads FP spots across the groups that dominate the paper's
+// false positives (SQLI mostly, some XSS and Files).
+func fpGroupFor(i int) Group {
+	switch i % 5 {
+	case 0, 1, 2:
+		return GroupSQLI
+	case 3:
+		return GroupXSS
+	default:
+		return GroupFiles
+	}
+}
+
+func safeGroupFor(rng *rand.Rand) Group {
+	groups := [...]Group{GroupSQLI, GroupXSS, GroupFiles, GroupOSCI, GroupHI}
+	return groups[rng.Intn(len(groups))]
+}
+
+func pageFileName(i int, wordpress bool) string {
+	if wordpress {
+		if i == 0 {
+			return "plugin.php"
+		}
+		return fmt.Sprintf("includes/admin_%d.php", i)
+	}
+	names := [...]string{"index", "view", "edit", "list", "search", "admin",
+		"login", "profile", "report", "export", "settings", "upload",
+		"gallery", "feed"}
+	if i < len(names) {
+		return names[i] + ".php"
+	}
+	return fmt.Sprintf("pages/page_%d.php", i)
+}
+
+func joinPHP(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "\n"
+		}
+		out += p
+	}
+	return out + "\n"
+}

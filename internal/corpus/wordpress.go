@@ -1,0 +1,182 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// pluginRow drives generation of one WordPress plugin, following Table VII.
+// Column totals match the paper exactly: SQLI 55 (found by the wpsqli
+// weapon), XSS 71, Files 31, SCD 5, CS 2, HI 5 = 169; FPP 3, FP 2.
+type pluginRow struct {
+	name     string
+	version  string
+	vulns    map[Group]int
+	fpOrig   int // predicted false positives (FPP column)
+	fpCustom int // unpredicted false positives (FP column)
+	cve      bool
+	files    int
+}
+
+// paperPlugins are the 23 vulnerable plugins of Table VII.
+var paperPlugins = []pluginRow{
+	{name: "Appointment Booking Calendar", version: "1.1.7", vulns: map[Group]int{GroupSQLI: 1, GroupXSS: 3}, cve: true, files: 4},
+	{name: "Auth0", version: "1.3.6", vulns: map[Group]int{GroupXSS: 1}, files: 5},
+	{name: "Authorizer", version: "2.3.6", vulns: map[Group]int{GroupXSS: 2}, files: 4},
+	{name: "BuddyPress", version: "2.4.0", vulns: map[Group]int{}, fpOrig: 1, files: 9},
+	{name: "Contact form generator", version: "2.0.1", vulns: map[Group]int{GroupSQLI: 5, GroupXSS: 6}, files: 6},
+	{name: "CP Appointment Calendar", version: "1.1.7", vulns: map[Group]int{GroupSQLI: 2}, files: 3},
+	{name: "Easy2map", version: "1.2.9", vulns: map[Group]int{GroupSQLI: 1, GroupXSS: 1, GroupFiles: 1}, cve: true, files: 4},
+	{name: "Ecwid Shopping Cart", version: "3.4.6", vulns: map[Group]int{GroupXSS: 1}, files: 6},
+	{name: "Gantry Framework", version: "4.1.6", vulns: map[Group]int{GroupXSS: 4}, files: 6},
+	{name: "Google Maps Travel Route", version: "1.3.1", vulns: map[Group]int{GroupXSS: 2, GroupFiles: 1}, files: 3},
+	{name: "Lightbox Plus Colorbox", version: "2.7.2", vulns: map[Group]int{GroupXSS: 8}, files: 5},
+	{name: "Payment form for Paypal pro", version: "1.0.1", vulns: map[Group]int{GroupXSS: 2}, cve: true, files: 3},
+	{name: "Recipes writer", version: "1.0.4", vulns: map[Group]int{GroupXSS: 4}, files: 3},
+	{name: "ResAds", version: "1.0.1", vulns: map[Group]int{GroupXSS: 2}, cve: true, files: 3},
+	{name: "Simple support ticket system", version: "1.2", vulns: map[Group]int{GroupSQLI: 18}, cve: true, files: 5},
+	{name: "The CartPress eCommerce Shopping Cart", version: "1.4.7", vulns: map[Group]int{GroupSQLI: 8, GroupXSS: 17}, fpCustom: 1, files: 8},
+	{name: "WebKite", version: "2.0.1", vulns: map[Group]int{GroupXSS: 1}, files: 3},
+	{name: "WP EasyCart - eCommerce Shopping Cart", version: "3.2.3", vulns: map[Group]int{GroupSQLI: 13, GroupXSS: 6, GroupFiles: 29, GroupSCD: 5, GroupCS: 2, GroupHI: 5}, files: 12},
+	{name: "WP Marketplace", version: "2.4.1", vulns: map[Group]int{GroupSQLI: 2, GroupXSS: 7}, fpOrig: 1, files: 5},
+	{name: "WP Shop", version: "3.5.3", vulns: map[Group]int{GroupSQLI: 5}, fpCustom: 1, files: 4},
+	{name: "WP ToolBar Removal Node", version: "1839", vulns: map[Group]int{GroupXSS: 1}, files: 2},
+	{name: "WP ultimate recipe", version: "2.5", vulns: map[Group]int{}, fpOrig: 1, files: 6},
+	{name: "WP Web Scraper", version: "3.5", vulns: map[Group]int{GroupXSS: 3}, files: 3},
+}
+
+// pluginTags are the directory tags plugins were selected from.
+var pluginTags = []string{
+	"arts", "food", "health", "shopping", "travel", "authentication", "popular", "widgets",
+}
+
+// downloadBuckets are Fig. 4(a)'s histogram ranges.
+var downloadBuckets = [...]struct {
+	Label    string
+	Min, Max int
+}{
+	{"< 2000", 100, 1999},
+	{"2K – 5K", 2000, 4999},
+	{"5K – 10K", 5000, 9999},
+	{"10K – 50K", 10000, 49999},
+	{"50K – 100K", 50000, 99999},
+	{"100K – 500K", 100000, 499999},
+	{"> 500K", 500000, 2000000},
+}
+
+// installBuckets are Fig. 4(b)'s histogram ranges.
+var installBuckets = [...]struct {
+	Label    string
+	Min, Max int
+}{
+	{"< 100", 10, 99},
+	{"100 – 500", 100, 499},
+	{"500 – 1K", 500, 999},
+	{"1K – 2K", 1000, 1999},
+	{"2K – 5K", 2000, 4999},
+	{"5K – 10K", 5000, 9999},
+	{"> 10K", 10000, 300000},
+}
+
+// DownloadBucketLabels returns the Fig. 4(a) range labels in order.
+func DownloadBucketLabels() []string {
+	out := make([]string, len(downloadBuckets))
+	for i, b := range downloadBuckets {
+		out[i] = b.Label
+	}
+	return out
+}
+
+// InstallBucketLabels returns the Fig. 4(b) range labels in order.
+func InstallBucketLabels() []string {
+	out := make([]string, len(installBuckets))
+	for i, b := range installBuckets {
+		out[i] = b.Label
+	}
+	return out
+}
+
+// DownloadBucket returns the index of the Fig. 4(a) range for a download
+// count.
+func DownloadBucket(downloads int) int {
+	for i, b := range downloadBuckets {
+		if downloads <= b.Max {
+			return i
+		}
+	}
+	return len(downloadBuckets) - 1
+}
+
+// InstallBucket returns the index of the Fig. 4(b) range for an active
+// install count.
+func InstallBucket(installs int) int {
+	for i, b := range installBuckets {
+		if installs <= b.Max {
+			return i
+		}
+	}
+	return len(installBuckets) - 1
+}
+
+// WordPressSuite generates the 115-plugin corpus (23 vulnerable + 92 clean)
+// with marketplace metadata, deterministic under seed.
+func WordPressSuite(seed int64) []*Plugin {
+	rng := rand.New(rand.NewSource(seed + 115))
+	plugins := make([]*Plugin, 0, 115)
+
+	// Vulnerable plugins: 16 of 23 have >10K downloads (paper Section V-B);
+	// Lightbox Plus Colorbox is active on >200K sites.
+	for i, row := range paperPlugins {
+		app := generateApp(appRow{
+			name:     row.name,
+			version:  row.version,
+			vulns:    row.vulns,
+			fpOrig:   row.fpOrig,
+			fpCustom: row.fpCustom,
+			files:    row.files,
+		}, rng, true)
+		p := &Plugin{
+			App:      *app,
+			Tag:      pluginTags[i%len(pluginTags)],
+			KnownCVE: row.cve,
+		}
+		if i < 16 {
+			// High-download band: 10K .. >500K.
+			p.Downloads = 10000 + rng.Intn(900000)
+		} else {
+			p.Downloads = 200 + rng.Intn(9000)
+		}
+		p.ActiveInstalls = p.Downloads / (4 + rng.Intn(8))
+		if row.name == "Lightbox Plus Colorbox" {
+			p.Downloads = 950000
+			p.ActiveInstalls = 210000
+		}
+		plugins = append(plugins, p)
+	}
+
+	// Clean plugins spread across all ranges of downloads/installs.
+	for i := 0; i < 115-len(paperPlugins); i++ {
+		row := appRow{
+			name:    fmt.Sprintf("%s Helper %d", cleanPluginStems[i%len(cleanPluginStems)], i),
+			version: fmt.Sprintf("%d.%d", 1+i%3, i%10),
+			files:   2 + rng.Intn(6),
+		}
+		app := generateApp(row, rng, true)
+		bucket := downloadBuckets[i%len(downloadBuckets)]
+		downloads := bucket.Min + rng.Intn(bucket.Max-bucket.Min+1)
+		p := &Plugin{
+			App:            *app,
+			Tag:            pluginTags[i%len(pluginTags)],
+			Downloads:      downloads,
+			ActiveInstalls: downloads / (4 + rng.Intn(8)),
+		}
+		plugins = append(plugins, p)
+	}
+	return plugins
+}
+
+var cleanPluginStems = []string{
+	"Gallery", "Recipe", "Fitness", "Cart", "Tour", "Login", "SEO", "Sidebar",
+	"Backup", "Contact", "Slider", "Forms", "Maps", "Reviews", "Events",
+	"Newsletter", "Portfolio", "Chat", "Tables", "Social",
+}

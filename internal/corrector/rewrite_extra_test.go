@@ -1,0 +1,147 @@
+package corrector
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/php/parser"
+	"repro/internal/taint"
+	"repro/internal/vuln"
+)
+
+// Additional correction scenarios across fix templates and classes.
+
+func TestUserValidationFixApplied(t *testing.T) {
+	src := `<?php
+$user = $_GET['user'];
+ldap_search($conn, "dc=acme", "(uid=" . $user . ")");
+`
+	cands := candidatesFor(t, vuln.LDAPI, src)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	out, _, err := New().Apply(src, cands, func(*taint.Candidate) string { return "san_ldapi" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ldap_search($conn, \"dc=acme\", san_ldapi(") {
+		t.Errorf("validation fix not wrapped:\n%s", out)
+	}
+	if !strings.Contains(out, "strpos($v, $c)") {
+		t.Errorf("validation fix body missing:\n%s", out)
+	}
+	if _, errs := parser.Parse("fixed.php", out); len(errs) > 0 {
+		t.Errorf("fixed source does not parse: %v", errs)
+	}
+}
+
+func TestSessionFixationFix(t *testing.T) {
+	src := `<?php
+session_id($_GET['sid']);
+`
+	cands := candidatesFor(t, vuln.SF, src)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	out, _, err := New().Apply(src, cands, func(*taint.Candidate) string { return "san_sf" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "session_id(san_sf(") {
+		t.Errorf("SF fix missing:\n%s", out)
+	}
+	if !strings.Contains(out, "session_regenerate_id") {
+		t.Errorf("SF fix body missing:\n%s", out)
+	}
+}
+
+func TestHeaderInjectionUserSanitizationFix(t *testing.T) {
+	src := `<?php
+header("Location: " . $_GET['next']);
+`
+	cands := candidatesFor(t, vuln.HI, src)
+	out, _, err := New().Apply(src, cands, func(*taint.Candidate) string { return "san_hei" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `header(san_hei(`) {
+		t.Errorf("HI fix missing:\n%s", out)
+	}
+	if !strings.Contains(out, `"\r"`) || !strings.Contains(out, "str_replace") {
+		t.Errorf("HI fix body missing CR/LF neutralization:\n%s", out)
+	}
+}
+
+func TestFixInsideHTMLTemplate(t *testing.T) {
+	// Sink inside an inline-PHP region of an HTML page; definitions must
+	// open a new <?php block because the file ends in HTML mode.
+	src := `<html><body>
+<?php echo "Hi " . $_GET['name']; ?>
+</body></html>
+`
+	cands := candidatesFor(t, vuln.XSSR, src)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	out, _, err := New().Apply(src, cands, func(*taint.Candidate) string { return "san_out" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "echo san_out(") {
+		t.Errorf("echo not wrapped:\n%s", out)
+	}
+	if !strings.Contains(out, "\n<?php\n// --- WAP fix") {
+		t.Errorf("definitions must open a PHP block:\n%s", out)
+	}
+	if _, errs := parser.Parse("page.php", out); len(errs) > 0 {
+		t.Errorf("fixed page does not parse: %v\n%s", errs, out)
+	}
+}
+
+func TestMixedClassesDifferentFixesOneFile(t *testing.T) {
+	src := `<?php
+mysql_query("SELECT a FROM t WHERE id=" . $_GET['id']);
+system("ls " . $_POST['dir']);
+`
+	sqli := candidatesFor(t, vuln.SQLI, src)
+	osci := candidatesFor(t, vuln.OSCI, src)
+	all := append(sqli, osci...)
+	out, corrs, err := New().Apply(src, all, func(c *taint.Candidate) string {
+		return vuln.MustGet(c.Class).FixID
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrs) != 2 {
+		t.Fatalf("corrections = %d", len(corrs))
+	}
+	if !strings.Contains(out, "san_sqli(") || !strings.Contains(out, "san_osci(") {
+		t.Errorf("both fixes expected:\n%s", out)
+	}
+	if strings.Count(out, "function san_sqli") != 1 || strings.Count(out, "function san_osci") != 1 {
+		t.Errorf("each definition exactly once:\n%s", out)
+	}
+}
+
+func TestApplyNoCandidatesNoChange(t *testing.T) {
+	src := `<?php echo "static";`
+	out, corrs, err := New().Apply(src, nil, func(*taint.Candidate) string { return "san_out" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != src || len(corrs) != 0 {
+		t.Error("no-op apply must not modify the source")
+	}
+}
+
+func TestFixTemplateKindStrings(t *testing.T) {
+	if PHPSanitization.String() != "PHP sanitization function" {
+		t.Errorf("kind = %q", PHPSanitization.String())
+	}
+	if UserSanitization.String() != "user sanitization" || UserValidation.String() != "user validation" {
+		t.Error("kind names wrong")
+	}
+	if TemplateKind(99).String() == "" {
+		t.Error("unknown kind must render")
+	}
+}

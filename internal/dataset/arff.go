@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ml"
+)
+
+// WriteARFF serializes the dataset in WEKA's ARFF format, the format the
+// paper's data-mining pipeline consumed. Features are nominal {0,1} and the
+// class is {FP,RV}.
+func WriteARFF(w io.Writer, name string, d *ml.Dataset) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "@relation %s\n\n", arffEscape(name))
+	for i := 0; i < d.NumFeatures(); i++ {
+		attr := fmt.Sprintf("a%d", i)
+		if i < len(d.AttrNames) && d.AttrNames[i] != "" {
+			attr = d.AttrNames[i]
+		}
+		fmt.Fprintf(bw, "@attribute %s {0,1}\n", arffEscape(attr))
+	}
+	fmt.Fprintf(bw, "@attribute class {FP,RV}\n\n@data\n")
+	for _, in := range d.Instances {
+		for _, f := range in.Features {
+			if f != 0 {
+				bw.WriteString("1,")
+			} else {
+				bw.WriteString("0,")
+			}
+		}
+		if in.Label {
+			bw.WriteString("FP\n")
+		} else {
+			bw.WriteString("RV\n")
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadARFF parses a dataset previously written by WriteARFF (a pragmatic
+// subset of ARFF: nominal {0,1} attributes and a final {FP,RV} class).
+func ReadARFF(r io.Reader) (*ml.Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	d := &ml.Dataset{}
+	inData := false
+	var nAttrs int
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		lower := strings.ToLower(line)
+		switch {
+		case strings.HasPrefix(lower, "@relation"):
+		case strings.HasPrefix(lower, "@attribute"):
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("dataset: line %d: malformed @attribute", lineNo)
+			}
+			name := unescapeARFF(fields[1])
+			if strings.EqualFold(name, "class") {
+				continue // class column handled positionally
+			}
+			d.AttrNames = append(d.AttrNames, name)
+			nAttrs++
+		case strings.HasPrefix(lower, "@data"):
+			inData = true
+		default:
+			if !inData {
+				return nil, fmt.Errorf("dataset: line %d: unexpected %q before @data", lineNo, line)
+			}
+			parts := strings.Split(line, ",")
+			if len(parts) != nAttrs+1 {
+				return nil, fmt.Errorf("dataset: line %d: %d values, want %d", lineNo, len(parts), nAttrs+1)
+			}
+			in := ml.Instance{Features: make([]float64, nAttrs)}
+			for i := 0; i < nAttrs; i++ {
+				switch strings.TrimSpace(parts[i]) {
+				case "1":
+					in.Features[i] = 1
+				case "0":
+				default:
+					return nil, fmt.Errorf("dataset: line %d: non-binary value %q", lineNo, parts[i])
+				}
+			}
+			switch strings.TrimSpace(parts[nAttrs]) {
+			case "FP":
+				in.Label = true
+			case "RV":
+			default:
+				return nil, fmt.Errorf("dataset: line %d: unknown class %q", lineNo, parts[nAttrs])
+			}
+			d.Instances = append(d.Instances, in)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
+	return d, nil
+}
+
+func arffEscape(s string) string {
+	if strings.ContainsAny(s, " \t") {
+		return "'" + strings.ReplaceAll(s, "'", "\\'") + "'"
+	}
+	return s
+}
+
+func unescapeARFF(s string) string {
+	s = strings.Trim(s, "'")
+	return strings.ReplaceAll(s, "\\'", "'")
+}

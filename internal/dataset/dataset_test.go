@@ -1,0 +1,189 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/symptom"
+)
+
+func TestGenerateNewLayout(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	if d.Len() != 256 {
+		t.Fatalf("size = %d, want 256", d.Len())
+	}
+	if d.NumFeatures() != symptom.NumNewAttributes {
+		t.Fatalf("features = %d, want %d", d.NumFeatures(), symptom.NumNewAttributes)
+	}
+	pos, neg := d.CountLabels()
+	if pos != 128 || neg != 128 {
+		t.Errorf("balance = %d FP / %d RV, want 128/128", pos, neg)
+	}
+}
+
+func TestGenerateOriginalLayout(t *testing.T) {
+	d := Generate(Config{Seed: 1, Original: true})
+	if d.Len() != 76 {
+		t.Fatalf("size = %d, want 76", d.Len())
+	}
+	if d.NumFeatures() != symptom.NumOriginalAttributes {
+		t.Fatalf("features = %d, want %d", d.NumFeatures(), symptom.NumOriginalAttributes)
+	}
+	pos, neg := d.CountLabels()
+	if pos != 32 || neg != 44 {
+		t.Errorf("balance = %d FP / %d RV, want 32/44", pos, neg)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 7})
+	b := Generate(Config{Seed: 7})
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Instances {
+		if a.Instances[i].Label != b.Instances[i].Label {
+			t.Fatalf("instance %d differs", i)
+		}
+		for j := range a.Instances[i].Features {
+			if a.Instances[i].Features[j] != b.Instances[i].Features[j] {
+				t.Fatalf("instance %d feature %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateNoDuplicatesNoAmbiguity(t *testing.T) {
+	d := Generate(Config{Seed: 3})
+	seen := make(map[string]bool)
+	labelOf := make(map[string]bool)
+	for _, in := range d.Instances {
+		var b strings.Builder
+		for _, f := range in.Features {
+			if f != 0 {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		key := b.String()
+		full := key + map[bool]string{true: "F", false: "R"}[in.Label]
+		if seen[full] {
+			t.Fatalf("duplicate instance %s", full)
+		}
+		seen[full] = true
+		if prev, ok := labelOf[key]; ok && prev != in.Label {
+			t.Fatalf("ambiguous instance %s with both labels", key)
+		}
+		labelOf[key] = in.Label
+	}
+}
+
+func TestGeneratedSetIsLearnable(t *testing.T) {
+	// The paper's classifiers reach ~94% accuracy; ours must land in a
+	// similar band on the generated set.
+	d := Generate(Config{Seed: 42})
+	cm, err := ml.CrossValidate(func() ml.Classifier { return &ml.LogisticRegression{} }, d, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := cm.Compute().ACC
+	if acc < 0.85 || acc > 1.0 {
+		t.Errorf("LR 10-fold accuracy = %.3f, want in [0.85, 1.0]", acc)
+	}
+	if acc == 1.0 {
+		t.Errorf("accuracy exactly 1.0: the set is trivially separable, unlike the paper's")
+	}
+}
+
+func TestClassConditionalStructure(t *testing.T) {
+	d := Generate(Config{Seed: 5})
+	// Validation symptoms must be far more common in FP than in RV.
+	// Consider every validation-category symptom.
+	var typeIdxs []int
+	for i, s := range symptom.Catalog() {
+		if s.Category == symptom.Validation {
+			typeIdxs = append(typeIdxs, i)
+		}
+	}
+	if len(typeIdxs) == 0 {
+		t.Fatal("catalog has no validation symptoms")
+	}
+	fpWith, rvWith, fpN, rvN := 0, 0, 0, 0
+	for _, in := range d.Instances {
+		has := false
+		for _, i := range typeIdxs {
+			if in.Features[i] != 0 {
+				has = true
+				break
+			}
+		}
+		if in.Label {
+			fpN++
+			if has {
+				fpWith++
+			}
+		} else {
+			rvN++
+			if has {
+				rvWith++
+			}
+		}
+	}
+	fpRate := float64(fpWith) / float64(fpN)
+	rvRate := float64(rvWith) / float64(rvN)
+	if fpRate <= rvRate+0.3 {
+		t.Errorf("validation symptom rates: FP %.2f vs RV %.2f — class structure too weak", fpRate, rvRate)
+	}
+}
+
+func TestARFFRoundtrip(t *testing.T) {
+	d := Generate(Config{Seed: 9, Size: 64})
+	var buf bytes.Buffer
+	if err := WriteARFF(&buf, "wap-fp", d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadARFF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || got.NumFeatures() != d.NumFeatures() {
+		t.Fatalf("roundtrip shape: %dx%d vs %dx%d", got.Len(), got.NumFeatures(), d.Len(), d.NumFeatures())
+	}
+	for i := range d.Instances {
+		if got.Instances[i].Label != d.Instances[i].Label {
+			t.Fatalf("label %d differs", i)
+		}
+		for j := range d.Instances[i].Features {
+			if got.Instances[i].Features[j] != d.Instances[i].Features[j] {
+				t.Fatalf("feature %d/%d differs", i, j)
+			}
+		}
+	}
+	if len(got.AttrNames) != symptom.NumNewAttributes {
+		t.Errorf("attr names = %d", len(got.AttrNames))
+	}
+}
+
+func TestReadARFFErrors(t *testing.T) {
+	cases := []string{
+		"@relation r\n@attribute a {0,1}\n@attribute class {FP,RV}\n@data\n2,FP\n",
+		"@relation r\n@attribute a {0,1}\n@attribute class {FP,RV}\n@data\n1,1,FP\n",
+		"@relation r\n@attribute a {0,1}\n@attribute class {FP,RV}\n@data\n1,XX\n",
+		"@relation r\nstray line\n@data\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadARFF(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestCustomSize(t *testing.T) {
+	d := Generate(Config{Seed: 2, Size: 128})
+	if d.Len() != 128 {
+		t.Errorf("size = %d, want 128", d.Len())
+	}
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// The experiment tests assert the *shape* requirements the paper's
+// evaluation must exhibit (DESIGN.md section 4), plus the exact ground-truth
+// totals our corpus is calibrated to.
+
+func TestTable1Rendering(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"is_numeric", "preg_match_all", "white_list", "Aggregated function", "60 attributes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestTable2ClassifierBand(t *testing.T) {
+	r, err := RunTable2And3(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Results) != 3 {
+		t.Fatalf("classifiers = %d", len(r.Results))
+	}
+	for _, c := range r.Results {
+		m := c.Metrics
+		// Paper band: accuracy and precision between 90 and 97 %.
+		if m.ACC < 0.88 || m.ACC > 0.99 {
+			t.Errorf("%s: accuracy %.3f outside the paper's band", c.Name, m.ACC)
+		}
+		if m.TPP < 0.85 {
+			t.Errorf("%s: tpp %.3f too low", c.Name, m.TPP)
+		}
+		if m.PFP > 0.12 {
+			t.Errorf("%s: fallout %.3f too high", c.Name, m.PFP)
+		}
+		if c.Matrix.N() != 256 {
+			t.Errorf("%s: N = %d, want 256", c.Name, c.Matrix.N())
+		}
+	}
+	out2 := RenderTable2(r)
+	if !strings.Contains(out2, "tpp") || !strings.Contains(out2, "jacc") {
+		t.Error("Table II rendering incomplete")
+	}
+	out3 := RenderTable3(r)
+	if !strings.Contains(out3, "SVM") || !strings.Contains(out3, "Random Forest") {
+		t.Error("Table III rendering incomplete")
+	}
+}
+
+func TestTable4Rendering(t *testing.T) {
+	out := Table4()
+	for _, want := range []string{"setcookie", "ldap_search", "xpath_eval", "file_put_contents", "RCE & file injection", "query injection"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table IV missing %q", want)
+		}
+	}
+}
+
+func TestWebAppsReproducesTable6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	old, err := RunWebApps(core.ModeOriginal, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := RunWebApps(core.ModeWAPe, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Question 1+2: WAPe finds all 413 (386 original-class + 27 new-class);
+	// v2.1 finds exactly the 386.
+	if neu.TotalVulns != 413 {
+		t.Errorf("WAPe vulns = %d, want 413", neu.TotalVulns)
+	}
+	if neu.TotalMissed != 0 {
+		t.Errorf("WAPe missed = %d, want 0", neu.TotalMissed)
+	}
+	if old.TotalVulns != 386 {
+		t.Errorf("WAP v2.1 vulns = %d, want 386", old.TotalVulns)
+	}
+	if old.TotalMissed != 27 {
+		t.Errorf("WAP v2.1 missed = %d, want 27 (the new-class vulns)", old.TotalMissed)
+	}
+
+	// Per-class totals (Table VI bottom row).
+	want := map[corpus.Group]int{
+		corpus.GroupSQLI: 72, corpus.GroupXSS: 255, corpus.GroupFiles: 55,
+		corpus.GroupSCD: 4, corpus.GroupLDAPI: 2, corpus.GroupSF: 1,
+		corpus.GroupHI: 19, corpus.GroupCS: 5,
+	}
+	for g, n := range want {
+		if neu.Totals[g] != n {
+			t.Errorf("WAPe %s = %d, want %d", g, neu.Totals[g], n)
+		}
+	}
+
+	// Question 3: FP prediction. WAPe predicts more FPs (104 vs 62) and
+	// leaves fewer unpredicted (18 vs 60).
+	if old.TotalFPP != 62 || old.TotalFP != 60 {
+		t.Errorf("WAP v2.1 FPP/FP = %d/%d, want 62/60", old.TotalFPP, old.TotalFP)
+	}
+	if neu.TotalFPP != 104 || neu.TotalFP != 18 {
+		t.Errorf("WAPe FPP/FP = %d/%d, want 104/18", neu.TotalFPP, neu.TotalFP)
+	}
+	if neu.TotalFPP <= old.TotalFPP {
+		t.Error("WAPe must predict strictly more FPs than v2.1")
+	}
+
+	// No spurious detections against ground truth.
+	for _, ar := range neu.Apps {
+		if ar.Score.Spurious != 0 {
+			t.Errorf("%s: %d spurious findings", ar.App.Name, ar.Score.Spurious)
+		}
+	}
+
+	// 17 of 54 apps are vulnerable.
+	vulnApps := 0
+	for _, ar := range neu.Apps {
+		if ar.Score.TotalDetected() > 0 {
+			vulnApps++
+		}
+	}
+	if vulnApps != 17 {
+		t.Errorf("vulnerable apps = %d, want 17", vulnApps)
+	}
+
+	// Renderings carry the headline totals.
+	t5 := RenderTable5(neu)
+	if !strings.Contains(t5, "413") {
+		t.Error("Table V missing total")
+	}
+	t6 := RenderTable6(old, neu)
+	for _, wantCell := range []string{"413", "104", "18", "62", "60"} {
+		if !strings.Contains(t6, wantCell) {
+			t.Errorf("Table VI missing %q", wantCell)
+		}
+	}
+}
+
+func TestWordPressReproducesTable7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	r, err := RunWordPress(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalVulns != 169 {
+		t.Errorf("plugin vulns = %d, want 169", r.TotalVulns)
+	}
+	want := map[corpus.Group]int{
+		corpus.GroupSQLI: 55, corpus.GroupXSS: 71, corpus.GroupFiles: 31,
+		corpus.GroupSCD: 5, corpus.GroupCS: 2, corpus.GroupHI: 5,
+	}
+	for g, n := range want {
+		if r.Totals[g] != n {
+			t.Errorf("plugins %s = %d, want %d", g, r.Totals[g], n)
+		}
+	}
+	if r.TotalFPP != 3 || r.TotalFP != 2 {
+		t.Errorf("plugins FPP/FP = %d/%d, want 3/2", r.TotalFPP, r.TotalFP)
+	}
+	vulnPlugins := 0
+	for _, pr := range r.Plugins {
+		if pr.Score.Spurious != 0 {
+			t.Errorf("%s: %d spurious", pr.Plugin.Name, pr.Score.Spurious)
+		}
+		if pr.Score.MissedVulns != 0 {
+			t.Errorf("%s: %d missed", pr.Plugin.Name, pr.Score.MissedVulns)
+		}
+		if pr.Score.TotalDetected() > 0 {
+			vulnPlugins++
+		}
+	}
+	if vulnPlugins != 21 {
+		t.Errorf("plugins with detected vulns = %d, want 21", vulnPlugins)
+	}
+	out := RenderTable7(r)
+	for _, wantCell := range []string{"169", "Simple support ticket system", "WP EasyCart"} {
+		if !strings.Contains(out, wantCell) {
+			t.Errorf("Table VII missing %q", wantCell)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	r, err := RunWordPress(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := RunFig4(r)
+	sum := func(xs []int) int {
+		total := 0
+		for _, x := range xs {
+			total += x
+		}
+		return total
+	}
+	if sum(f.DownloadsAnalyzed) != 115 || sum(f.InstallsAnalyzed) != 115 {
+		t.Errorf("analyzed buckets sum to %d/%d, want 115",
+			sum(f.DownloadsAnalyzed), sum(f.InstallsAnalyzed))
+	}
+	if sum(f.DownloadsVulnerable) != 21 {
+		t.Errorf("vulnerable plugins bucketed = %d, want 21", sum(f.DownloadsVulnerable))
+	}
+	// Every download range contains analyzed plugins (paper: "distributed by
+	// several ranges").
+	for i, n := range f.DownloadsAnalyzed {
+		if n == 0 {
+			t.Errorf("download bucket %d empty", i)
+		}
+	}
+	// Vulnerable plugins appear in the high-download ranges too.
+	if f.DownloadsVulnerable[5]+f.DownloadsVulnerable[6] == 0 {
+		t.Error("no vulnerable plugins in the >100K ranges")
+	}
+	out := RenderFig4(f)
+	if !strings.Contains(out, "Fig. 4(a)") || !strings.Contains(out, "Fig. 4(b)") {
+		t.Error("Fig. 4 rendering incomplete")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	webApps, err := RunWebApps(core.ModeWAPe, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plugins, err := RunWordPress(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SQLI and XSS must dominate (the paper's headline observation).
+	order := SortedGroups(webApps.Totals)
+	if order[0] != corpus.GroupXSS || order[1] != corpus.GroupSQLI {
+		t.Errorf("web app dominance = %v, want XSS then SQLI", order[:2])
+	}
+	// LDAPI and SF appear only in web applications, not plugins.
+	if plugins.Totals[corpus.GroupLDAPI] != 0 || plugins.Totals[corpus.GroupSF] != 0 {
+		t.Error("LDAPI/SF must not appear in plugins")
+	}
+	if webApps.Totals[corpus.GroupLDAPI] == 0 || webApps.Totals[corpus.GroupSF] == 0 {
+		t.Error("LDAPI/SF must appear in web apps")
+	}
+	out := RenderFig5(webApps, plugins)
+	if !strings.Contains(out, "SQLI") || !strings.Contains(out, "web apps") {
+		t.Error("Fig. 5 rendering incomplete")
+	}
+}

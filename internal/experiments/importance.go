@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/report"
+	"repro/internal/symptom"
+)
+
+// SymptomImportance ranks each Table I symptom by its learned logistic
+// regression weight: strongly positive symptoms push a candidate toward the
+// false positive class, strongly negative ones toward "real vulnerability".
+// This explains the predictor globally, complementing the per-finding
+// justifications of the engine.
+type SymptomImportance struct {
+	Name     string
+	Category symptom.Category
+	Weight   float64
+	Original bool
+}
+
+// RunSymptomImportance trains logistic regression on the 256-instance set
+// and ranks the symptoms by |weight|.
+func RunSymptomImportance(seed int64) ([]SymptomImportance, error) {
+	d := dataset.Generate(dataset.Config{Seed: seed})
+	lr := &ml.LogisticRegression{}
+	if err := lr.Train(d); err != nil {
+		return nil, fmt.Errorf("experiments: importance: %w", err)
+	}
+	weights := lr.Weights()
+	cat := symptom.Catalog()
+	out := make([]SymptomImportance, 0, len(cat))
+	for i, s := range cat {
+		if i >= len(weights) {
+			break
+		}
+		out = append(out, SymptomImportance{
+			Name:     s.Name,
+			Category: s.Category,
+			Weight:   weights[i],
+			Original: s.Original,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return abs(out[i].Weight) > abs(out[j].Weight)
+	})
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// RenderSymptomImportance renders the top-N table.
+func RenderSymptomImportance(imp []SymptomImportance, topN int) string {
+	if topN <= 0 || topN > len(imp) {
+		topN = len(imp)
+	}
+	rows := make([][]string, 0, topN)
+	for _, s := range imp[:topN] {
+		direction := "-> real vulnerability"
+		if s.Weight > 0 {
+			direction = "-> false positive"
+		}
+		origin := "new"
+		if s.Original {
+			origin = "WAP v2.1"
+		}
+		rows = append(rows, []string{
+			s.Name, s.Category.String(), fmt.Sprintf("%+.3f", s.Weight), direction, origin,
+		})
+	}
+	return "Symptom importance (logistic regression weights on the 256-instance set)\n\n" +
+		report.Table([]string{"symptom", "category", "weight", "pushes", "origin"}, rows)
+}

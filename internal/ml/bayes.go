@@ -1,0 +1,178 @@
+package ml
+
+import "math"
+
+// NaiveBayes is a Bernoulli naive Bayes classifier with Laplace smoothing —
+// one of the candidate models re-evaluated when selecting the top 3
+// (WAP's original work compared Naive Bayes, K-NN, tree and linear models).
+type NaiveBayes struct {
+	// Alpha is the Laplace smoothing constant (default 1).
+	Alpha float64
+
+	logPriorPos float64
+	logPriorNeg float64
+	// logProb[feature][label01] holds log P(feature=1 | label).
+	logProbPos []float64
+	logProbNeg []float64
+}
+
+var _ Classifier = (*NaiveBayes)(nil)
+var _ Prober = (*NaiveBayes)(nil)
+
+// Name implements Classifier.
+func (nb *NaiveBayes) Name() string { return "Naive Bayes" }
+
+// Train implements Classifier.
+func (nb *NaiveBayes) Train(d *Dataset) error {
+	if err := validateTrain(d); err != nil {
+		return err
+	}
+	if nb.Alpha == 0 {
+		nb.Alpha = 1
+	}
+	n := d.NumFeatures()
+	posCount, negCount := 0, 0
+	onPos := make([]float64, n)
+	onNeg := make([]float64, n)
+	for _, in := range d.Instances {
+		if in.Label {
+			posCount++
+			for j, f := range in.Features {
+				if f != 0 {
+					onPos[j]++
+				}
+			}
+		} else {
+			negCount++
+			for j, f := range in.Features {
+				if f != 0 {
+					onNeg[j]++
+				}
+			}
+		}
+	}
+	total := float64(posCount + negCount)
+	// Smoothed priors guard against single-class training sets.
+	nb.logPriorPos = math.Log((float64(posCount) + nb.Alpha) / (total + 2*nb.Alpha))
+	nb.logPriorNeg = math.Log((float64(negCount) + nb.Alpha) / (total + 2*nb.Alpha))
+	nb.logProbPos = make([]float64, n)
+	nb.logProbNeg = make([]float64, n)
+	for j := 0; j < n; j++ {
+		nb.logProbPos[j] = math.Log((onPos[j] + nb.Alpha) / (float64(posCount) + 2*nb.Alpha))
+		nb.logProbNeg[j] = math.Log((onNeg[j] + nb.Alpha) / (float64(negCount) + 2*nb.Alpha))
+	}
+	return nil
+}
+
+// logOdds computes log P(pos|x) - log P(neg|x) up to a shared constant.
+func (nb *NaiveBayes) logOdds(features []float64) float64 {
+	lp := nb.logPriorPos
+	ln := nb.logPriorNeg
+	for j := 0; j < len(nb.logProbPos) && j < len(features); j++ {
+		if features[j] != 0 {
+			lp += nb.logProbPos[j]
+			ln += nb.logProbNeg[j]
+		} else {
+			lp += log1mexp(nb.logProbPos[j])
+			ln += log1mexp(nb.logProbNeg[j])
+		}
+	}
+	return lp - ln
+}
+
+// log1mexp computes log(1 - exp(x)) for x < 0.
+func log1mexp(x float64) float64 {
+	return math.Log1p(-math.Exp(x))
+}
+
+// Predict implements Classifier.
+func (nb *NaiveBayes) Predict(features []float64) bool {
+	return nb.logOdds(features) >= 0
+}
+
+// Prob implements Prober.
+func (nb *NaiveBayes) Prob(features []float64) float64 {
+	return 1 / (1 + math.Exp(-nb.logOdds(features)))
+}
+
+// KNN is a k-nearest-neighbours classifier with Hamming distance on binary
+// features — WEKA's IBk over this data.
+type KNN struct {
+	// K is the neighbourhood size (default 5).
+	K int
+
+	data *Dataset
+}
+
+var _ Classifier = (*KNN)(nil)
+var _ Prober = (*KNN)(nil)
+
+// Name implements Classifier.
+func (k *KNN) Name() string { return "K-NN" }
+
+// Train implements Classifier (lazy learner: stores the data).
+func (k *KNN) Train(d *Dataset) error {
+	if err := validateTrain(d); err != nil {
+		return err
+	}
+	if k.K == 0 {
+		k.K = 5
+	}
+	k.data = d.Clone()
+	return nil
+}
+
+// Prob implements Prober: the positive fraction among the K nearest.
+func (k *KNN) Prob(features []float64) float64 {
+	if k.data == nil || k.data.Len() == 0 {
+		return 0.5
+	}
+	type hit struct {
+		dist  int
+		label bool
+	}
+	// Selection of the K nearest by simple partial scan (data sets here are
+	// small; no need for trees).
+	best := make([]hit, 0, k.K+1)
+	for _, in := range k.data.Instances {
+		d := hamming(features, in.Features)
+		h := hit{dist: d, label: in.Label}
+		pos := len(best)
+		for pos > 0 && best[pos-1].dist > d {
+			pos--
+		}
+		if pos < k.K {
+			best = append(best, hit{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = h
+			if len(best) > k.K {
+				best = best[:k.K]
+			}
+		}
+	}
+	posCount := 0
+	for _, h := range best {
+		if h.label {
+			posCount++
+		}
+	}
+	return float64(posCount) / float64(len(best))
+}
+
+// Predict implements Classifier.
+func (k *KNN) Predict(features []float64) bool { return k.Prob(features) >= 0.5 }
+
+func hamming(a, b []float64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	d := 0
+	for i := 0; i < n; i++ {
+		if (a[i] != 0) != (b[i] != 0) {
+			d++
+		}
+	}
+	d += len(a) - n + len(b) - n
+	return d
+}

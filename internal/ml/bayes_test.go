@@ -1,0 +1,122 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNaiveBayesLearns(t *testing.T) {
+	d := synthDataset(300, 21)
+	acc := accuracy(t, &NaiveBayes{}, d)
+	if acc < 0.9 {
+		t.Errorf("NB training accuracy = %.3f", acc)
+	}
+}
+
+func TestNaiveBayesProbBounds(t *testing.T) {
+	d := synthDataset(150, 22)
+	nb := &NaiveBayes{}
+	if err := nb.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range d.Instances {
+		p := nb.Prob(in.Features)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("prob = %v", p)
+		}
+	}
+}
+
+func TestNaiveBayesSingleClass(t *testing.T) {
+	d := &Dataset{}
+	for i := 0; i < 10; i++ {
+		d.Instances = append(d.Instances, NewInstance([]bool{i%2 == 0}, true))
+	}
+	nb := &NaiveBayes{}
+	if err := nb.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	if !nb.Predict([]float64{1}) {
+		t.Error("single-class NB should predict the only class")
+	}
+}
+
+func TestKNNLearns(t *testing.T) {
+	d := synthDataset(300, 23)
+	acc := accuracy(t, &KNN{K: 3}, d)
+	if acc < 0.85 {
+		t.Errorf("KNN training accuracy = %.3f", acc)
+	}
+}
+
+func TestKNNExactMatchDominates(t *testing.T) {
+	d := &Dataset{Instances: []Instance{
+		NewInstance([]bool{true, false, false}, true),
+		NewInstance([]bool{false, true, true}, false),
+		NewInstance([]bool{false, true, false}, false),
+		NewInstance([]bool{false, false, true}, false),
+	}}
+	k := &KNN{K: 1}
+	if err := k.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Predict([]float64{1, 0, 0}) {
+		t.Error("exact positive neighbour should win with K=1")
+	}
+	if k.Predict([]float64{0, 1, 1}) {
+		t.Error("exact negative neighbour should win with K=1")
+	}
+}
+
+func TestKNNUntrained(t *testing.T) {
+	k := &KNN{}
+	if p := k.Prob([]float64{1}); p != 0.5 {
+		t.Errorf("untrained prob = %v, want 0.5", p)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want int
+	}{
+		{[]float64{1, 0, 1}, []float64{1, 0, 1}, 0},
+		{[]float64{1, 0, 1}, []float64{0, 0, 1}, 1},
+		{[]float64{1, 1}, []float64{0, 0}, 2},
+		{[]float64{1, 0, 1}, []float64{1}, 2}, // length mismatch counted
+	}
+	for i, c := range cases {
+		if got := hamming(c.a, c.b); got != c.want {
+			t.Errorf("case %d: hamming = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestNewClassifiersDeterministic(t *testing.T) {
+	d := synthDataset(150, 24)
+	for _, mk := range []func() Classifier{
+		func() Classifier { return &NaiveBayes{} },
+		func() Classifier { return &KNN{K: 3} },
+	} {
+		a, b := mk(), mk()
+		if err := a.Train(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Train(d); err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range d.Instances {
+			if a.Predict(in.Features) != b.Predict(in.Features) {
+				t.Fatalf("%s nondeterministic", a.Name())
+			}
+		}
+	}
+}
+
+func TestNewClassifiersRejectEmpty(t *testing.T) {
+	for _, c := range []Classifier{&NaiveBayes{}, &KNN{}} {
+		if err := c.Train(&Dataset{}); err == nil {
+			t.Errorf("%s: want error on empty set", c.Name())
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomForest is a bagged ensemble of random-subspace decision trees — the
+// "Random Forest" classifier that replaces Random Tree in the paper's new
+// top 3 (Section III-B1).
+type RandomForest struct {
+	// Trees is the ensemble size (default 60, mirroring WEKA-era defaults
+	// scaled to the small data set).
+	Trees int
+	// MaxDepth bounds each tree (default 12).
+	MaxDepth int
+	// Seed drives bootstrap sampling and feature sampling.
+	Seed int64
+
+	members []*DecisionTree
+}
+
+var _ Classifier = (*RandomForest)(nil)
+var _ Prober = (*RandomForest)(nil)
+
+// Name implements Classifier.
+func (rf *RandomForest) Name() string { return "Random Forest" }
+
+// Train implements Classifier.
+func (rf *RandomForest) Train(d *Dataset) error {
+	if err := validateTrain(d); err != nil {
+		return err
+	}
+	if rf.Trees == 0 {
+		rf.Trees = 60
+	}
+	if rf.MaxDepth == 0 {
+		rf.MaxDepth = 12
+	}
+	rng := rand.New(rand.NewSource(rf.Seed + 11))
+	k := int(math.Ceil(math.Sqrt(float64(d.NumFeatures()))))
+	rf.members = make([]*DecisionTree, 0, rf.Trees)
+	for i := 0; i < rf.Trees; i++ {
+		t := &DecisionTree{
+			MaxDepth:      rf.MaxDepth,
+			FeatureSample: k,
+			Seed:          rf.Seed + int64(i)*101,
+		}
+		if err := t.TrainBootstrap(d, rng); err != nil {
+			return err
+		}
+		rf.members = append(rf.members, t)
+	}
+	return nil
+}
+
+// Prob implements Prober: the mean of member probabilities.
+func (rf *RandomForest) Prob(features []float64) float64 {
+	if len(rf.members) == 0 {
+		return 0.5
+	}
+	sum := 0.0
+	for _, t := range rf.members {
+		sum += t.Prob(features)
+	}
+	return sum / float64(len(rf.members))
+}
+
+// Predict implements Classifier.
+func (rf *RandomForest) Predict(features []float64) bool {
+	return rf.Prob(features) >= 0.5
+}
+
+// Ensemble combines classifiers by majority vote — WAP "uses a combination
+// of 3 classifiers" to decide whether a candidate is a false positive.
+type Ensemble struct {
+	Members []Classifier
+}
+
+var _ Classifier = (*Ensemble)(nil)
+
+// NewTop3 returns the paper's new top-3 ensemble: SVM, Logistic Regression
+// and Random Forest (Section III-B1), deterministic under seed.
+func NewTop3(seed int64) *Ensemble {
+	return &Ensemble{Members: []Classifier{
+		&SVM{Seed: seed},
+		&LogisticRegression{},
+		&RandomForest{Seed: seed},
+	}}
+}
+
+// NewOriginalTop3 returns WAP v2.1's ensemble: Logistic Regression, Random
+// Tree and SVM (Section II).
+func NewOriginalTop3(numFeatures int, seed int64) *Ensemble {
+	return &Ensemble{Members: []Classifier{
+		&LogisticRegression{},
+		NewRandomTree(numFeatures, seed),
+		&SVM{Seed: seed},
+	}}
+}
+
+// Name implements Classifier.
+func (e *Ensemble) Name() string { return "Top-3 Ensemble" }
+
+// Train implements Classifier.
+func (e *Ensemble) Train(d *Dataset) error {
+	for _, m := range e.Members {
+		if err := m.Train(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier by majority vote.
+func (e *Ensemble) Predict(features []float64) bool {
+	votes := 0
+	for _, m := range e.Members {
+		if m.Predict(features) {
+			votes++
+		}
+	}
+	return votes*2 > len(e.Members)
+}
+
+// Votes returns the per-member predictions, for explanation output.
+func (e *Ensemble) Votes(features []float64) []bool {
+	out := make([]bool, len(e.Members))
+	for i, m := range e.Members {
+		out[i] = m.Predict(features)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ConfusionMatrix follows the paper's Table III convention: the positive
+// class is "Yes (FP)" — predicting that a candidate vulnerability is a false
+// positive.
+//
+//	TP: predicted FP, observed FP
+//	FP: predicted FP, observed real vulnerability (a missed vulnerability!)
+//	FN: predicted not-FP, observed FP
+//	TN: predicted not-FP, observed real vulnerability
+type ConfusionMatrix struct {
+	TP, FP, FN, TN int
+}
+
+// Add records one prediction.
+func (c *ConfusionMatrix) Add(predicted, observed bool) {
+	switch {
+	case predicted && observed:
+		c.TP++
+	case predicted && !observed:
+		c.FP++
+	case !predicted && observed:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// N returns the total number of observations.
+func (c *ConfusionMatrix) N() int { return c.TP + c.FP + c.FN + c.TN }
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Metrics are the nine evaluation measures of Table II.
+type Metrics struct {
+	// TPP (recall): tp / (tp + fn) — rate of false positives predicted
+	// correctly (goal 1).
+	TPP float64
+	// PFP (fallout): fp / (tn + fp) — rate of real vulnerabilities wrongly
+	// classified as false positives (goal 2; these are missed
+	// vulnerabilities).
+	PFP float64
+	// PRFP (positive precision): tp / (tp + fp).
+	PRFP float64
+	// PD (specificity): tn / (tn + fp).
+	PD float64
+	// PPD (inverse precision): tn / (tn + fn).
+	PPD float64
+	// ACC (accuracy): (tp + tn) / N.
+	ACC float64
+	// PR (precision): (prfp + ppd) / 2.
+	PR float64
+	// Inform (informedness): tpp + pd - 1 = tpp - pfp.
+	Inform float64
+	// Jacc (Jaccard): tp / (tp + fn + fp).
+	Jacc float64
+}
+
+// Compute derives the Table II metrics from the confusion matrix.
+func (c *ConfusionMatrix) Compute() Metrics {
+	m := Metrics{
+		TPP:  ratio(c.TP, c.TP+c.FN),
+		PFP:  ratio(c.FP, c.TN+c.FP),
+		PRFP: ratio(c.TP, c.TP+c.FP),
+		PD:   ratio(c.TN, c.TN+c.FP),
+		PPD:  ratio(c.TN, c.TN+c.FN),
+		ACC:  ratio(c.TP+c.TN, c.N()),
+		Jacc: ratio(c.TP, c.TP+c.FN+c.FP),
+	}
+	m.PR = (m.PRFP + m.PPD) / 2
+	m.Inform = m.TPP + m.PD - 1
+	return m
+}
+
+// String renders the matrix in Table III layout.
+func (c *ConfusionMatrix) String() string {
+	return fmt.Sprintf("[yes: tp=%d fp=%d | no: fn=%d tn=%d]", c.TP, c.FP, c.FN, c.TN)
+}
+
+// errNotProber reports a classifier without probability output where one is
+// required.
+var errNotProber = fmt.Errorf("ml: classifier does not produce probabilities")
+
+// stratifiedFolds deals instance indices into k folds, preserving the class
+// ratio in each fold. Deterministic under seed.
+func stratifiedFolds(d *Dataset, k int, seed int64) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("ml: k-fold requires k >= 2, got %d", k)
+	}
+	if d.Len() < k {
+		return nil, fmt.Errorf("ml: %d instances cannot fill %d folds", d.Len(), k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var pos, neg []int
+	for i, in := range d.Instances {
+		if in.Label {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+
+	folds := make([][]int, k)
+	deal := func(idx []int) {
+		for i, v := range idx {
+			folds[i%k] = append(folds[i%k], v)
+		}
+	}
+	deal(pos)
+	deal(neg)
+	return folds, nil
+}
+
+// CrossValidate runs stratified k-fold cross-validation of the classifier
+// built by factory, returning the aggregated confusion matrix. The factory
+// is invoked once per fold so no state leaks between folds. Deterministic
+// under seed.
+func CrossValidate(factory func() Classifier, d *Dataset, k int, seed int64) (ConfusionMatrix, error) {
+	var cm ConfusionMatrix
+	folds, err := stratifiedFolds(d, k, seed)
+	if err != nil {
+		return cm, err
+	}
+	for fi := 0; fi < k; fi++ {
+		inTest := make(map[int]bool, len(folds[fi]))
+		for _, i := range folds[fi] {
+			inTest[i] = true
+		}
+		train := &Dataset{AttrNames: d.AttrNames}
+		for i, in := range d.Instances {
+			if !inTest[i] {
+				train.Instances = append(train.Instances, in)
+			}
+		}
+		c := factory()
+		if err := c.Train(train); err != nil {
+			return cm, fmt.Errorf("ml: fold %d: %w", fi, err)
+		}
+		for _, i := range folds[fi] {
+			cm.Add(c.Predict(d.Instances[i].Features), d.Instances[i].Label)
+		}
+	}
+	return cm, nil
+}
+
+// Evaluate trains on train and evaluates on test, returning the matrix.
+func Evaluate(c Classifier, train, test *Dataset) (ConfusionMatrix, error) {
+	var cm ConfusionMatrix
+	if err := c.Train(train); err != nil {
+		return cm, err
+	}
+	for _, in := range test.Instances {
+		cm.Add(c.Predict(in.Features), in.Label)
+	}
+	return cm, nil
+}

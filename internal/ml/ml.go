@@ -1,0 +1,113 @@
+// Package ml implements the machine-learning substrate of WAP's false
+// positive predictor: the classifiers evaluated in the paper (Support Vector
+// Machine, Logistic Regression, Random Tree and Random Forest), the metric
+// suite of Table II, confusion matrices, and stratified cross-validation —
+// the parts of WEKA the tool depends on, re-implemented in Go.
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Instance is one training/evaluation example: a binary attribute vector
+// encoded as float64 features plus a boolean label. Label true means class
+// "Yes (FP)" — the candidate vulnerability is a false positive.
+type Instance struct {
+	Features []float64
+	Label    bool
+}
+
+// NewInstance builds an instance from a boolean attribute vector.
+func NewInstance(attrs []bool, label bool) Instance {
+	f := make([]float64, len(attrs))
+	for i, a := range attrs {
+		if a {
+			f[i] = 1
+		}
+	}
+	return Instance{Features: f, Label: label}
+}
+
+// Dataset is an ordered collection of instances sharing a feature layout.
+type Dataset struct {
+	Instances []Instance
+	// AttrNames optionally names each feature column.
+	AttrNames []string
+}
+
+// NumFeatures returns the feature dimensionality (0 when empty).
+func (d *Dataset) NumFeatures() int {
+	if len(d.Instances) == 0 {
+		return 0
+	}
+	return len(d.Instances[0].Features)
+}
+
+// Len returns the number of instances.
+func (d *Dataset) Len() int { return len(d.Instances) }
+
+// CountLabels returns (positives, negatives).
+func (d *Dataset) CountLabels() (pos, neg int) {
+	for _, in := range d.Instances {
+		if in.Label {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	return pos, neg
+}
+
+// Clone deep-copies the dataset.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{
+		Instances: make([]Instance, len(d.Instances)),
+		AttrNames: append([]string(nil), d.AttrNames...),
+	}
+	for i, in := range d.Instances {
+		out.Instances[i] = Instance{
+			Features: append([]float64(nil), in.Features...),
+			Label:    in.Label,
+		}
+	}
+	return out
+}
+
+// Shuffle permutes instances with the given RNG.
+func (d *Dataset) Shuffle(rng *rand.Rand) {
+	rng.Shuffle(len(d.Instances), func(i, j int) {
+		d.Instances[i], d.Instances[j] = d.Instances[j], d.Instances[i]
+	})
+}
+
+// Classifier is a trainable binary classifier.
+type Classifier interface {
+	// Name returns the classifier's display name.
+	Name() string
+	// Train fits the model to the dataset.
+	Train(d *Dataset) error
+	// Predict returns the predicted label for the features.
+	Predict(features []float64) bool
+}
+
+// Prober is implemented by classifiers that produce a probability for the
+// positive class.
+type Prober interface {
+	// Prob returns P(label=true | features) in [0, 1].
+	Prob(features []float64) float64
+}
+
+// validateTrain rejects degenerate training sets.
+func validateTrain(d *Dataset) error {
+	if d == nil || d.Len() == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	n := d.NumFeatures()
+	for i, in := range d.Instances {
+		if len(in.Features) != n {
+			return fmt.Errorf("ml: instance %d has %d features, want %d", i, len(in.Features), n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,312 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthDataset builds a learnable dataset: label = f1 OR (f2 AND f3), with
+// noise-free binary features.
+func synthDataset(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		attrs := make([]bool, 8)
+		for j := range attrs {
+			attrs[j] = rng.Intn(2) == 1
+		}
+		label := attrs[1] || (attrs[2] && attrs[3])
+		d.Instances = append(d.Instances, NewInstance(attrs, label))
+	}
+	return d
+}
+
+// linsepDataset builds a linearly separable dataset: label = (x0+x1 > x2+x3).
+func linsepDataset(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		f := make([]float64, 4)
+		for j := range f {
+			f[j] = rng.Float64()
+		}
+		label := f[0]+f[1] > f[2]+f[3]+0.1 // margin keeps it separable
+		if !label && f[0]+f[1] > f[2]+f[3] {
+			continue // drop ambiguous band
+		}
+		d.Instances = append(d.Instances, Instance{Features: f, Label: label})
+	}
+	return d
+}
+
+func accuracy(t *testing.T, c Classifier, d *Dataset) float64 {
+	t.Helper()
+	if err := c.Train(d); err != nil {
+		t.Fatalf("%s train: %v", c.Name(), err)
+	}
+	correct := 0
+	for _, in := range d.Instances {
+		if c.Predict(in.Features) == in.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+func TestLogisticLearnsLinear(t *testing.T) {
+	d := linsepDataset(300, 1)
+	acc := accuracy(t, &LogisticRegression{}, d)
+	if acc < 0.95 {
+		t.Errorf("logistic training accuracy = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestSVMLearnsLinear(t *testing.T) {
+	d := linsepDataset(300, 2)
+	acc := accuracy(t, &SVM{Seed: 42}, d)
+	if acc < 0.95 {
+		t.Errorf("svm training accuracy = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestTreeLearnsBoolean(t *testing.T) {
+	d := synthDataset(200, 3)
+	acc := accuracy(t, &DecisionTree{}, d)
+	if acc < 0.99 {
+		t.Errorf("tree training accuracy = %.3f, want >= 0.99", acc)
+	}
+}
+
+func TestRandomTreeLearnsBoolean(t *testing.T) {
+	d := synthDataset(300, 4)
+	acc := accuracy(t, NewRandomTree(8, 5), d)
+	if acc < 0.9 {
+		t.Errorf("random tree training accuracy = %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestForestLearnsBoolean(t *testing.T) {
+	d := synthDataset(300, 5)
+	acc := accuracy(t, &RandomForest{Seed: 9}, d)
+	if acc < 0.97 {
+		t.Errorf("forest training accuracy = %.3f, want >= 0.97", acc)
+	}
+}
+
+func TestEnsembleMajority(t *testing.T) {
+	d := synthDataset(300, 6)
+	e := NewTop3(17)
+	acc := accuracy(t, e, d)
+	if acc < 0.95 {
+		t.Errorf("ensemble training accuracy = %.3f, want >= 0.95", acc)
+	}
+	votes := e.Votes(d.Instances[0].Features)
+	if len(votes) != 3 {
+		t.Errorf("votes = %v", votes)
+	}
+}
+
+func TestTrainEmptyDataset(t *testing.T) {
+	for _, c := range []Classifier{
+		&LogisticRegression{}, &SVM{}, &DecisionTree{}, &RandomForest{},
+	} {
+		if err := c.Train(&Dataset{}); err == nil {
+			t.Errorf("%s: want error on empty training set", c.Name())
+		}
+	}
+}
+
+func TestTrainRaggedDataset(t *testing.T) {
+	d := &Dataset{Instances: []Instance{
+		{Features: []float64{1, 0}, Label: true},
+		{Features: []float64{1}, Label: false},
+	}}
+	if err := (&LogisticRegression{}).Train(d); err == nil {
+		t.Error("want error on ragged features")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d := synthDataset(200, 7)
+	for _, mk := range []func() Classifier{
+		func() Classifier { return &SVM{Seed: 3} },
+		func() Classifier { return &RandomForest{Seed: 3, Trees: 15} },
+		func() Classifier { return NewRandomTree(8, 3) },
+		func() Classifier { return &LogisticRegression{} },
+	} {
+		a, b := mk(), mk()
+		if err := a.Train(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Train(d); err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range d.Instances {
+			if a.Predict(in.Features) != b.Predict(in.Features) {
+				t.Errorf("%s: nondeterministic prediction", a.Name())
+				break
+			}
+		}
+	}
+}
+
+func TestConfusionMatrixCounts(t *testing.T) {
+	var cm ConfusionMatrix
+	cm.Add(true, true)   // tp
+	cm.Add(true, true)   // tp
+	cm.Add(true, false)  // fp
+	cm.Add(false, true)  // fn
+	cm.Add(false, false) // tn
+	cm.Add(false, false) // tn
+	cm.Add(false, false) // tn
+	if cm.TP != 2 || cm.FP != 1 || cm.FN != 1 || cm.TN != 3 {
+		t.Fatalf("matrix = %+v", cm)
+	}
+	m := cm.Compute()
+	if got, want := m.TPP, 2.0/3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("tpp = %v, want %v", got, want)
+	}
+	if got, want := m.PFP, 1.0/4; math.Abs(got-want) > 1e-12 {
+		t.Errorf("pfp = %v, want %v", got, want)
+	}
+	if got, want := m.ACC, 5.0/7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("acc = %v, want %v", got, want)
+	}
+	if got, want := m.Jacc, 2.0/4; math.Abs(got-want) > 1e-12 {
+		t.Errorf("jacc = %v, want %v", got, want)
+	}
+}
+
+// Property: Table II identities hold for any matrix — inform = tpp - pfp and
+// pr is the mean of prfp and ppd; all metrics are within [0, 1] (inform may
+// be negative down to -1).
+func TestMetricsIdentitiesQuick(t *testing.T) {
+	f := func(tp, fp, fn, tn uint8) bool {
+		cm := ConfusionMatrix{TP: int(tp), FP: int(fp), FN: int(fn), TN: int(tn)}
+		m := cm.Compute()
+		if math.Abs(m.Inform-(m.TPP+m.PD-1)) > 1e-9 {
+			return false
+		}
+		if math.Abs(m.PR-(m.PRFP+m.PPD)/2) > 1e-9 {
+			return false
+		}
+		for _, v := range []float64{m.TPP, m.PFP, m.PRFP, m.PD, m.PPD, m.ACC, m.PR, m.Jacc} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return m.Inform >= -1 && m.Inform <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossValidateStratified(t *testing.T) {
+	d := synthDataset(200, 8)
+	cm, err := CrossValidate(func() Classifier { return &LogisticRegression{} }, d, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.N() != d.Len() {
+		t.Errorf("cv predictions = %d, want %d", cm.N(), d.Len())
+	}
+	m := cm.Compute()
+	if m.ACC < 0.9 {
+		t.Errorf("cv accuracy = %.3f, want >= 0.9", m.ACC)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	d := synthDataset(5, 9)
+	if _, err := CrossValidate(func() Classifier { return &LogisticRegression{} }, d, 1, 0); err == nil {
+		t.Error("want error for k < 2")
+	}
+	if _, err := CrossValidate(func() Classifier { return &LogisticRegression{} }, d, 10, 0); err == nil {
+		t.Error("want error for k > n")
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	d := synthDataset(120, 10)
+	mk := func() Classifier { return &SVM{Seed: 5} }
+	a, err := CrossValidate(mk, d, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(mk, d, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("cv not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestEvaluateHoldout(t *testing.T) {
+	train := synthDataset(200, 11)
+	test := synthDataset(80, 12)
+	cm, err := Evaluate(&RandomForest{Seed: 1, Trees: 25}, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.N() != test.Len() {
+		t.Errorf("N = %d, want %d", cm.N(), test.Len())
+	}
+	if cm.Compute().ACC < 0.9 {
+		t.Errorf("holdout acc = %.3f", cm.Compute().ACC)
+	}
+}
+
+func TestProbCalibrationBounds(t *testing.T) {
+	d := synthDataset(150, 13)
+	for _, p := range []Prober{&LogisticRegression{}, &SVM{Seed: 2}, &RandomForest{Seed: 2, Trees: 10}} {
+		c := p.(Classifier)
+		if err := c.Train(d); err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range d.Instances {
+			v := p.Prob(in.Features)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Errorf("%s prob out of range: %v", c.Name(), v)
+			}
+		}
+	}
+}
+
+func TestDatasetHelpers(t *testing.T) {
+	d := synthDataset(50, 14)
+	pos, neg := d.CountLabels()
+	if pos+neg != 50 {
+		t.Errorf("counts = %d + %d", pos, neg)
+	}
+	c := d.Clone()
+	c.Instances[0].Features[0] = 42
+	if d.Instances[0].Features[0] == 42 {
+		t.Error("clone shares feature storage")
+	}
+	rng := rand.New(rand.NewSource(1))
+	c.Shuffle(rng)
+	if c.Len() != d.Len() {
+		t.Error("shuffle changed length")
+	}
+}
+
+// Property: a single-class training set yields a constant classifier for
+// trees (no split possible) without error.
+func TestSingleClassTraining(t *testing.T) {
+	d := &Dataset{}
+	for i := 0; i < 20; i++ {
+		d.Instances = append(d.Instances, NewInstance([]bool{i%2 == 0, i%3 == 0}, true))
+	}
+	for _, c := range []Classifier{&DecisionTree{}, &RandomForest{Seed: 1, Trees: 5}, &LogisticRegression{}, &SVM{Seed: 1}} {
+		if err := c.Train(d); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if !c.Predict(d.Instances[0].Features) {
+			t.Errorf("%s: single-class set should predict true", c.Name())
+		}
+	}
+}

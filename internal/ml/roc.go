@@ -1,0 +1,127 @@
+package ml
+
+import "sort"
+
+// ROCPoint is one point of a receiver operating characteristic curve.
+type ROCPoint struct {
+	// FPR is the false positive rate (x axis).
+	FPR float64
+	// TPR is the true positive rate (y axis).
+	TPR float64
+	// Threshold is the probability cut producing this point.
+	Threshold float64
+}
+
+// ROC computes the ROC curve of a probabilistic classifier over a dataset:
+// each distinct predicted probability becomes a threshold. The curve is
+// returned in increasing-FPR order, starting at (0,0) and ending at (1,1).
+func ROC(p Prober, d *Dataset) []ROCPoint {
+	type scored struct {
+		prob  float64
+		label bool
+	}
+	items := make([]scored, 0, d.Len())
+	pos, neg := 0, 0
+	for _, in := range d.Instances {
+		items = append(items, scored{prob: p.Prob(in.Features), label: in.Label})
+		if in.Label {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return []ROCPoint{{FPR: 0, TPR: 0, Threshold: 1}, {FPR: 1, TPR: 1, Threshold: 0}}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].prob > items[j].prob })
+
+	curve := []ROCPoint{{FPR: 0, TPR: 0, Threshold: 1.0000001}}
+	tp, fp := 0, 0
+	for i := 0; i < len(items); {
+		// Consume ties together so the curve is well defined.
+		thr := items[i].prob
+		for i < len(items) && items[i].prob == thr {
+			if items[i].label {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		curve = append(curve, ROCPoint{
+			FPR:       float64(fp) / float64(neg),
+			TPR:       float64(tp) / float64(pos),
+			Threshold: thr,
+		})
+	}
+	last := curve[len(curve)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		curve = append(curve, ROCPoint{FPR: 1, TPR: 1, Threshold: 0})
+	}
+	return curve
+}
+
+// AUC computes the area under the ROC curve by trapezoidal integration.
+func AUC(p Prober, d *Dataset) float64 {
+	curve := ROC(p, d)
+	area := 0.0
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}
+
+// CrossValidatedAUC computes AUC with k-fold cross-validation: each fold's
+// test probabilities come from a model trained on the other folds. The
+// factory must return a Prober.
+func CrossValidatedAUC(factory func() Classifier, d *Dataset, k int, seed int64) (float64, error) {
+	// Reuse CrossValidate's stratified folding by evaluating per-fold and
+	// pooling the scored instances.
+	folds, err := stratifiedFolds(d, k, seed)
+	if err != nil {
+		return 0, err
+	}
+	pooled := &Dataset{}
+	var probs []float64
+	for fi := range folds {
+		inTest := make(map[int]bool, len(folds[fi]))
+		for _, i := range folds[fi] {
+			inTest[i] = true
+		}
+		train := &Dataset{}
+		for i, in := range d.Instances {
+			if !inTest[i] {
+				train.Instances = append(train.Instances, in)
+			}
+		}
+		c := factory()
+		p, ok := c.(Prober)
+		if !ok {
+			return 0, errNotProber
+		}
+		if err := c.Train(train); err != nil {
+			return 0, err
+		}
+		for _, i := range folds[fi] {
+			pooled.Instances = append(pooled.Instances, d.Instances[i])
+			probs = append(probs, p.Prob(d.Instances[i].Features))
+		}
+	}
+	frozen := &frozenProber{probs: probs}
+	return AUC(frozen, pooled), nil
+}
+
+// frozenProber replays precomputed probabilities in instance order; it lets
+// AUC pool out-of-fold predictions.
+type frozenProber struct {
+	probs []float64
+	next  int
+}
+
+// Prob implements Prober by replaying the recorded sequence.
+func (f *frozenProber) Prob([]float64) float64 {
+	p := f.probs[f.next%len(f.probs)]
+	f.next++
+	return p
+}

@@ -1,0 +1,147 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// perfectProber scores positives 0.9 and negatives 0.1.
+type labelledProber struct{ d *Dataset }
+
+func (p *labelledProber) Prob(features []float64) float64 {
+	for _, in := range p.d.Instances {
+		same := true
+		for j := range in.Features {
+			if j >= len(features) || in.Features[j] != features[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			if in.Label {
+				return 0.9
+			}
+			return 0.1
+		}
+	}
+	return 0.5
+}
+
+func TestAUCPerfectClassifier(t *testing.T) {
+	d := &Dataset{Instances: []Instance{
+		NewInstance([]bool{true, false}, true),
+		NewInstance([]bool{false, true}, false),
+		NewInstance([]bool{true, true}, true),
+		NewInstance([]bool{false, false}, false),
+	}}
+	auc := AUC(&labelledProber{d: d}, d)
+	if math.Abs(auc-1.0) > 1e-9 {
+		t.Errorf("perfect AUC = %v, want 1", auc)
+	}
+}
+
+// constProber returns the same probability for everything: AUC must be 0.5.
+type constProber struct{}
+
+func (constProber) Prob([]float64) float64 { return 0.7 }
+
+func TestAUCUninformativeClassifier(t *testing.T) {
+	d := synthDataset(100, 31)
+	auc := AUC(constProber{}, d)
+	if math.Abs(auc-0.5) > 1e-9 {
+		t.Errorf("constant-prob AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	d := synthDataset(200, 32)
+	lr := &LogisticRegression{}
+	if err := lr.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	curve := ROC(lr, d)
+	if curve[0].FPR != 0 || curve[0].TPR != 0 {
+		t.Errorf("curve start = %+v", curve[0])
+	}
+	last := curve[len(curve)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("curve end = %+v", last)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR {
+			t.Fatalf("curve not monotone at %d: %+v -> %+v", i, curve[i-1], curve[i])
+		}
+	}
+}
+
+func TestAUCTrainedBeatsChance(t *testing.T) {
+	d := synthDataset(300, 33)
+	for _, p := range []Prober{&LogisticRegression{}, &SVM{Seed: 1}, &RandomForest{Seed: 1, Trees: 25}, &NaiveBayes{}} {
+		c := p.(Classifier)
+		if err := c.Train(d); err != nil {
+			t.Fatal(err)
+		}
+		auc := AUC(p, d)
+		if auc < 0.9 {
+			t.Errorf("%s AUC = %.3f, want >= 0.9", c.Name(), auc)
+		}
+	}
+}
+
+func TestAUCSingleClass(t *testing.T) {
+	d := &Dataset{Instances: []Instance{
+		NewInstance([]bool{true}, true),
+		NewInstance([]bool{false}, true),
+	}}
+	auc := AUC(constProber{}, d)
+	if math.Abs(auc-0.5) > 1e-9 {
+		t.Errorf("degenerate AUC = %v", auc)
+	}
+}
+
+func TestCrossValidatedAUC(t *testing.T) {
+	d := synthDataset(200, 34)
+	auc, err := CrossValidatedAUC(func() Classifier { return &LogisticRegression{} }, d, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.9 || auc > 1 {
+		t.Errorf("cv AUC = %.3f", auc)
+	}
+	// Errors propagate.
+	if _, err := CrossValidatedAUC(func() Classifier { return &LogisticRegression{} }, d, 1, 1); err == nil {
+		t.Error("want k-fold error")
+	}
+}
+
+// nonProber is a Classifier without probabilities.
+type nonProber struct{}
+
+func (nonProber) Name() string           { return "np" }
+func (nonProber) Train(*Dataset) error   { return nil }
+func (nonProber) Predict([]float64) bool { return false }
+
+func TestCrossValidatedAUCNeedsProber(t *testing.T) {
+	d := synthDataset(50, 35)
+	if _, err := CrossValidatedAUC(func() Classifier { return nonProber{} }, d, 5, 1); err == nil {
+		t.Error("want errNotProber")
+	}
+}
+
+// Property: AUC is always within [0, 1] for arbitrary probability
+// assignments.
+func TestAUCBoundsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		d := synthDataset(60, seed)
+		lr := &LogisticRegression{Epochs: 5}
+		if err := lr.Train(d); err != nil {
+			return false
+		}
+		auc := AUC(lr, d)
+		return auc >= 0 && auc <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SVM is a linear support vector machine trained with the Pegasos
+// stochastic sub-gradient algorithm (hinge loss, L2 regularization) — the
+// "SVM" entry of the paper's top-3 ensemble. Binary attribute vectors are
+// linearly separable enough that a linear kernel matches WEKA's SMO default
+// behaviour on this data.
+type SVM struct {
+	// Lambda is the regularization parameter (default 1e-3).
+	Lambda float64
+	// Epochs is the number of passes over the data (default 200).
+	Epochs int
+	// Seed drives the sampling order for determinism.
+	Seed int64
+
+	weights []float64
+	bias    float64
+}
+
+var _ Classifier = (*SVM)(nil)
+var _ Prober = (*SVM)(nil)
+
+// Name implements Classifier.
+func (s *SVM) Name() string { return "SVM" }
+
+// Train implements Classifier.
+func (s *SVM) Train(d *Dataset) error {
+	if err := validateTrain(d); err != nil {
+		return err
+	}
+	if s.Lambda == 0 {
+		s.Lambda = 1e-3
+	}
+	if s.Epochs == 0 {
+		s.Epochs = 200
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 1))
+	n := d.NumFeatures()
+	m := d.Len()
+	s.weights = make([]float64, n)
+	s.bias = 0
+
+	t := 0
+	for epoch := 0; epoch < s.Epochs; epoch++ {
+		for i := 0; i < m; i++ {
+			t++
+			in := d.Instances[rng.Intn(m)]
+			y := -1.0
+			if in.Label {
+				y = 1
+			}
+			eta := 1 / (s.Lambda * float64(t))
+			margin := y * s.decision(in.Features)
+			// Regularization shrink.
+			for j := range s.weights {
+				s.weights[j] *= 1 - eta*s.Lambda
+			}
+			if margin < 1 {
+				for j, x := range in.Features {
+					s.weights[j] += eta * y * x
+				}
+				s.bias += eta * y
+			}
+		}
+	}
+	return nil
+}
+
+func (s *SVM) decision(features []float64) float64 {
+	z := s.bias
+	for j, w := range s.weights {
+		if j < len(features) {
+			z += w * features[j]
+		}
+	}
+	return z
+}
+
+// Predict implements Classifier.
+func (s *SVM) Predict(features []float64) bool { return s.decision(features) >= 0 }
+
+// Prob implements Prober via a logistic squashing of the margin (Platt-style
+// with fixed scale; adequate for ensemble voting and ranking).
+func (s *SVM) Prob(features []float64) float64 {
+	return 1 / (1 + math.Exp(-2*s.decision(features)))
+}

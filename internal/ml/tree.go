@@ -1,0 +1,251 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// treeNode is a binary decision-tree node splitting on feature <= threshold.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode // feature <= threshold
+	right     *treeNode
+	leaf      bool
+	prob      float64 // P(label=true) at a leaf
+}
+
+// DecisionTree is a CART-style tree with Gini impurity — the building block
+// for Random Tree and Random Forest.
+type DecisionTree struct {
+	// MaxDepth bounds tree depth (default 12).
+	MaxDepth int
+	// MinLeaf is the minimum instances per leaf (default 1).
+	MinLeaf int
+	// FeatureSample is the number of random features considered per split;
+	// 0 considers all (plain CART), sqrt(n) gives a Random Tree.
+	FeatureSample int
+	// Seed drives feature sampling.
+	Seed int64
+
+	root *treeNode
+	rng  *rand.Rand
+}
+
+var _ Classifier = (*DecisionTree)(nil)
+var _ Prober = (*DecisionTree)(nil)
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string {
+	if t.FeatureSample > 0 {
+		return "Random Tree"
+	}
+	return "Decision Tree"
+}
+
+// Train implements Classifier.
+func (t *DecisionTree) Train(d *Dataset) error {
+	if err := validateTrain(d); err != nil {
+		return err
+	}
+	if t.MaxDepth == 0 {
+		t.MaxDepth = 12
+	}
+	if t.MinLeaf == 0 {
+		t.MinLeaf = 1
+	}
+	t.rng = rand.New(rand.NewSource(t.Seed + 7))
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(d, idx, 0)
+	return nil
+}
+
+// TrainBootstrap fits the tree on a bootstrap sample drawn with rng — used
+// by RandomForest bagging.
+func (t *DecisionTree) TrainBootstrap(d *Dataset, rng *rand.Rand) error {
+	if err := validateTrain(d); err != nil {
+		return err
+	}
+	if t.MaxDepth == 0 {
+		t.MaxDepth = 12
+	}
+	if t.MinLeaf == 0 {
+		t.MinLeaf = 1
+	}
+	t.rng = rand.New(rand.NewSource(t.Seed + 7))
+	n := d.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = rng.Intn(n)
+	}
+	t.root = t.build(d, idx, 0)
+	return nil
+}
+
+func labelCounts(d *Dataset, idx []int) (pos, neg int) {
+	for _, i := range idx {
+		if d.Instances[i].Label {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	return pos, neg
+}
+
+func gini(pos, neg int) float64 {
+	n := float64(pos + neg)
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / n
+	return 2 * p * (1 - p)
+}
+
+func (t *DecisionTree) build(d *Dataset, idx []int, depth int) *treeNode {
+	pos, neg := labelCounts(d, idx)
+	total := pos + neg
+	leafProb := 0.5
+	if total > 0 {
+		leafProb = float64(pos) / float64(total)
+	}
+	if depth >= t.MaxDepth || total <= t.MinLeaf || pos == 0 || neg == 0 {
+		return &treeNode{leaf: true, prob: leafProb}
+	}
+
+	nf := d.NumFeatures()
+	features := t.candidateFeatures(nf)
+
+	bestFeature, bestThresh := -1, 0.0
+	bestImpurity := math.Inf(1)
+	parentImpurity := gini(pos, neg)
+
+	for _, f := range features {
+		// Binary features: single threshold at 0.5. For generality gather
+		// distinct values.
+		thresholds := distinctThresholds(d, idx, f)
+		for _, thr := range thresholds {
+			lp, ln, rp, rn := 0, 0, 0, 0
+			for _, i := range idx {
+				if d.Instances[i].Features[f] <= thr {
+					if d.Instances[i].Label {
+						lp++
+					} else {
+						ln++
+					}
+				} else {
+					if d.Instances[i].Label {
+						rp++
+					} else {
+						rn++
+					}
+				}
+			}
+			if lp+ln == 0 || rp+rn == 0 {
+				continue
+			}
+			w := float64(lp+ln)*gini(lp, ln) + float64(rp+rn)*gini(rp, rn)
+			w /= float64(total)
+			if w < bestImpurity {
+				bestImpurity = w
+				bestFeature = f
+				bestThresh = thr
+			}
+		}
+	}
+	if bestFeature < 0 || bestImpurity >= parentImpurity-1e-12 {
+		return &treeNode{leaf: true, prob: leafProb}
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if d.Instances[i].Features[bestFeature] <= bestThresh {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	return &treeNode{
+		feature:   bestFeature,
+		threshold: bestThresh,
+		left:      t.build(d, leftIdx, depth+1),
+		right:     t.build(d, rightIdx, depth+1),
+	}
+}
+
+// candidateFeatures returns the feature indices examined at a split.
+func (t *DecisionTree) candidateFeatures(nf int) []int {
+	if t.FeatureSample <= 0 || t.FeatureSample >= nf {
+		all := make([]int, nf)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	perm := t.rng.Perm(nf)
+	return perm[:t.FeatureSample]
+}
+
+// distinctThresholds returns split thresholds between distinct feature
+// values (midpoints). Binary data yields the single threshold 0.5.
+func distinctThresholds(d *Dataset, idx []int, f int) []float64 {
+	seen := make(map[float64]bool, 4)
+	for _, i := range idx {
+		seen[d.Instances[i].Features[f]] = true
+	}
+	if len(seen) <= 1 {
+		return nil
+	}
+	vals := make([]float64, 0, len(seen))
+	for v := range seen {
+		vals = append(vals, v)
+	}
+	// Insertion sort (tiny sets).
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	out := make([]float64, 0, len(vals)-1)
+	for i := 0; i+1 < len(vals); i++ {
+		out = append(out, (vals[i]+vals[i+1])/2)
+	}
+	return out
+}
+
+// Prob implements Prober.
+func (t *DecisionTree) Prob(features []float64) float64 {
+	n := t.root
+	for n != nil && !n.leaf {
+		if n.feature < len(features) && features[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n == nil {
+		return 0.5
+	}
+	return n.prob
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(features []float64) bool {
+	return t.Prob(features) >= 0.5
+}
+
+// NewRandomTree returns a Random Tree: a decision tree considering
+// ceil(sqrt(n))+1 random features per split (WEKA RandomTree default uses
+// log2(n)+1; sqrt is the common forest variant — both are random subspace
+// trees). numFeatures may be 0 if unknown at construction; the sample size
+// is then fixed at training time.
+func NewRandomTree(numFeatures int, seed int64) *DecisionTree {
+	k := 0
+	if numFeatures > 0 {
+		k = int(math.Ceil(math.Sqrt(float64(numFeatures))))
+	}
+	return &DecisionTree{FeatureSample: k, Seed: seed}
+}

@@ -1,0 +1,991 @@
+// Package ast declares the abstract syntax tree for the PHP subset and the
+// visitor machinery used by the detectors (the paper's "tree walkers").
+package ast
+
+import (
+	"repro/internal/php/token"
+)
+
+// Node is the interface implemented by every AST node.
+type Node interface {
+	// Pos returns the position of the first token of the node.
+	Pos() token.Position
+	// End returns the position one past the node's last token.
+	End() token.Position
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// ---------------------------------------------------------------------------
+// File
+// ---------------------------------------------------------------------------
+
+// File is a parsed PHP source file.
+type File struct {
+	Name  string
+	Stmts []Stmt
+	// Funcs indexes every function declaration in the file (including
+	// methods, keyed by lower-case name; methods as Class::method).
+	Funcs map[string]*FunctionDecl
+	// Classes indexes class declarations by lower-case name.
+	Classes map[string]*ClassDecl
+}
+
+// Pos implements Node.
+func (f *File) Pos() token.Position {
+	if len(f.Stmts) > 0 {
+		return f.Stmts[0].Pos()
+	}
+	return token.Position{File: f.Name, Line: 1, Column: 1}
+}
+
+// End implements Node.
+func (f *File) End() token.Position {
+	if n := len(f.Stmts); n > 0 {
+		return f.Stmts[n-1].End()
+	}
+	return token.Position{File: f.Name, Line: 1, Column: 1}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// InlineHTMLStmt is raw output text between PHP regions.
+type InlineHTMLStmt struct {
+	Text     string
+	Position token.Position
+	EndPos   token.Position
+}
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct {
+	X Expr
+}
+
+// EchoStmt is `echo e1, e2, ...;` (print is parsed as an expression).
+type EchoStmt struct {
+	Args     []Expr
+	Position token.Position
+}
+
+// BlockStmt is `{ ... }`.
+type BlockStmt struct {
+	Stmts    []Stmt
+	Position token.Position
+	EndPos   token.Position
+}
+
+// IfStmt is if/elseif/else. Elifs are nested in Else as IfStmts.
+type IfStmt struct {
+	Cond     Expr
+	Then     *BlockStmt
+	Else     Stmt // *BlockStmt, *IfStmt, or nil
+	Position token.Position
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond     Expr
+	Body     *BlockStmt
+	Position token.Position
+}
+
+// DoWhileStmt is a do { } while (cond); loop.
+type DoWhileStmt struct {
+	Body     *BlockStmt
+	Cond     Expr
+	Position token.Position
+}
+
+// ForStmt is a C-style for loop.
+type ForStmt struct {
+	Init     []Expr
+	Cond     []Expr
+	Post     []Expr
+	Body     *BlockStmt
+	Position token.Position
+}
+
+// ForeachStmt is `foreach (x as $k => $v) body`.
+type ForeachStmt struct {
+	Subject  Expr
+	Key      Expr // nil when no key
+	Value    Expr
+	ByRef    bool
+	Body     *BlockStmt
+	Position token.Position
+}
+
+// SwitchStmt is a switch with cases.
+type SwitchStmt struct {
+	Subject  Expr
+	Cases    []*CaseClause
+	Position token.Position
+	EndPos   token.Position
+}
+
+// CaseClause is one `case expr:` or `default:` clause.
+type CaseClause struct {
+	Cond     Expr // nil for default
+	Body     []Stmt
+	Position token.Position
+}
+
+// BreakStmt is `break [n];`.
+type BreakStmt struct {
+	Position token.Position
+}
+
+// ContinueStmt is `continue [n];`.
+type ContinueStmt struct {
+	Position token.Position
+}
+
+// ReturnStmt is `return [expr];`.
+type ReturnStmt struct {
+	Result   Expr // may be nil
+	Position token.Position
+}
+
+// GlobalStmt is `global $a, $b;`.
+type GlobalStmt struct {
+	Names    []string
+	Position token.Position
+}
+
+// StaticVarStmt is `static $a = init;` inside a function.
+type StaticVarStmt struct {
+	Names    []string
+	Inits    []Expr // parallel to Names; entries may be nil
+	Position token.Position
+}
+
+// UnsetStmt is `unset($a, $b);`.
+type UnsetStmt struct {
+	Args     []Expr
+	Position token.Position
+}
+
+// ThrowStmt is `throw expr;`.
+type ThrowStmt struct {
+	X        Expr
+	Position token.Position
+}
+
+// TryStmt is try/catch/finally.
+type TryStmt struct {
+	Body     *BlockStmt
+	Catches  []*CatchClause
+	Finally  *BlockStmt // may be nil
+	Position token.Position
+}
+
+// CatchClause is one catch block.
+type CatchClause struct {
+	Types    []string
+	Var      string // bound variable name without $; may be ""
+	Body     *BlockStmt
+	Position token.Position
+}
+
+// FunctionDecl declares a function or method.
+type FunctionDecl struct {
+	Name     string // original case
+	Params   []*Param
+	Body     *BlockStmt // nil for abstract/interface methods
+	ByRef    bool
+	Class    *ClassDecl // enclosing class for methods, nil for functions
+	IsStatic bool
+	Position token.Position
+	EndPos   token.Position
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name     string // without $
+	Default  Expr   // may be nil
+	ByRef    bool
+	Variadic bool
+	TypeHint string // raw type text, "" when absent
+	Position token.Position
+}
+
+// ClassDecl declares a class or interface.
+type ClassDecl struct {
+	Name        string
+	Parent      string // extends, "" when absent
+	Interfaces  []string
+	Methods     []*FunctionDecl
+	Props       []*PropertyDecl
+	Consts      []*ConstDecl
+	IsInterface bool
+	Position    token.Position
+	EndPos      token.Position
+}
+
+// PropertyDecl is a class property declaration.
+type PropertyDecl struct {
+	Name     string // without $
+	Default  Expr   // may be nil
+	IsStatic bool
+	Position token.Position
+}
+
+// ConstDecl is a class or global constant declaration.
+type ConstDecl struct {
+	Name     string
+	Value    Expr
+	Position token.Position
+}
+
+// IncludeStmt is include/require[_once] used at statement level. Include
+// used as an expression is parsed as IncludeExpr.
+type IncludeStmt struct {
+	X        Expr
+	Once     bool
+	Require  bool
+	Position token.Position
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Variable is `$name`.
+type Variable struct {
+	Name     string // without $
+	Position token.Position
+	EndPos   token.Position
+}
+
+// VarVar is `$$expr` (variable variable).
+type VarVar struct {
+	X        Expr
+	Position token.Position
+}
+
+// Ident is a bare identifier: function name in calls, constant, class name.
+type Ident struct {
+	Name     string
+	Position token.Position
+	EndPos   token.Position
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Text     string
+	Position token.Position
+	EndPos   token.Position
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Text     string
+	Position token.Position
+	EndPos   token.Position
+}
+
+// StringLit is a string literal with no interpolation.
+type StringLit struct {
+	Value    string
+	Position token.Position
+	EndPos   token.Position
+}
+
+// InterpString is a double-quoted/heredoc string with interpolation. Parts
+// alternate literals and embedded expressions.
+type InterpString struct {
+	Parts    []Expr // *StringLit or variable-ish exprs
+	Position token.Position
+	EndPos   token.Position
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Value    bool
+	Position token.Position
+}
+
+// NullLit is null.
+type NullLit struct {
+	Position token.Position
+}
+
+// ArrayLit is array(...) or [...].
+type ArrayLit struct {
+	Items    []*ArrayItem
+	Position token.Position
+	EndPos   token.Position
+}
+
+// ArrayItem is one element of an array literal.
+type ArrayItem struct {
+	Key      Expr // may be nil
+	Value    Expr
+	ByRef    bool
+	Position token.Position
+}
+
+// IndexExpr is `x[i]`; Index may be nil for `x[] = v` appends.
+type IndexExpr struct {
+	X        Expr
+	Index    Expr
+	Position token.Position
+	EndPos   token.Position
+}
+
+// PropExpr is `x->prop` (Prop may be a dynamic expression in {$...} form, in
+// which case PropExpr.Name is "" and Dyn holds the expression).
+type PropExpr struct {
+	X        Expr
+	Name     string
+	Dyn      Expr
+	Position token.Position
+	EndPos   token.Position
+}
+
+// StaticPropExpr is `Class::$prop`.
+type StaticPropExpr struct {
+	Class    string
+	Name     string
+	Position token.Position
+	EndPos   token.Position
+}
+
+// ClassConstExpr is `Class::CONST`.
+type ClassConstExpr struct {
+	Class    string
+	Name     string
+	Position token.Position
+	EndPos   token.Position
+}
+
+// CallExpr is a function call `f(args)` where Fn is an Ident, Variable (for
+// $f()), or arbitrary callee expression.
+type CallExpr struct {
+	Fn       Expr
+	Args     []Expr
+	ArgByRef []bool // parallel to Args
+	Position token.Position
+	EndPos   token.Position
+}
+
+// MethodCallExpr is `x->m(args)`.
+type MethodCallExpr struct {
+	Recv     Expr
+	Name     string // "" when dynamic
+	DynName  Expr   // dynamic method name expression
+	Args     []Expr
+	Position token.Position
+	EndPos   token.Position
+}
+
+// StaticCallExpr is `Class::m(args)`.
+type StaticCallExpr struct {
+	Class    string
+	Name     string
+	Args     []Expr
+	Position token.Position
+	EndPos   token.Position
+}
+
+// NewExpr is `new Class(args)`.
+type NewExpr struct {
+	Class     string // "" when the class is an expression
+	ClassExpr Expr
+	Args      []Expr
+	Position  token.Position
+	EndPos    token.Position
+}
+
+// AssignExpr is `lhs op rhs` for any assignment operator; Op distinguishes
+// `=`, `.=`, `+=` etc. ByRef marks `=&` reference assignment.
+type AssignExpr struct {
+	Lhs      Expr
+	Op       token.Kind
+	Rhs      Expr
+	ByRef    bool
+	Position token.Position
+}
+
+// ListExpr is `list($a, $b)` or `[$a, $b]` destructuring target.
+type ListExpr struct {
+	Items    []Expr // entries may be nil for skipped positions
+	Position token.Position
+	EndPos   token.Position
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	X        Expr
+	Op       token.Kind
+	Y        Expr
+	Position token.Position
+}
+
+// UnaryExpr is a prefix unary operation (!x, -x, ~x, @x, +x).
+type UnaryExpr struct {
+	Op       token.Kind
+	X        Expr
+	Position token.Position
+}
+
+// IncDecExpr is ++x, --x, x++, x--.
+type IncDecExpr struct {
+	X        Expr
+	Op       token.Kind // Inc or Dec
+	Prefix   bool
+	Position token.Position
+}
+
+// CastExpr is `(int) x` etc.
+type CastExpr struct {
+	Kind     token.Kind // one of the Cast* kinds
+	X        Expr
+	Position token.Position
+}
+
+// TernaryExpr is `cond ? a : b`; A may be nil for the `?:` short form.
+type TernaryExpr struct {
+	Cond     Expr
+	A        Expr
+	B        Expr
+	Position token.Position
+}
+
+// IssetExpr is `isset(a, b, ...)`.
+type IssetExpr struct {
+	Args     []Expr
+	Position token.Position
+	EndPos   token.Position
+}
+
+// EmptyExpr is `empty(x)`.
+type EmptyExpr struct {
+	X        Expr
+	Position token.Position
+	EndPos   token.Position
+}
+
+// ExitExpr is `exit(x)` / `die(x)`; X may be nil.
+type ExitExpr struct {
+	X        Expr
+	Position token.Position
+}
+
+// PrintExpr is `print x`.
+type PrintExpr struct {
+	X        Expr
+	Position token.Position
+}
+
+// IncludeExpr is include/require used in expression position.
+type IncludeExpr struct {
+	X        Expr
+	Once     bool
+	Require  bool
+	Position token.Position
+}
+
+// CloneExpr is `clone x`.
+type CloneExpr struct {
+	X        Expr
+	Position token.Position
+}
+
+// ClosureExpr is an anonymous function, including arrow functions.
+type ClosureExpr struct {
+	Params   []*Param
+	Uses     []*ClosureUse
+	Body     *BlockStmt // arrow fn bodies become a single ReturnStmt
+	IsArrow  bool
+	Position token.Position
+	EndPos   token.Position
+}
+
+// ClosureUse is one `use ($x, &$y)` binding.
+type ClosureUse struct {
+	Name  string
+	ByRef bool
+}
+
+// InstanceofExpr is `x instanceof Class`.
+type InstanceofExpr struct {
+	X        Expr
+	Class    string
+	Position token.Position
+}
+
+// MatchExpr is a PHP 8 match expression.
+type MatchExpr struct {
+	Subject  Expr
+	Arms     []*MatchArm
+	Position token.Position
+	EndPos   token.Position
+}
+
+// MatchArm is one `cond1, cond2 => result` arm; Conds is nil for default.
+type MatchArm struct {
+	Conds  []Expr
+	Result Expr
+}
+
+// BadExpr is a placeholder emitted on parse errors so analysis can continue.
+type BadExpr struct {
+	Position token.Position
+}
+
+// ---------------------------------------------------------------------------
+// Pos/End implementations
+// ---------------------------------------------------------------------------
+
+// Pos implements Node.
+func (s *InlineHTMLStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *InlineHTMLStmt) End() token.Position { return s.EndPos }
+
+// Pos implements Node.
+func (s *ExprStmt) Pos() token.Position { return s.X.Pos() }
+
+// End implements Node.
+func (s *ExprStmt) End() token.Position { return s.X.End() }
+
+// Pos implements Node.
+func (s *EchoStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *EchoStmt) End() token.Position {
+	if n := len(s.Args); n > 0 {
+		return s.Args[n-1].End()
+	}
+	return s.Position
+}
+
+// Pos implements Node.
+func (s *BlockStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *BlockStmt) End() token.Position { return s.EndPos }
+
+// Pos implements Node.
+func (s *IfStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *IfStmt) End() token.Position {
+	if s.Else != nil {
+		return s.Else.End()
+	}
+	if s.Then != nil {
+		return s.Then.End()
+	}
+	return s.Position
+}
+
+// Pos implements Node.
+func (s *WhileStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *WhileStmt) End() token.Position { return s.Body.End() }
+
+// Pos implements Node.
+func (s *DoWhileStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *DoWhileStmt) End() token.Position { return s.Cond.End() }
+
+// Pos implements Node.
+func (s *ForStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *ForStmt) End() token.Position { return s.Body.End() }
+
+// Pos implements Node.
+func (s *ForeachStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *ForeachStmt) End() token.Position { return s.Body.End() }
+
+// Pos implements Node.
+func (s *SwitchStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *SwitchStmt) End() token.Position { return s.EndPos }
+
+// Pos implements Node.
+func (c *CaseClause) Pos() token.Position { return c.Position }
+
+// End implements Node.
+func (c *CaseClause) End() token.Position {
+	if n := len(c.Body); n > 0 {
+		return c.Body[n-1].End()
+	}
+	return c.Position
+}
+
+// Pos implements Node.
+func (s *BreakStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *BreakStmt) End() token.Position { return s.Position }
+
+// Pos implements Node.
+func (s *ContinueStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *ContinueStmt) End() token.Position { return s.Position }
+
+// Pos implements Node.
+func (s *ReturnStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *ReturnStmt) End() token.Position {
+	if s.Result != nil {
+		return s.Result.End()
+	}
+	return s.Position
+}
+
+// Pos implements Node.
+func (s *GlobalStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *GlobalStmt) End() token.Position { return s.Position }
+
+// Pos implements Node.
+func (s *StaticVarStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *StaticVarStmt) End() token.Position { return s.Position }
+
+// Pos implements Node.
+func (s *UnsetStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *UnsetStmt) End() token.Position { return s.Position }
+
+// Pos implements Node.
+func (s *ThrowStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *ThrowStmt) End() token.Position { return s.X.End() }
+
+// Pos implements Node.
+func (s *TryStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *TryStmt) End() token.Position {
+	if s.Finally != nil {
+		return s.Finally.End()
+	}
+	if n := len(s.Catches); n > 0 {
+		return s.Catches[n-1].Body.End()
+	}
+	return s.Body.End()
+}
+
+// Pos implements Node.
+func (s *FunctionDecl) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *FunctionDecl) End() token.Position { return s.EndPos }
+
+// Pos implements Node.
+func (s *ClassDecl) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *ClassDecl) End() token.Position { return s.EndPos }
+
+// Pos implements Node.
+func (s *IncludeStmt) Pos() token.Position { return s.Position }
+
+// End implements Node.
+func (s *IncludeStmt) End() token.Position { return s.X.End() }
+
+// Pos implements Node.
+func (e *Variable) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *Variable) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *VarVar) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *VarVar) End() token.Position { return e.X.End() }
+
+// Pos implements Node.
+func (e *Ident) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *Ident) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *IntLit) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *IntLit) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *FloatLit) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *FloatLit) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *StringLit) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *StringLit) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *InterpString) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *InterpString) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *BoolLit) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *BoolLit) End() token.Position { return e.Position }
+
+// Pos implements Node.
+func (e *NullLit) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *NullLit) End() token.Position { return e.Position }
+
+// Pos implements Node.
+func (e *ArrayLit) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *ArrayLit) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *IndexExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *IndexExpr) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *PropExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *PropExpr) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *StaticPropExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *StaticPropExpr) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *ClassConstExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *ClassConstExpr) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *CallExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *CallExpr) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *MethodCallExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *MethodCallExpr) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *StaticCallExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *StaticCallExpr) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *NewExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *NewExpr) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *AssignExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *AssignExpr) End() token.Position { return e.Rhs.End() }
+
+// Pos implements Node.
+func (e *ListExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *ListExpr) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *BinaryExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *BinaryExpr) End() token.Position { return e.Y.End() }
+
+// Pos implements Node.
+func (e *UnaryExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *UnaryExpr) End() token.Position { return e.X.End() }
+
+// Pos implements Node.
+func (e *IncDecExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *IncDecExpr) End() token.Position { return e.X.End() }
+
+// Pos implements Node.
+func (e *CastExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *CastExpr) End() token.Position { return e.X.End() }
+
+// Pos implements Node.
+func (e *TernaryExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *TernaryExpr) End() token.Position { return e.B.End() }
+
+// Pos implements Node.
+func (e *IssetExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *IssetExpr) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *EmptyExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *EmptyExpr) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *ExitExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *ExitExpr) End() token.Position {
+	if e.X != nil {
+		return e.X.End()
+	}
+	return e.Position
+}
+
+// Pos implements Node.
+func (e *PrintExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *PrintExpr) End() token.Position { return e.X.End() }
+
+// Pos implements Node.
+func (e *IncludeExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *IncludeExpr) End() token.Position { return e.X.End() }
+
+// Pos implements Node.
+func (e *CloneExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *CloneExpr) End() token.Position { return e.X.End() }
+
+// Pos implements Node.
+func (e *ClosureExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *ClosureExpr) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *InstanceofExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *InstanceofExpr) End() token.Position { return e.Position }
+
+// Pos implements Node.
+func (e *MatchExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *MatchExpr) End() token.Position { return e.EndPos }
+
+// Pos implements Node.
+func (e *BadExpr) Pos() token.Position { return e.Position }
+
+// End implements Node.
+func (e *BadExpr) End() token.Position { return e.Position }
+
+// ---------------------------------------------------------------------------
+// Marker methods
+// ---------------------------------------------------------------------------
+
+func (*InlineHTMLStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()       {}
+func (*EchoStmt) stmtNode()       {}
+func (*BlockStmt) stmtNode()      {}
+func (*IfStmt) stmtNode()         {}
+func (*WhileStmt) stmtNode()      {}
+func (*DoWhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()        {}
+func (*ForeachStmt) stmtNode()    {}
+func (*SwitchStmt) stmtNode()     {}
+func (*BreakStmt) stmtNode()      {}
+func (*ContinueStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode()     {}
+func (*GlobalStmt) stmtNode()     {}
+func (*StaticVarStmt) stmtNode()  {}
+func (*UnsetStmt) stmtNode()      {}
+func (*ThrowStmt) stmtNode()      {}
+func (*TryStmt) stmtNode()        {}
+func (*FunctionDecl) stmtNode()   {}
+func (*ClassDecl) stmtNode()      {}
+func (*IncludeStmt) stmtNode()    {}
+
+func (*Variable) exprNode()       {}
+func (*VarVar) exprNode()         {}
+func (*Ident) exprNode()          {}
+func (*IntLit) exprNode()         {}
+func (*FloatLit) exprNode()       {}
+func (*StringLit) exprNode()      {}
+func (*InterpString) exprNode()   {}
+func (*BoolLit) exprNode()        {}
+func (*NullLit) exprNode()        {}
+func (*ArrayLit) exprNode()       {}
+func (*IndexExpr) exprNode()      {}
+func (*PropExpr) exprNode()       {}
+func (*StaticPropExpr) exprNode() {}
+func (*ClassConstExpr) exprNode() {}
+func (*CallExpr) exprNode()       {}
+func (*MethodCallExpr) exprNode() {}
+func (*StaticCallExpr) exprNode() {}
+func (*NewExpr) exprNode()        {}
+func (*AssignExpr) exprNode()     {}
+func (*ListExpr) exprNode()       {}
+func (*BinaryExpr) exprNode()     {}
+func (*UnaryExpr) exprNode()      {}
+func (*IncDecExpr) exprNode()     {}
+func (*CastExpr) exprNode()       {}
+func (*TernaryExpr) exprNode()    {}
+func (*IssetExpr) exprNode()      {}
+func (*EmptyExpr) exprNode()      {}
+func (*ExitExpr) exprNode()       {}
+func (*PrintExpr) exprNode()      {}
+func (*IncludeExpr) exprNode()    {}
+func (*CloneExpr) exprNode()      {}
+func (*MatchExpr) exprNode()      {}
+func (*BadExpr) exprNode()        {}
+func (*ClosureExpr) exprNode()    {}
+func (*InstanceofExpr) exprNode() {}

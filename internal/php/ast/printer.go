@@ -1,0 +1,556 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/php/token"
+)
+
+// Print renders the AST back to PHP source. The output is normalized
+// (canonical spacing and braces) rather than byte-identical to the input;
+// re-parsing the output yields an equivalent tree, which the tests assert.
+func Print(f *File) string {
+	p := &printer{}
+	p.file(f)
+	return p.b.String()
+}
+
+// PrintExprSrc renders a single expression.
+func PrintExprSrc(e Expr) string {
+	p := &printer{}
+	p.expr(e)
+	return p.b.String()
+}
+
+// PrintStmtSrc renders a single statement (inside an open PHP context).
+func PrintStmtSrc(s Stmt) string {
+	p := &printer{}
+	p.stmt(s)
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) writef(format string, args ...any) {
+	fmt.Fprintf(&p.b, format, args...)
+}
+
+func (p *printer) line(s string) {
+	p.b.WriteString(strings.Repeat("    ", p.indent))
+	p.b.WriteString(s)
+	p.b.WriteString("\n")
+}
+
+func (p *printer) file(f *File) {
+	p.b.WriteString("<?php\n")
+	for _, s := range f.Stmts {
+		p.stmt(s)
+	}
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch t := s.(type) {
+	case *InlineHTMLStmt:
+		p.line("echo " + quote(t.Text) + ";") // normalize HTML to echo
+	case *ExprStmt:
+		p.line(PrintExprSrc(t.X) + ";")
+	case *EchoStmt:
+		parts := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			parts[i] = PrintExprSrc(a)
+		}
+		p.line("echo " + strings.Join(parts, ", ") + ";")
+	case *BlockStmt:
+		p.line("{")
+		p.indent++
+		for _, st := range t.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *IfStmt:
+		p.ifChain(t, "if")
+	case *WhileStmt:
+		p.line("while (" + PrintExprSrc(t.Cond) + ") {")
+		p.body(t.Body)
+		p.line("}")
+	case *DoWhileStmt:
+		p.line("do {")
+		p.body(t.Body)
+		p.line("} while (" + PrintExprSrc(t.Cond) + ");")
+	case *ForStmt:
+		p.line("for (" + exprList(t.Init) + "; " + exprList(t.Cond) + "; " + exprList(t.Post) + ") {")
+		p.body(t.Body)
+		p.line("}")
+	case *ForeachStmt:
+		head := "foreach (" + PrintExprSrc(t.Subject) + " as "
+		if t.Key != nil {
+			head += PrintExprSrc(t.Key) + " => "
+		}
+		if t.ByRef {
+			head += "&"
+		}
+		head += PrintExprSrc(t.Value) + ") {"
+		p.line(head)
+		p.body(t.Body)
+		p.line("}")
+	case *SwitchStmt:
+		p.line("switch (" + PrintExprSrc(t.Subject) + ") {")
+		p.indent++
+		for _, c := range t.Cases {
+			if c.Cond != nil {
+				p.line("case " + PrintExprSrc(c.Cond) + ":")
+			} else {
+				p.line("default:")
+			}
+			p.indent++
+			for _, st := range c.Body {
+				p.stmt(st)
+			}
+			p.indent--
+		}
+		p.indent--
+		p.line("}")
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *ReturnStmt:
+		if t.Result != nil {
+			p.line("return " + PrintExprSrc(t.Result) + ";")
+		} else {
+			p.line("return;")
+		}
+	case *GlobalStmt:
+		names := make([]string, len(t.Names))
+		for i, n := range t.Names {
+			names[i] = "$" + n
+		}
+		p.line("global " + strings.Join(names, ", ") + ";")
+	case *StaticVarStmt:
+		parts := make([]string, len(t.Names))
+		for i, n := range t.Names {
+			parts[i] = "$" + n
+			if t.Inits[i] != nil {
+				parts[i] += " = " + PrintExprSrc(t.Inits[i])
+			}
+		}
+		p.line("static " + strings.Join(parts, ", ") + ";")
+	case *UnsetStmt:
+		p.line("unset(" + exprList(t.Args) + ");")
+	case *ThrowStmt:
+		p.line("throw " + PrintExprSrc(t.X) + ";")
+	case *TryStmt:
+		p.line("try {")
+		p.body(t.Body)
+		for _, c := range t.Catches {
+			head := "} catch (" + strings.Join(c.Types, " | ")
+			if c.Var != "" {
+				head += " $" + c.Var
+			}
+			p.line(head + ") {")
+			p.body(c.Body)
+		}
+		if t.Finally != nil {
+			p.line("} finally {")
+			p.body(t.Finally)
+		}
+		p.line("}")
+	case *FunctionDecl:
+		p.funcDecl(t, "")
+	case *ClassDecl:
+		p.classDecl(t)
+	case *IncludeStmt:
+		p.line(includeKeyword(t.Once, t.Require) + " " + PrintExprSrc(t.X) + ";")
+	}
+}
+
+func (p *printer) ifChain(t *IfStmt, kw string) {
+	p.line(kw + " (" + PrintExprSrc(t.Cond) + ") {")
+	p.body(t.Then)
+	switch e := t.Else.(type) {
+	case nil:
+		p.line("}")
+	case *IfStmt:
+		p.line("}")
+		p.ifChain(e, "elseif")
+	case *BlockStmt:
+		p.line("} else {")
+		p.body(e)
+		p.line("}")
+	default:
+		p.line("} else {")
+		p.indent++
+		p.stmt(t.Else)
+		p.indent--
+		p.line("}")
+	}
+}
+
+func (p *printer) body(b *BlockStmt) {
+	if b == nil {
+		return
+	}
+	p.indent++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+}
+
+func (p *printer) funcDecl(t *FunctionDecl, modifiers string) {
+	head := modifiers + "function "
+	if t.ByRef {
+		head += "&"
+	}
+	head += t.Name + "(" + params(t.Params) + ")"
+	if t.Body == nil {
+		p.line(head + ";")
+		return
+	}
+	p.line(head + " {")
+	p.body(t.Body)
+	p.line("}")
+}
+
+func (p *printer) classDecl(t *ClassDecl) {
+	head := "class "
+	if t.IsInterface {
+		head = "interface "
+	}
+	head += t.Name
+	if t.Parent != "" {
+		head += " extends " + t.Parent
+	}
+	if len(t.Interfaces) > 0 {
+		head += " implements " + strings.Join(t.Interfaces, ", ")
+	}
+	p.line(head + " {")
+	p.indent++
+	for _, c := range t.Consts {
+		p.line("const " + c.Name + " = " + PrintExprSrc(c.Value) + ";")
+	}
+	for _, prop := range t.Props {
+		mod := "public "
+		if prop.IsStatic {
+			mod += "static "
+		}
+		line := mod + "$" + prop.Name
+		if prop.Default != nil {
+			line += " = " + PrintExprSrc(prop.Default)
+		}
+		p.line(line + ";")
+	}
+	for _, m := range t.Methods {
+		mod := "public "
+		if m.IsStatic {
+			mod += "static "
+		}
+		p.funcDecl(m, mod)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func params(ps []*Param) string {
+	out := make([]string, len(ps))
+	for i, prm := range ps {
+		s := ""
+		if prm.TypeHint != "" {
+			s += prm.TypeHint + " "
+		}
+		if prm.ByRef {
+			s += "&"
+		}
+		if prm.Variadic {
+			s += "..."
+		}
+		s += "$" + prm.Name
+		if prm.Default != nil {
+			s += " = " + PrintExprSrc(prm.Default)
+		}
+		out[i] = s
+	}
+	return strings.Join(out, ", ")
+}
+
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = PrintExprSrc(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func includeKeyword(once, require bool) string {
+	switch {
+	case require && once:
+		return "require_once"
+	case require:
+		return "require"
+	case once:
+		return "include_once"
+	default:
+		return "include"
+	}
+}
+
+// expr renders an expression with conservative parenthesization: nested
+// binary/ternary operands are always parenthesized, so precedence survives
+// the round trip without an operator table.
+func (p *printer) expr(e Expr) {
+	switch t := e.(type) {
+	case *Variable:
+		p.writef("$%s", t.Name)
+	case *VarVar:
+		p.writef("${%s}", PrintExprSrc(t.X))
+	case *Ident:
+		p.b.WriteString(t.Name)
+	case *IntLit:
+		p.b.WriteString(t.Text)
+	case *FloatLit:
+		p.b.WriteString(t.Text)
+	case *StringLit:
+		p.b.WriteString(quote(t.Value))
+	case *InterpString:
+		// Normalize interpolation to explicit concatenation.
+		parts := make([]string, 0, len(t.Parts))
+		for _, part := range t.Parts {
+			if lit, ok := part.(*StringLit); ok && lit.Value == "" {
+				continue
+			}
+			parts = append(parts, maybeParen(part))
+		}
+		if len(parts) == 0 {
+			p.b.WriteString("''")
+			return
+		}
+		p.b.WriteString(strings.Join(parts, " . "))
+	case *BoolLit:
+		if t.Value {
+			p.b.WriteString("true")
+		} else {
+			p.b.WriteString("false")
+		}
+	case *NullLit:
+		p.b.WriteString("null")
+	case *ArrayLit:
+		items := make([]string, len(t.Items))
+		for i, it := range t.Items {
+			s := ""
+			if it.Key != nil {
+				s = PrintExprSrc(it.Key) + " => "
+			}
+			if it.ByRef {
+				s += "&"
+			}
+			s += PrintExprSrc(it.Value)
+			items[i] = s
+		}
+		p.writef("array(%s)", strings.Join(items, ", "))
+	case *IndexExpr:
+		p.expr(t.X)
+		if t.Index != nil {
+			p.writef("[%s]", PrintExprSrc(t.Index))
+		} else {
+			p.b.WriteString("[]")
+		}
+	case *PropExpr:
+		p.expr(t.X)
+		if t.Name != "" {
+			p.writef("->%s", t.Name)
+		} else {
+			p.writef("->{%s}", PrintExprSrc(t.Dyn))
+		}
+	case *StaticPropExpr:
+		p.writef("%s::$%s", orStatic(t.Class), t.Name)
+	case *ClassConstExpr:
+		p.writef("%s::%s", orStatic(t.Class), t.Name)
+	case *CallExpr:
+		p.expr(t.Fn)
+		p.writef("(%s)", exprList(t.Args))
+	case *MethodCallExpr:
+		p.expr(t.Recv)
+		if t.Name != "" {
+			p.writef("->%s(%s)", t.Name, exprList(t.Args))
+		} else {
+			p.writef("->{%s}(%s)", PrintExprSrc(t.DynName), exprList(t.Args))
+		}
+	case *StaticCallExpr:
+		p.writef("%s::%s(%s)", orStatic(t.Class), t.Name, exprList(t.Args))
+	case *NewExpr:
+		switch {
+		case t.Class != "":
+			p.writef("new %s(%s)", t.Class, exprList(t.Args))
+		case t.ClassExpr != nil:
+			p.writef("new %s(%s)", PrintExprSrc(t.ClassExpr), exprList(t.Args))
+		default:
+			p.writef("new stdClass()")
+		}
+	case *AssignExpr:
+		p.expr(t.Lhs)
+		op := t.Op.String()
+		if t.ByRef {
+			op = "=&"
+		}
+		p.writef(" %s ", op)
+		p.b.WriteString(maybeParen(t.Rhs))
+	case *ListExpr:
+		items := make([]string, len(t.Items))
+		for i, it := range t.Items {
+			if it != nil {
+				items[i] = PrintExprSrc(it)
+			}
+		}
+		p.writef("list(%s)", strings.Join(items, ", "))
+	case *BinaryExpr:
+		p.b.WriteString(maybeParen(t.X))
+		p.writef(" %s ", t.Op.String())
+		p.b.WriteString(maybeParen(t.Y))
+	case *UnaryExpr:
+		switch t.Op {
+		case token.At:
+			p.b.WriteString("@")
+		case token.Not:
+			p.b.WriteString("!")
+		case token.Minus:
+			p.b.WriteString("-")
+		case token.Plus:
+			p.b.WriteString("+")
+		case token.Tilde:
+			p.b.WriteString("~")
+		case token.KwThrow:
+			p.b.WriteString("throw ")
+		}
+		p.b.WriteString(maybeParen(t.X))
+	case *IncDecExpr:
+		if t.Prefix {
+			p.b.WriteString(t.Op.String())
+			p.expr(t.X)
+		} else {
+			p.expr(t.X)
+			p.b.WriteString(t.Op.String())
+		}
+	case *CastExpr:
+		p.b.WriteString(t.Kind.String())
+		p.b.WriteString(maybeParen(t.X))
+	case *TernaryExpr:
+		p.b.WriteString(maybeParen(t.Cond))
+		if t.A != nil {
+			p.writef(" ? %s : %s", maybeParen(t.A), maybeParen(t.B))
+		} else {
+			p.writef(" ?: %s", maybeParen(t.B))
+		}
+	case *IssetExpr:
+		p.writef("isset(%s)", exprList(t.Args))
+	case *EmptyExpr:
+		p.writef("empty(%s)", PrintExprSrc(t.X))
+	case *ExitExpr:
+		if t.X != nil {
+			p.writef("exit(%s)", PrintExprSrc(t.X))
+		} else {
+			p.b.WriteString("exit")
+		}
+	case *PrintExpr:
+		p.writef("print %s", maybeParen(t.X))
+	case *IncludeExpr:
+		p.writef("%s %s", includeKeyword(t.Once, t.Require), maybeParen(t.X))
+	case *CloneExpr:
+		p.writef("clone %s", maybeParen(t.X))
+	case *ClosureExpr:
+		p.writef("function (%s)", params(t.Params))
+		if len(t.Uses) > 0 {
+			uses := make([]string, len(t.Uses))
+			for i, u := range t.Uses {
+				s := "$" + u.Name
+				if u.ByRef {
+					s = "&" + s
+				}
+				uses[i] = s
+			}
+			p.writef(" use (%s)", strings.Join(uses, ", "))
+		}
+		p.b.WriteString(" { ")
+		sub := &printer{}
+		if t.Body != nil {
+			for _, s := range t.Body.Stmts {
+				sub.stmt(s)
+			}
+		}
+		p.b.WriteString(strings.ReplaceAll(sub.b.String(), "\n", " "))
+		p.b.WriteString("}")
+	case *InstanceofExpr:
+		p.writef("%s instanceof %s", maybeParen(t.X), orStatic(t.Class))
+	case *MatchExpr:
+		p.writef("match (%s) { ", PrintExprSrc(t.Subject))
+		for i, arm := range t.Arms {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			if arm.Conds == nil {
+				p.b.WriteString("default")
+			} else {
+				p.b.WriteString(exprList(arm.Conds))
+			}
+			p.writef(" => %s", maybeParen(arm.Result))
+		}
+		p.b.WriteString(" }")
+	case *BadExpr:
+		p.b.WriteString("null /* bad expr */")
+	default:
+		p.b.WriteString("null /* unknown expr */")
+	}
+}
+
+// maybeParen parenthesizes compound sub-expressions.
+func maybeParen(e Expr) string {
+	s := PrintExprSrc(e)
+	switch e.(type) {
+	case *BinaryExpr, *TernaryExpr, *AssignExpr, *InstanceofExpr,
+		*IncludeExpr, *PrintExpr, *InterpString:
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func orStatic(class string) string {
+	if class == "" {
+		return "static"
+	}
+	return class
+}
+
+// quote renders a single-quoted PHP string with escapes; control characters
+// force double quotes.
+func quote(s string) string {
+	if strings.ContainsAny(s, "\n\r\t\x00\x1b") {
+		var b strings.Builder
+		b.WriteByte('"')
+		for i := 0; i < len(s); i++ {
+			switch c := s[i]; c {
+			case '\n':
+				b.WriteString(`\n`)
+			case '\r':
+				b.WriteString(`\r`)
+			case '\t':
+				b.WriteString(`\t`)
+			case 0:
+				b.WriteString(`\0`)
+			case 0x1b:
+				b.WriteString(`\e`)
+			case '"', '\\', '$':
+				b.WriteByte('\\')
+				b.WriteByte(c)
+			default:
+				b.WriteByte(c)
+			}
+		}
+		b.WriteByte('"')
+		return b.String()
+	}
+	return "'" + strings.NewReplacer("\\", "\\\\", "'", "\\'").Replace(s) + "'"
+}

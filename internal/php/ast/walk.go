@@ -1,0 +1,262 @@
+package ast
+
+// Visitor is the interface for AST traversal. Visit is called for each node;
+// returning a nil Visitor prunes the subtree.
+type Visitor interface {
+	Visit(n Node) Visitor
+}
+
+// inspector adapts a function to the Visitor interface.
+type inspector func(Node) bool
+
+// Visit implements Visitor.
+func (f inspector) Visit(n Node) Visitor {
+	if f(n) {
+		return f
+	}
+	return nil
+}
+
+// Inspect traverses the tree rooted at n, calling f for every node. If f
+// returns false the children of the node are skipped.
+func Inspect(n Node, f func(Node) bool) {
+	Walk(inspector(f), n)
+}
+
+// Walk traverses the AST in depth-first order, calling v.Visit for each node.
+func Walk(v Visitor, n Node) {
+	if n == nil {
+		return
+	}
+	if v = v.Visit(n); v == nil {
+		return
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, s := range x.Stmts {
+			Walk(v, s)
+		}
+	case *InlineHTMLStmt, *BreakStmt, *ContinueStmt, *GlobalStmt:
+		// leaves
+	case *ExprStmt:
+		Walk(v, x.X)
+	case *EchoStmt:
+		walkExprs(v, x.Args)
+	case *BlockStmt:
+		for _, s := range x.Stmts {
+			Walk(v, s)
+		}
+	case *IfStmt:
+		Walk(v, x.Cond)
+		Walk(v, x.Then)
+		if x.Else != nil {
+			Walk(v, x.Else)
+		}
+	case *WhileStmt:
+		Walk(v, x.Cond)
+		Walk(v, x.Body)
+	case *DoWhileStmt:
+		Walk(v, x.Body)
+		Walk(v, x.Cond)
+	case *ForStmt:
+		walkExprs(v, x.Init)
+		walkExprs(v, x.Cond)
+		walkExprs(v, x.Post)
+		Walk(v, x.Body)
+	case *ForeachStmt:
+		Walk(v, x.Subject)
+		if x.Key != nil {
+			Walk(v, x.Key)
+		}
+		Walk(v, x.Value)
+		Walk(v, x.Body)
+	case *SwitchStmt:
+		Walk(v, x.Subject)
+		for _, c := range x.Cases {
+			if c.Cond != nil {
+				Walk(v, c.Cond)
+			}
+			for _, s := range c.Body {
+				Walk(v, s)
+			}
+		}
+	case *ReturnStmt:
+		if x.Result != nil {
+			Walk(v, x.Result)
+		}
+	case *StaticVarStmt:
+		for _, e := range x.Inits {
+			if e != nil {
+				Walk(v, e)
+			}
+		}
+	case *UnsetStmt:
+		walkExprs(v, x.Args)
+	case *ThrowStmt:
+		Walk(v, x.X)
+	case *TryStmt:
+		Walk(v, x.Body)
+		for _, c := range x.Catches {
+			Walk(v, c.Body)
+		}
+		if x.Finally != nil {
+			Walk(v, x.Finally)
+		}
+	case *FunctionDecl:
+		for _, p := range x.Params {
+			if p.Default != nil {
+				Walk(v, p.Default)
+			}
+		}
+		if x.Body != nil {
+			Walk(v, x.Body)
+		}
+	case *ClassDecl:
+		for _, p := range x.Props {
+			if p.Default != nil {
+				Walk(v, p.Default)
+			}
+		}
+		for _, c := range x.Consts {
+			Walk(v, c.Value)
+		}
+		for _, m := range x.Methods {
+			Walk(v, m)
+		}
+	case *IncludeStmt:
+		Walk(v, x.X)
+	case *Variable, *Ident, *IntLit, *FloatLit, *StringLit, *BoolLit,
+		*NullLit, *StaticPropExpr, *ClassConstExpr, *BadExpr:
+		// leaves
+	case *VarVar:
+		Walk(v, x.X)
+	case *InterpString:
+		walkExprs(v, x.Parts)
+	case *ArrayLit:
+		for _, it := range x.Items {
+			if it.Key != nil {
+				Walk(v, it.Key)
+			}
+			Walk(v, it.Value)
+		}
+	case *IndexExpr:
+		Walk(v, x.X)
+		if x.Index != nil {
+			Walk(v, x.Index)
+		}
+	case *PropExpr:
+		Walk(v, x.X)
+		if x.Dyn != nil {
+			Walk(v, x.Dyn)
+		}
+	case *CallExpr:
+		Walk(v, x.Fn)
+		walkExprs(v, x.Args)
+	case *MethodCallExpr:
+		Walk(v, x.Recv)
+		if x.DynName != nil {
+			Walk(v, x.DynName)
+		}
+		walkExprs(v, x.Args)
+	case *StaticCallExpr:
+		walkExprs(v, x.Args)
+	case *NewExpr:
+		if x.ClassExpr != nil {
+			Walk(v, x.ClassExpr)
+		}
+		walkExprs(v, x.Args)
+	case *AssignExpr:
+		Walk(v, x.Lhs)
+		Walk(v, x.Rhs)
+	case *ListExpr:
+		for _, it := range x.Items {
+			if it != nil {
+				Walk(v, it)
+			}
+		}
+	case *BinaryExpr:
+		Walk(v, x.X)
+		Walk(v, x.Y)
+	case *UnaryExpr:
+		Walk(v, x.X)
+	case *IncDecExpr:
+		Walk(v, x.X)
+	case *CastExpr:
+		Walk(v, x.X)
+	case *TernaryExpr:
+		Walk(v, x.Cond)
+		if x.A != nil {
+			Walk(v, x.A)
+		}
+		Walk(v, x.B)
+	case *IssetExpr:
+		walkExprs(v, x.Args)
+	case *EmptyExpr:
+		Walk(v, x.X)
+	case *ExitExpr:
+		if x.X != nil {
+			Walk(v, x.X)
+		}
+	case *PrintExpr:
+		Walk(v, x.X)
+	case *IncludeExpr:
+		Walk(v, x.X)
+	case *CloneExpr:
+		Walk(v, x.X)
+	case *ClosureExpr:
+		for _, p := range x.Params {
+			if p.Default != nil {
+				Walk(v, p.Default)
+			}
+		}
+		if x.Body != nil {
+			Walk(v, x.Body)
+		}
+	case *InstanceofExpr:
+		Walk(v, x.X)
+	case *MatchExpr:
+		Walk(v, x.Subject)
+		for _, arm := range x.Arms {
+			walkExprs(v, arm.Conds)
+			Walk(v, arm.Result)
+		}
+	}
+}
+
+func walkExprs(v Visitor, es []Expr) {
+	for _, e := range es {
+		if e != nil {
+			Walk(v, e)
+		}
+	}
+}
+
+// CalleeName returns the lower-cased callee name of a call expression when
+// it is a plain identifier, and "" otherwise.
+func CalleeName(call *CallExpr) string {
+	if id, ok := call.Fn.(*Ident); ok {
+		return lower(id.Name)
+	}
+	return ""
+}
+
+// lower is a fast ASCII lower-caser for function names.
+func lower(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+	}
+	return string(b)
+}

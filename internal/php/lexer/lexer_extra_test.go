@@ -1,0 +1,196 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/php/token"
+)
+
+// Additional lexical coverage: escapes, edge cases around tags, and odd but
+// legal token sequences.
+
+func TestAllEscapeSequences(t *testing.T) {
+	toks := lexAll(t, `<?php "\n\t\r\v\f\e\0\\\$\"";`)
+	if toks[0].Kind != token.StringLit {
+		t.Fatalf("kind = %v", toks[0].Kind)
+	}
+	want := "\n\t\r\v\f\x1b\x00\\$\""
+	if toks[0].Value != want {
+		t.Errorf("value = %q, want %q", toks[0].Value, want)
+	}
+}
+
+func TestUnknownEscapeKeptVerbatim(t *testing.T) {
+	toks := lexAll(t, `<?php "\q";`)
+	if toks[0].Value != `\q` {
+		t.Errorf("value = %q", toks[0].Value)
+	}
+}
+
+func TestCloseTagInsideStringIsContent(t *testing.T) {
+	toks := lexAll(t, `<?php $s = "contains ?> inside";`)
+	if toks[2].Kind != token.StringLit || !strings.Contains(toks[2].Value, "?>") {
+		t.Errorf("token = %+v", toks[2])
+	}
+}
+
+func TestCloseTagInsideLineCommentEndsPHP(t *testing.T) {
+	// PHP line comments end at ?>.
+	toks := lexAll(t, "<?php $a = 1; // trailing ?>html")
+	last := toks[len(toks)-2]
+	if last.Kind != token.InlineHTML || last.Value != "html" {
+		t.Errorf("tail = %+v", last)
+	}
+}
+
+func TestShortOpenTag(t *testing.T) {
+	toks := lexAll(t, "<? echo $x; ?>")
+	if toks[0].Kind != token.KwEcho {
+		t.Errorf("kinds = %v", kinds(toks))
+	}
+}
+
+func TestNewlineAfterCloseTagSwallowed(t *testing.T) {
+	toks := lexAll(t, "<?php $a = 1; ?>\nhtml")
+	var html *token.Token
+	for i := range toks {
+		if toks[i].Kind == token.InlineHTML {
+			html = &toks[i]
+		}
+	}
+	if html == nil || html.Value != "html" {
+		t.Errorf("html token = %+v", html)
+	}
+}
+
+func TestHexBinaryOctalNumbers(t *testing.T) {
+	toks := lexAll(t, "<?php 0xFF; 0b1010; 0o777; 0O17;")
+	for i := 0; i < 8; i += 2 {
+		if toks[i].Kind != token.IntLit {
+			t.Errorf("token %d = %v", i, toks[i].Kind)
+		}
+	}
+}
+
+func TestDollarBrace(t *testing.T) {
+	toks := lexAll(t, `<?php ${'dyn'} = 1;`)
+	if toks[0].Kind != token.Dollar || toks[1].Kind != token.LBrace {
+		t.Errorf("kinds = %v", kinds(toks))
+	}
+}
+
+func TestHeredocWithIndentedTerminator(t *testing.T) {
+	src := "<?php $x = <<<EOT\nline one\n    EOT;\n"
+	toks := lexAll(t, src)
+	if toks[2].Kind != token.StringLit && toks[2].Kind != token.TemplateString {
+		t.Fatalf("kind = %v", toks[2].Kind)
+	}
+}
+
+func TestHeredocLabelPrefixNotTerminator(t *testing.T) {
+	// EOTX must not terminate an EOT heredoc.
+	src := "<?php $x = <<<EOT\nEOTX is content\nEOT;\n"
+	toks := lexAll(t, src)
+	v := toks[2].Value
+	if toks[2].Kind == token.TemplateString {
+		v = toks[2].Parts[0].Literal
+	}
+	if !strings.Contains(v, "EOTX") {
+		t.Errorf("heredoc body = %q", v)
+	}
+}
+
+func TestInterpolationFollowedByIdentChar(t *testing.T) {
+	toks := lexAll(t, `<?php "pre${x}post";`)
+	tok := toks[0]
+	if tok.Kind != token.TemplateString {
+		t.Fatalf("kind = %v", tok.Kind)
+	}
+	joined := ""
+	for _, p := range tok.Parts {
+		if !p.IsVar {
+			joined += p.Literal
+		}
+	}
+	if joined != "prepost" {
+		t.Errorf("literals = %q", joined)
+	}
+}
+
+func TestBlockCommentUnterminatedError(t *testing.T) {
+	_, errs := Tokens("t.php", "<?php /* never closed")
+	if len(errs) == 0 {
+		t.Error("want error")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	toks, errs := Tokens("t.php", "")
+	if len(errs) != 0 || len(toks) != 1 || toks[0].Kind != token.EOF {
+		t.Errorf("toks = %v errs = %v", kinds(toks), errs)
+	}
+}
+
+func TestOnlyOpenTag(t *testing.T) {
+	toks := lexAll(t, "<?php")
+	if toks[0].Kind != token.EOF {
+		t.Errorf("kinds = %v", kinds(toks))
+	}
+}
+
+func TestOperatorAdjacency(t *testing.T) {
+	// "1+++$x" lexes as 1 ++ + $x (maximal munch).
+	toks := lexAll(t, "<?php 1+++$x;")
+	want := []token.Kind{token.IntLit, token.Inc, token.Plus, token.Variable, token.Semicolon, token.EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordLookup(t *testing.T) {
+	if token.Lookup("echo") != token.KwEcho {
+		t.Error("echo lookup failed")
+	}
+	if token.Lookup("die") != token.KwExit {
+		t.Error("die must map to exit")
+	}
+	if token.Lookup("not_a_keyword") != token.Ident {
+		t.Error("non-keyword must be Ident")
+	}
+}
+
+func TestKindStringAndPredicates(t *testing.T) {
+	if token.KwEcho.String() != "echo" || token.Plus.String() != "+" {
+		t.Error("kind names wrong")
+	}
+	if !token.KwIf.IsKeyword() || token.Plus.IsKeyword() {
+		t.Error("IsKeyword wrong")
+	}
+	if !token.CastIntKw.IsCast() || token.Plus.IsCast() {
+		t.Error("IsCast wrong")
+	}
+	if !token.DotEq.IsAssignOp() || token.Eq.IsAssignOp() {
+		t.Error("IsAssignOp wrong")
+	}
+	if token.Kind(9999).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestPositionString(t *testing.T) {
+	p := token.Position{File: "a.php", Line: 3, Column: 7}
+	if p.String() != "a.php:3:7" {
+		t.Errorf("pos = %q", p.String())
+	}
+	if (token.Position{}).IsValid() {
+		t.Error("zero position must be invalid")
+	}
+	anon := token.Position{Line: 1}
+	if !strings.Contains(anon.String(), "<src>") {
+		t.Errorf("anon pos = %q", anon.String())
+	}
+}

@@ -1,0 +1,365 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/php/ast"
+)
+
+// Additional grammar coverage: the constructs that show up in real web apps
+// beyond the core subset.
+
+func TestDynamicMethodCall(t *testing.T) {
+	e := firstExpr(t, `<?php $obj->$method($arg);`)
+	m, ok := e.(*ast.MethodCallExpr)
+	if !ok {
+		t.Fatalf("expr = %T", e)
+	}
+	if m.Name != "" || m.DynName == nil {
+		t.Errorf("dynamic call = %+v", m)
+	}
+}
+
+func TestDynamicPropAccess(t *testing.T) {
+	e := firstExpr(t, `<?php $obj->{$field . "_id"};`)
+	p, ok := e.(*ast.PropExpr)
+	if !ok {
+		t.Fatalf("expr = %T", e)
+	}
+	if p.Dyn == nil {
+		t.Errorf("dynamic prop = %+v", p)
+	}
+}
+
+func TestAnonymousClass(t *testing.T) {
+	f := parseOK(t, `<?php $h = new class { public function handle() { return 1; } };`)
+	if len(f.Stmts) != 1 {
+		t.Fatalf("stmts = %d", len(f.Stmts))
+	}
+}
+
+func TestStaticKeywordAccess(t *testing.T) {
+	f := parseOK(t, `<?php
+class A {
+  public static $inst;
+  static function get() { return static::$inst; }
+  function kind() { return static::class; }
+}`)
+	c := f.Classes["a"]
+	if c == nil || len(c.Methods) != 2 {
+		t.Fatalf("class = %+v", c)
+	}
+}
+
+func TestClassConstantAccess(t *testing.T) {
+	e := firstExpr(t, `<?php $x = Config::LIMIT;`)
+	a := e.(*ast.AssignExpr)
+	cc, ok := a.Rhs.(*ast.ClassConstExpr)
+	if !ok || cc.Class != "Config" || cc.Name != "LIMIT" {
+		t.Fatalf("rhs = %#v", a.Rhs)
+	}
+}
+
+func TestShortArrayDestructuringInForeach(t *testing.T) {
+	f := parseOK(t, `<?php foreach ($pairs as $pair) { list($k, $v) = $pair; }`)
+	fe := f.Stmts[0].(*ast.ForeachStmt)
+	if len(fe.Body.Stmts) != 1 {
+		t.Fatalf("body = %+v", fe.Body)
+	}
+}
+
+func TestNestedClosures(t *testing.T) {
+	e := firstExpr(t, `<?php $f = function ($a) { return function ($b) use ($a) { return $a . $b; }; };`)
+	outer := e.(*ast.AssignExpr).Rhs.(*ast.ClosureExpr)
+	ret := outer.Body.Stmts[0].(*ast.ReturnStmt)
+	inner, ok := ret.Result.(*ast.ClosureExpr)
+	if !ok || len(inner.Uses) != 1 {
+		t.Fatalf("inner = %#v", ret.Result)
+	}
+}
+
+func TestChainedTernary(t *testing.T) {
+	e := firstExpr(t, `<?php $x = $a ? 1 : ($b ? 2 : 3);`)
+	tern := e.(*ast.AssignExpr).Rhs.(*ast.TernaryExpr)
+	if _, ok := tern.B.(*ast.TernaryExpr); !ok {
+		t.Errorf("nested ternary = %T", tern.B)
+	}
+}
+
+func TestArrayAppend(t *testing.T) {
+	e := firstExpr(t, `<?php $rows[] = $row;`)
+	a := e.(*ast.AssignExpr)
+	idx, ok := a.Lhs.(*ast.IndexExpr)
+	if !ok || idx.Index != nil {
+		t.Fatalf("lhs = %#v", a.Lhs)
+	}
+}
+
+func TestStringOffsetBraces(t *testing.T) {
+	e := firstExpr(t, `<?php $c = $s{0};`)
+	a := e.(*ast.AssignExpr)
+	if _, ok := a.Rhs.(*ast.IndexExpr); !ok {
+		t.Fatalf("rhs = %T", a.Rhs)
+	}
+}
+
+func TestExitWithoutParens(t *testing.T) {
+	f := parseOK(t, `<?php if ($bad) exit; echo "ok";`)
+	ifs := f.Stmts[0].(*ast.IfStmt)
+	es := ifs.Then.Stmts[0].(*ast.ExprStmt)
+	if _, ok := es.X.(*ast.ExitExpr); !ok {
+		t.Fatalf("then = %T", es.X)
+	}
+}
+
+func TestMultipleStatementsPerLine(t *testing.T) {
+	f := parseOK(t, `<?php $a = 1; $b = 2; $c = $a + $b; echo $c;`)
+	if len(f.Stmts) != 4 {
+		t.Fatalf("stmts = %d", len(f.Stmts))
+	}
+}
+
+func TestKeywordsAsMethodNames(t *testing.T) {
+	f := parseOK(t, `<?php
+class Q {
+  function list() { return array(); }
+  function print() { return 1; }
+}
+$q->list();`)
+	c := f.Classes["q"]
+	if c == nil || len(c.Methods) != 2 {
+		t.Fatalf("class = %+v", c)
+	}
+}
+
+func TestNamespacedCalls(t *testing.T) {
+	// Namespaced names flatten to their last segment.
+	e := firstExpr(t, `<?php \App\Db\query($sql);`)
+	c, ok := e.(*ast.CallExpr)
+	if !ok {
+		t.Fatalf("expr = %T", e)
+	}
+	if ast.CalleeName(c) != "query" {
+		t.Errorf("callee = %q", ast.CalleeName(c))
+	}
+}
+
+func TestConcatWithNumbers(t *testing.T) {
+	e := firstExpr(t, `<?php $s = "v" . 1 . 2.5 . true;`)
+	if _, ok := e.(*ast.AssignExpr).Rhs.(*ast.BinaryExpr); !ok {
+		t.Fatalf("rhs = %T", e.(*ast.AssignExpr).Rhs)
+	}
+}
+
+func TestEmptyFunctionBody(t *testing.T) {
+	f := parseOK(t, `<?php function noop() {}`)
+	if f.Funcs["noop"].Body == nil {
+		t.Fatal("body missing")
+	}
+}
+
+func TestInterfaceMethodsNoBody(t *testing.T) {
+	f := parseOK(t, `<?php
+interface Store {
+  public function get($k);
+  public function put($k, $v);
+}`)
+	c := f.Classes["store"]
+	if c == nil || !c.IsInterface || len(c.Methods) != 2 {
+		t.Fatalf("interface = %+v", c)
+	}
+	if c.Methods[0].Body != nil {
+		t.Error("interface method must have nil body")
+	}
+}
+
+func TestAbstractClass(t *testing.T) {
+	f := parseOK(t, `<?php
+abstract class Base {
+  abstract public function run();
+  public function helper() { return 1; }
+}`)
+	c := f.Classes["base"]
+	if c == nil || len(c.Methods) != 2 {
+		t.Fatalf("class = %+v", c)
+	}
+}
+
+func TestCastsChained(t *testing.T) {
+	e := firstExpr(t, `<?php $n = (int)(string)$_GET['x'];`)
+	outer, ok := e.(*ast.AssignExpr).Rhs.(*ast.CastExpr)
+	if !ok {
+		t.Fatalf("rhs = %T", e.(*ast.AssignExpr).Rhs)
+	}
+	if _, ok := outer.X.(*ast.CastExpr); !ok {
+		t.Errorf("inner = %T", outer.X)
+	}
+}
+
+func TestSuppressedAssignment(t *testing.T) {
+	e := firstExpr(t, `<?php $v = @$arr['maybe'];`)
+	a := e.(*ast.AssignExpr)
+	u, ok := a.Rhs.(*ast.UnaryExpr)
+	if !ok {
+		t.Fatalf("rhs = %T", a.Rhs)
+	}
+	if _, ok := u.X.(*ast.IndexExpr); !ok {
+		t.Errorf("suppressed expr = %T", u.X)
+	}
+}
+
+func TestNestedFunctionDeclarations(t *testing.T) {
+	f := parseOK(t, `<?php
+function outer() {
+  function inner() { return 1; }
+  return inner();
+}`)
+	if f.Funcs["outer"] == nil || f.Funcs["inner"] == nil {
+		t.Error("nested declarations must be indexed")
+	}
+}
+
+func TestConditionalFunctionDeclaration(t *testing.T) {
+	f := parseOK(t, `<?php
+if (!function_exists('helper')) {
+  function helper($x) { return $x; }
+}`)
+	if f.Funcs["helper"] == nil {
+		t.Error("conditionally declared function must be indexed")
+	}
+}
+
+func TestHTMLOnlyFile(t *testing.T) {
+	f := parseOK(t, `<html><body>No PHP here at all.</body></html>`)
+	if len(f.Stmts) != 1 {
+		t.Fatalf("stmts = %d", len(f.Stmts))
+	}
+	if _, ok := f.Stmts[0].(*ast.InlineHTMLStmt); !ok {
+		t.Errorf("stmt = %T", f.Stmts[0])
+	}
+}
+
+func TestRepeatedOpenCloseTags(t *testing.T) {
+	f := parseOK(t, `<?php $a = 1; ?>text<?php $b = 2; ?>more<?= $a + $b ?>end`)
+	var exprs, html int
+	for _, s := range f.Stmts {
+		switch s.(type) {
+		case *ast.ExprStmt, *ast.EchoStmt:
+			exprs++
+		case *ast.InlineHTMLStmt:
+			html++
+		}
+	}
+	if exprs != 3 || html != 3 {
+		t.Errorf("exprs = %d html = %d", exprs, html)
+	}
+}
+
+func TestDeeplyNestedExpressions(t *testing.T) {
+	src := `<?php $x = `
+	for i := 0; i < 100; i++ {
+		src += "("
+	}
+	src += "1"
+	for i := 0; i < 100; i++ {
+		src += ")"
+	}
+	src += ";"
+	f, errs := Parse("deep.php", src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if len(f.Stmts) != 1 {
+		t.Fatalf("stmts = %d", len(f.Stmts))
+	}
+}
+
+func TestPowRightAssociative(t *testing.T) {
+	e := firstExpr(t, `<?php $x = 2 ** 3 ** 2;`)
+	b := e.(*ast.AssignExpr).Rhs.(*ast.BinaryExpr)
+	// Right associative: 2 ** (3 ** 2).
+	if _, ok := b.Y.(*ast.BinaryExpr); !ok {
+		t.Errorf("pow associativity wrong: Y = %T", b.Y)
+	}
+}
+
+func TestByRefArgument(t *testing.T) {
+	e := firstExpr(t, `<?php sort(&$arr);`)
+	c := e.(*ast.CallExpr)
+	if len(c.ArgByRef) != 1 || !c.ArgByRef[0] {
+		t.Errorf("by-ref arg = %v", c.ArgByRef)
+	}
+}
+
+func TestSpreadArgument(t *testing.T) {
+	e := firstExpr(t, `<?php f(...$args);`)
+	c := e.(*ast.CallExpr)
+	if len(c.Args) != 1 {
+		t.Errorf("args = %d", len(c.Args))
+	}
+}
+
+func TestNamedArguments(t *testing.T) {
+	e := firstExpr(t, `<?php htmlspecialchars($s, flags: ENT_QUOTES);`)
+	c := e.(*ast.CallExpr)
+	if len(c.Args) != 2 {
+		t.Errorf("args = %d", len(c.Args))
+	}
+}
+
+func TestTraitDeclaration(t *testing.T) {
+	f := parseOK(t, `<?php
+trait Loggable {
+  public $log = array();
+  function record($msg) { $this->log[] = $msg; }
+}
+class Svc { use Loggable; }`)
+	tr := f.Classes["loggable"]
+	if tr == nil || len(tr.Methods) != 1 {
+		t.Fatalf("trait = %+v", tr)
+	}
+	if _, ok := f.Funcs["loggable::record"]; !ok {
+		t.Error("trait method not indexed")
+	}
+}
+
+func TestTraitAsVariableNameStillWorks(t *testing.T) {
+	// "trait" only acts as a keyword in declaration position.
+	f := parseOK(t, `<?php $x = trait_exists('T'); trait_stuff();`)
+	if len(f.Stmts) != 2 {
+		t.Fatalf("stmts = %d", len(f.Stmts))
+	}
+}
+
+func TestMatchExpression(t *testing.T) {
+	e := firstExpr(t, `<?php $out = match ($mode) {
+  'a', 'b' => handle_ab($x),
+  'c' => handle_c(),
+  default => fallback(),
+};`)
+	m, ok := e.(*ast.AssignExpr).Rhs.(*ast.MatchExpr)
+	if !ok {
+		t.Fatalf("rhs = %T", e.(*ast.AssignExpr).Rhs)
+	}
+	if len(m.Arms) != 3 {
+		t.Fatalf("arms = %d", len(m.Arms))
+	}
+	if len(m.Arms[0].Conds) != 2 {
+		t.Errorf("arm 0 conds = %d", len(m.Arms[0].Conds))
+	}
+	if m.Arms[2].Conds != nil {
+		t.Errorf("default arm must have nil conds")
+	}
+}
+
+func TestMatchAsFunctionNameStillWorks(t *testing.T) {
+	// Backtracking: match(...) without a brace body is an ordinary call.
+	e := firstExpr(t, `<?php match($pattern, $subject);`)
+	c, ok := e.(*ast.CallExpr)
+	if !ok {
+		t.Fatalf("expr = %T", e)
+	}
+	if ast.CalleeName(c) != "match" || len(c.Args) != 2 {
+		t.Errorf("call = %v args=%d", ast.CalleeName(c), len(c.Args))
+	}
+}

@@ -1,0 +1,93 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// TestParserSurvivesMutations deletes, duplicates and swaps random byte
+// ranges of realistic corpus files and asserts the parser never panics and
+// always produces a file object — the tolerance real-world WAP needs when
+// pointed at arbitrary trees.
+func TestParserSurvivesMutations(t *testing.T) {
+	apps := corpus.WebAppSuite(1)
+	var sources []string
+	for _, app := range apps[:6] {
+		for _, src := range app.Files {
+			sources = append(sources, src)
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	mutations := 0
+	for _, src := range sources {
+		for k := 0; k < 8; k++ {
+			mutated := mutate(src, rng)
+			f, _ := Parse("mut.php", mutated)
+			if f == nil {
+				t.Fatalf("nil file for mutation of %q", src[:40])
+			}
+			mutations++
+		}
+	}
+	if mutations < 100 {
+		t.Fatalf("too few mutations exercised: %d", mutations)
+	}
+}
+
+func mutate(src string, rng *rand.Rand) string {
+	if len(src) < 4 {
+		return src
+	}
+	switch rng.Intn(4) {
+	case 0: // delete a range
+		i := rng.Intn(len(src))
+		j := i + rng.Intn(len(src)-i)
+		return src[:i] + src[j:]
+	case 1: // duplicate a range
+		i := rng.Intn(len(src))
+		j := i + rng.Intn(len(src)-i)
+		return src[:j] + src[i:j] + src[j:]
+	case 2: // flip random bytes
+		b := []byte(src)
+		for n := 0; n < 1+rng.Intn(5); n++ {
+			b[rng.Intn(len(b))] = byte(rng.Intn(128))
+		}
+		return string(b)
+	default: // truncate
+		return src[:rng.Intn(len(src))]
+	}
+}
+
+// TestParserSurvivesPathologicalInputs feeds crafted worst cases.
+func TestParserSurvivesPathologicalInputs(t *testing.T) {
+	cases := []string{
+		"<?php",
+		"<?php ?",
+		"<?php <?php <?php",
+		"<?php ((((((((",
+		"<?php }}}}}}}}",
+		"<?php $",
+		"<?php $$$$$",
+		"<?php \"unterminated",
+		"<?php 'unterminated",
+		"<?php <<<EOT\nnever closed",
+		"<?php /* never closed",
+		"<?php class { }",
+		"<?php function () { }",
+		"<?php if while for foreach",
+		"<?php -> :: => ..",
+		"<?php \x00\x01\x02",
+		"<?php ?>\x00<?php",
+		"<?php echo;",
+		"<?php case 1: break;",
+		"<?php use ;",
+	}
+	for _, src := range cases {
+		f, _ := Parse("path.php", src)
+		if f == nil {
+			t.Errorf("nil file for %q", src)
+		}
+	}
+}

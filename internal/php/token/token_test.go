@@ -1,0 +1,62 @@
+package token
+
+import "testing"
+
+func TestLookupKeywords(t *testing.T) {
+	cases := map[string]Kind{
+		"echo":         KwEcho,
+		"if":           KwIf,
+		"die":          KwExit,
+		"exit":         KwExit,
+		"include_once": KwIncludeOnce,
+		"and":          KwAndKw,
+		"not_keyword":  Ident,
+	}
+	for name, want := range cases {
+		if got := Lookup(name); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestKindStringCoversEveryKind(t *testing.T) {
+	for k := Invalid; k <= KwXorKw; k++ {
+		if s := k.String(); s == "" {
+			t.Errorf("kind %d has empty name", int(k))
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !KwWhile.IsKeyword() || StringLit.IsKeyword() {
+		t.Error("IsKeyword wrong")
+	}
+	for _, k := range []Kind{CastIntKw, CastFloatKw, CastStringKw, CastBoolKw, CastArrayKw, CastObjectKw} {
+		if !k.IsCast() {
+			t.Errorf("%v should be a cast", k)
+		}
+	}
+	assigns := []Kind{Assign, PlusEq, MinusEq, StarEq, SlashEq, PercentEq, DotEq, CoalesceEq, AmpEq, PipeEq, CaretEq, ShlEq, ShrEq}
+	for _, k := range assigns {
+		if !k.IsAssignOp() {
+			t.Errorf("%v should be an assignment operator", k)
+		}
+	}
+	if Eq.IsAssignOp() || Identical.IsAssignOp() {
+		t.Error("comparisons are not assignments")
+	}
+}
+
+func TestPositionRendering(t *testing.T) {
+	p := Position{File: "x.php", Line: 2, Column: 9}
+	if p.String() != "x.php:2:9" {
+		t.Errorf("pos = %q", p.String())
+	}
+	if !p.IsValid() {
+		t.Error("positive line must be valid")
+	}
+	noCol := Position{File: "x.php", Line: 2}
+	if noCol.String() != "x.php:2" {
+		t.Errorf("pos without column = %q", noCol.String())
+	}
+}

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+)
+
+// Diff compares the confirmed vulnerabilities of two analysis runs —
+// typically two versions of the same application, the comparison the paper
+// itself makes between Clip Bucket 2.7.0.4 and 2.8 ("the most recent
+// version contains 4 more SQLI and the same 22 vulnerabilities").
+type Diff struct {
+	// Added are findings present only in the new run (matched by group,
+	// file, sink and line).
+	Added []GroupedFinding
+	// Removed are findings present only in the old run.
+	Removed []GroupedFinding
+	// Common counts findings present in both.
+	Common int
+	// PerGroup is the per-group count delta (new minus old), robust to code
+	// movement that shifts line numbers.
+	PerGroup map[corpus.Group]int
+}
+
+// DiffFindings compares two sets of grouped findings. Predicted false
+// positives are excluded: the diff is about reported vulnerabilities.
+func DiffFindings(old, new []GroupedFinding) *Diff {
+	key := func(gf GroupedFinding) string {
+		sink := ""
+		if len(gf.Findings) > 0 {
+			sink = gf.Findings[0].Candidate.SinkName
+		}
+		return fmt.Sprintf("%s|%s|%d|%s", gf.Group, gf.File, gf.Line, sink)
+	}
+	d := &Diff{PerGroup: make(map[corpus.Group]int)}
+	oldSet := make(map[string]int)
+	for _, gf := range old {
+		if gf.PredictedFP {
+			continue
+		}
+		oldSet[key(gf)]++
+		d.PerGroup[gf.Group]--
+	}
+	for _, gf := range new {
+		if gf.PredictedFP {
+			continue
+		}
+		d.PerGroup[gf.Group]++
+		k := key(gf)
+		if oldSet[k] > 0 {
+			oldSet[k]--
+			d.Common++
+			continue
+		}
+		d.Added = append(d.Added, gf)
+	}
+	// Whatever remains unmatched in the old set was removed.
+	remaining := make(map[string]int, len(oldSet))
+	for k, n := range oldSet {
+		remaining[k] = n
+	}
+	for _, gf := range old {
+		if gf.PredictedFP {
+			continue
+		}
+		k := key(gf)
+		if remaining[k] > 0 {
+			remaining[k]--
+			d.Removed = append(d.Removed, gf)
+		}
+	}
+	for g, n := range d.PerGroup {
+		if n == 0 {
+			delete(d.PerGroup, g)
+		}
+	}
+	return d
+}
+
+// Render prints the diff in a compact report.
+func (d *Diff) Render(oldName, newName string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Vulnerability diff: %s -> %s\n", oldName, newName)
+	fmt.Fprintf(&b, "  unchanged: %d, added: %d, removed: %d\n",
+		d.Common, len(d.Added), len(d.Removed))
+	if len(d.PerGroup) > 0 {
+		groups := make([]string, 0, len(d.PerGroup))
+		for g := range d.PerGroup {
+			groups = append(groups, string(g))
+		}
+		sort.Strings(groups)
+		b.WriteString("  per class:")
+		for _, g := range groups {
+			fmt.Fprintf(&b, " %s%+d", g, d.PerGroup[corpus.Group(g)])
+		}
+		b.WriteString("\n")
+	}
+	for _, gf := range d.Added {
+		fmt.Fprintf(&b, "  + [%s] %s:%d\n", gf.Group, gf.File, gf.Line)
+	}
+	for _, gf := range d.Removed {
+		fmt.Fprintf(&b, "  - [%s] %s:%d\n", gf.Group, gf.File, gf.Line)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func TestDiffReportsFixedVersion(t *testing.T) {
+	eng, err := core.New(core.Options{Mode: core.ModeWAPe, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Train(); err != nil {
+		t.Fatal(err)
+	}
+	oldSrc := `<?php
+mysql_query("SELECT a FROM t WHERE x=" . $_GET['x']);
+echo $_GET['msg'];
+header("Location: " . $_GET['next']);
+`
+	// The new version fixes the XSS and adds an OSCI bug.
+	newSrc := `<?php
+mysql_query("SELECT a FROM t WHERE x=" . $_GET['x']);
+echo htmlspecialchars($_GET['msg']);
+header("Location: " . $_GET['next']);
+system("ls " . $_POST['dir']);
+`
+	repOld, err := eng.Analyze(core.LoadMap("v1", map[string]string{"app.php": oldSrc}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repNew, err := eng.Analyze(core.LoadMap("v2", map[string]string{"app.php": newSrc}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DiffFindings(Group(repOld), Group(repNew))
+	if d.Common != 2 { // SQLI and HI at identical lines
+		t.Errorf("common = %d, want 2", d.Common)
+	}
+	if d.PerGroup[corpus.GroupXSS] != -1 {
+		t.Errorf("XSS delta = %d, want -1", d.PerGroup[corpus.GroupXSS])
+	}
+	if d.PerGroup[corpus.GroupOSCI] != +1 {
+		t.Errorf("OSCI delta = %d, want +1", d.PerGroup[corpus.GroupOSCI])
+	}
+	out := d.Render("v1", "v2")
+	if !strings.Contains(out, "added: 1") || !strings.Contains(out, "removed: 1") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+// TestDiffClipBucketVersions reproduces the paper's own version comparison:
+// Clip Bucket 2.8 adds 4 SQL injections over 2.7.0.4 while the other
+// classes stay at the same counts.
+func TestDiffClipBucketVersions(t *testing.T) {
+	eng, err := core.New(core.Options{Mode: core.ModeWAPe, Seed: 2016})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Train(); err != nil {
+		t.Fatal(err)
+	}
+	suite := corpus.WebAppSuite(2016)
+	var oldApp, newApp *corpus.App
+	for _, a := range suite {
+		if a.Name == "Clip Bucket" && a.Version == "2.7.0.4" {
+			oldApp = a
+		}
+		if a.Name == "Clip Bucket" && a.Version == "2.8" {
+			newApp = a
+		}
+	}
+	if oldApp == nil || newApp == nil {
+		t.Fatal("Clip Bucket versions missing from corpus")
+	}
+	repOld, err := eng.Analyze(core.LoadMap("cb-2.7.0.4", oldApp.Files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repNew, err := eng.Analyze(core.LoadMap("cb-2.8", newApp.Files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DiffFindings(Group(repOld), Group(repNew))
+	// "the most recent version of Clip Bucket contains more 4 SQLI and the
+	// same 22 vulnerabilities than the previous version"
+	if d.PerGroup[corpus.GroupSQLI] != 4 {
+		t.Errorf("SQLI delta = %d, want +4 (paper Section V-A)", d.PerGroup[corpus.GroupSQLI])
+	}
+	for _, g := range []corpus.Group{corpus.GroupXSS, corpus.GroupFiles, corpus.GroupSCD} {
+		// Per-class totals are unchanged; the generator may place them at
+		// different lines, so only the aggregate delta must be zero.
+		if d.PerGroup[g] != 0 {
+			t.Errorf("%s delta = %d, want 0", g, d.PerGroup[g])
+		}
+	}
+}
+
+func TestDiffEmpty(t *testing.T) {
+	d := DiffFindings(nil, nil)
+	if d.Common != 0 || len(d.Added) != 0 || len(d.Removed) != 0 || len(d.PerGroup) != 0 {
+		t.Errorf("empty diff = %+v", d)
+	}
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// JSONFinding is the machine-readable form of one grouped finding.
+type JSONFinding struct {
+	Group       string   `json:"group"`
+	Classes     []string `json:"classes"`
+	File        string   `json:"file"`
+	Line        int      `json:"line"`
+	Sink        string   `json:"sink"`
+	Sources     []string `json:"sources"`
+	Symptoms    []string `json:"symptoms,omitempty"`
+	PredictedFP bool     `json:"predicted_false_positive"`
+	Weapon      string   `json:"weapon,omitempty"`
+	Trace       []string `json:"trace,omitempty"`
+}
+
+// JSONReport is the machine-readable analysis report.
+type JSONReport struct {
+	Project    string        `json:"project"`
+	Mode       string        `json:"mode"`
+	Files      int           `json:"files"`
+	Lines      int           `json:"lines"`
+	DurationMS int64         `json:"duration_ms"`
+	Findings   []JSONFinding `json:"findings"`
+	// Vulnerabilities counts findings not predicted to be false positives.
+	Vulnerabilities int `json:"vulnerabilities"`
+	FalsePositives  int `json:"false_positives"`
+}
+
+// ToJSON converts an analysis report into its machine-readable form.
+func ToJSON(rep *core.Report) *JSONReport {
+	out := &JSONReport{
+		Project:    rep.Project.Name,
+		Mode:       rep.Mode.String(),
+		Files:      len(rep.Project.Files),
+		Lines:      rep.Project.TotalLines(),
+		DurationMS: rep.Duration.Milliseconds(),
+	}
+	for _, gf := range Group(rep) {
+		first := gf.Findings[0]
+		jf := JSONFinding{
+			Group:       string(gf.Group),
+			File:        gf.File,
+			Line:        gf.Line,
+			Sink:        first.Candidate.SinkName,
+			PredictedFP: gf.PredictedFP,
+			Weapon:      first.Weapon,
+		}
+		seenCls := map[string]bool{}
+		for _, f := range gf.Findings {
+			cls := string(f.Candidate.Class)
+			if !seenCls[cls] {
+				seenCls[cls] = true
+				jf.Classes = append(jf.Classes, cls)
+			}
+		}
+		for _, s := range first.Candidate.Value.Sources {
+			jf.Sources = append(jf.Sources, s.Name)
+		}
+		for name, set := range first.Symptoms {
+			if set {
+				jf.Symptoms = append(jf.Symptoms, name)
+			}
+		}
+		sort.Strings(jf.Symptoms)
+		for _, step := range first.Candidate.Value.Trace {
+			jf.Trace = append(jf.Trace, step.Desc)
+		}
+		if gf.PredictedFP {
+			out.FalsePositives++
+		} else {
+			out.Vulnerabilities++
+		}
+		out.Findings = append(out.Findings, jf)
+	}
+	return out
+}
+
+// WriteJSON encodes the report as indented JSON.
+func WriteJSON(w io.Writer, rep *core.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToJSON(rep))
+}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const outputTestSrc = `<?php
+mysql_query("SELECT * FROM t WHERE id=" . $_GET['id']);
+$v = $_GET['v'];
+if (!is_numeric($v)) { exit; }
+mysql_query("SELECT * FROM t WHERE n=" . $v);
+`
+
+func TestJSONOutput(t *testing.T) {
+	rep := analyzed(t, outputTestSrc)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var decoded JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if decoded.Mode != "WAPe" || decoded.Files != 1 {
+		t.Errorf("header = %+v", decoded)
+	}
+	if decoded.Vulnerabilities != 1 || decoded.FalsePositives != 1 {
+		t.Errorf("counts = %d vulns / %d fps", decoded.Vulnerabilities, decoded.FalsePositives)
+	}
+	if len(decoded.Findings) != 2 {
+		t.Fatalf("findings = %d", len(decoded.Findings))
+	}
+	var fp *JSONFinding
+	for i := range decoded.Findings {
+		if decoded.Findings[i].PredictedFP {
+			fp = &decoded.Findings[i]
+		}
+	}
+	if fp == nil {
+		t.Fatal("no predicted FP in JSON")
+	}
+	joined := strings.Join(fp.Symptoms, ",")
+	if !strings.Contains(joined, "is_numeric") {
+		t.Errorf("fp symptoms = %v", fp.Symptoms)
+	}
+	if len(fp.Trace) == 0 || len(fp.Sources) == 0 {
+		t.Errorf("fp = %+v", fp)
+	}
+}
+
+func TestHTMLOutput(t *testing.T) {
+	rep := analyzed(t, outputTestSrc)
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "Vulnerabilities (1)", "Predicted false positives (1)",
+		"mysql_query", "SQLI", "is_numeric", "entry point $_GET[id]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+}
+
+func TestHTMLEscaping(t *testing.T) {
+	// Attacker-controlled strings in findings must be escaped in the report
+	// (otherwise the report itself becomes an XSS vector).
+	src := `<?php echo $_GET['<script>alert(1)</script>'];`
+	rep := analyzed(t, src)
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>alert(1)</script>") {
+		t.Error("unescaped attacker content in HTML report")
+	}
+	if !strings.Contains(buf.String(), "&lt;script&gt;") {
+		t.Error("escaped form missing")
+	}
+}
+
+func TestJSONEmptyReport(t *testing.T) {
+	rep := analyzed(t, `<?php echo "static";`)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var decoded JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Vulnerabilities != 0 || len(decoded.Findings) != 0 {
+		t.Errorf("empty report = %+v", decoded)
+	}
+}

@@ -1,0 +1,347 @@
+// Package symptom implements WAP's symptom machinery (paper Table I): the
+// catalog of source-code features used to predict false positives, the maps
+// from symptoms to attributes (the original 15-attribute map of WAP v2.1 and
+// the 61-attribute map of the new version), extraction of symptoms from
+// candidate vulnerabilities, and user-defined dynamic symptoms.
+package symptom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Category groups symptoms as in Table I.
+type Category int
+
+// Symptom categories.
+const (
+	Validation Category = iota + 1
+	StringManipulation
+	SQLQueryManipulation
+)
+
+// String returns the Table I category heading.
+func (c Category) String() string {
+	switch c {
+	case Validation:
+		return "validation"
+	case StringManipulation:
+		return "string manipulation"
+	case SQLQueryManipulation:
+		return "SQL query manipulation"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Kind describes how a symptom is detected in source code.
+type Kind int
+
+// Symptom kinds.
+const (
+	// FuncKind symptoms are PHP function calls by name.
+	FuncKind Kind = iota + 1
+	// OperatorKind symptoms are operators (the concatenation dot).
+	OperatorKind
+	// ConstructKind symptoms are language constructs (isset, empty, exit).
+	ConstructKind
+	// DerivedKind symptoms are computed from the query text at the sink
+	// (ComplexSQL, IsNum, FROM, aggregation functions).
+	DerivedKind
+	// UserListKind symptoms are user functions containing white/black lists
+	// (dynamic symptoms).
+	UserListKind
+)
+
+// Attribute identifies one of the original WAP v2.1 attributes, each of
+// which aggregates several symptoms (Table I, left columns).
+type Attribute int
+
+// The 15 original feature attributes (the 16th attribute is the class
+// label).
+const (
+	AttrTypeChecking Attribute = iota + 1
+	AttrEntryPointIsSet
+	AttrPatternControl
+	AttrWhiteList
+	AttrBlackList
+	AttrErrorExit
+	AttrExtractSubstring
+	AttrStringConcat
+	AttrAddChar
+	AttrReplaceString
+	AttrRemoveWhitespace
+	AttrComplexQuery
+	AttrNumericEntryPoint
+	AttrFROMClause
+	AttrAggregatedFunction
+)
+
+// NumOriginalAttributes is the original feature-attribute count (class label
+// excluded).
+const NumOriginalAttributes = 15
+
+// attributeNames maps original attributes to readable names.
+var attributeNames = map[Attribute]string{
+	AttrTypeChecking:       "Type checking",
+	AttrEntryPointIsSet:    "Entry point is set",
+	AttrPatternControl:     "Pattern control",
+	AttrWhiteList:          "White list",
+	AttrBlackList:          "Black list",
+	AttrErrorExit:          "Error and exit",
+	AttrExtractSubstring:   "Extract substring",
+	AttrStringConcat:       "String concatenation",
+	AttrAddChar:            "Add char",
+	AttrReplaceString:      "Replace string",
+	AttrRemoveWhitespace:   "Remove whitespaces",
+	AttrComplexQuery:       "Complex query",
+	AttrNumericEntryPoint:  "Numeric entry point",
+	AttrFROMClause:         "FROM clause",
+	AttrAggregatedFunction: "Aggregated function",
+}
+
+// String returns the attribute's Table I name.
+func (a Attribute) String() string {
+	if n, ok := attributeNames[a]; ok {
+		return n
+	}
+	return fmt.Sprintf("Attribute(%d)", int(a))
+}
+
+// Symptom is one entry of the Table I catalog. In the new WAP every symptom
+// is itself an attribute; in the original tool symptoms aggregate into the
+// 15 coarse attributes.
+type Symptom struct {
+	// Name is the symptom identifier: a PHP function name for FuncKind,
+	// otherwise a descriptive slug.
+	Name     string
+	Category Category
+	Kind     Kind
+	// Attr is the original coarse attribute this symptom belongs to.
+	Attr Attribute
+	// Original marks symptoms already present in WAP v2.1 (Table I middle
+	// column); the rest are the paper's additions (right column).
+	Original bool
+}
+
+// Catalog returns the full ordered symptom catalog. The order defines the
+// attribute-vector layout of the new WAP (60 feature attributes + class).
+// The slice is freshly allocated on each call.
+func Catalog() []Symptom {
+	return append([]Symptom(nil), catalog...)
+}
+
+// NumNewAttributes is the new WAP feature-attribute count: every symptom is
+// an attribute (class label excluded). With the class label this gives the
+// paper's 61 attributes.
+var NumNewAttributes = len(catalog)
+
+var catalog = []Symptom{
+	// --- validation: type checking -------------------------------------
+	{Name: "is_string", Category: Validation, Kind: FuncKind, Attr: AttrTypeChecking, Original: true},
+	{Name: "is_int", Category: Validation, Kind: FuncKind, Attr: AttrTypeChecking, Original: true},
+	{Name: "is_float", Category: Validation, Kind: FuncKind, Attr: AttrTypeChecking, Original: true},
+	{Name: "is_numeric", Category: Validation, Kind: FuncKind, Attr: AttrTypeChecking, Original: true},
+	{Name: "ctype_digit", Category: Validation, Kind: FuncKind, Attr: AttrTypeChecking, Original: true},
+	{Name: "ctype_alpha", Category: Validation, Kind: FuncKind, Attr: AttrTypeChecking, Original: true},
+	{Name: "ctype_alnum", Category: Validation, Kind: FuncKind, Attr: AttrTypeChecking, Original: true},
+	{Name: "intval", Category: Validation, Kind: FuncKind, Attr: AttrTypeChecking, Original: true},
+	{Name: "is_double", Category: Validation, Kind: FuncKind, Attr: AttrTypeChecking},
+	{Name: "is_integer", Category: Validation, Kind: FuncKind, Attr: AttrTypeChecking},
+	{Name: "is_long", Category: Validation, Kind: FuncKind, Attr: AttrTypeChecking},
+	{Name: "is_real", Category: Validation, Kind: FuncKind, Attr: AttrTypeChecking},
+	{Name: "is_scalar", Category: Validation, Kind: FuncKind, Attr: AttrTypeChecking},
+	// --- validation: entry point is set ---------------------------------
+	{Name: "isset", Category: Validation, Kind: ConstructKind, Attr: AttrEntryPointIsSet, Original: true},
+	{Name: "is_null", Category: Validation, Kind: FuncKind, Attr: AttrEntryPointIsSet},
+	{Name: "empty", Category: Validation, Kind: ConstructKind, Attr: AttrEntryPointIsSet},
+	// --- validation: pattern control ------------------------------------
+	{Name: "preg_match", Category: Validation, Kind: FuncKind, Attr: AttrPatternControl, Original: true},
+	{Name: "ereg", Category: Validation, Kind: FuncKind, Attr: AttrPatternControl, Original: true},
+	{Name: "eregi", Category: Validation, Kind: FuncKind, Attr: AttrPatternControl, Original: true},
+	{Name: "strnatcmp", Category: Validation, Kind: FuncKind, Attr: AttrPatternControl, Original: true},
+	{Name: "strcmp", Category: Validation, Kind: FuncKind, Attr: AttrPatternControl, Original: true},
+	{Name: "strncmp", Category: Validation, Kind: FuncKind, Attr: AttrPatternControl, Original: true},
+	{Name: "strncasecmp", Category: Validation, Kind: FuncKind, Attr: AttrPatternControl, Original: true},
+	{Name: "strcasecmp", Category: Validation, Kind: FuncKind, Attr: AttrPatternControl, Original: true},
+	{Name: "preg_match_all", Category: Validation, Kind: FuncKind, Attr: AttrPatternControl},
+	// --- validation: white/black lists (dynamic) ------------------------
+	{Name: "white_list", Category: Validation, Kind: UserListKind, Attr: AttrWhiteList, Original: true},
+	{Name: "black_list", Category: Validation, Kind: UserListKind, Attr: AttrBlackList, Original: true},
+	// --- validation: error and exit -------------------------------------
+	{Name: "error", Category: Validation, Kind: FuncKind, Attr: AttrErrorExit, Original: true},
+	{Name: "exit", Category: Validation, Kind: ConstructKind, Attr: AttrErrorExit, Original: true},
+	// --- string manipulation: extract substring -------------------------
+	{Name: "substr", Category: StringManipulation, Kind: FuncKind, Attr: AttrExtractSubstring, Original: true},
+	{Name: "preg_split", Category: StringManipulation, Kind: FuncKind, Attr: AttrExtractSubstring},
+	{Name: "str_split", Category: StringManipulation, Kind: FuncKind, Attr: AttrExtractSubstring},
+	{Name: "explode", Category: StringManipulation, Kind: FuncKind, Attr: AttrExtractSubstring},
+	{Name: "split", Category: StringManipulation, Kind: FuncKind, Attr: AttrExtractSubstring},
+	{Name: "spliti", Category: StringManipulation, Kind: FuncKind, Attr: AttrExtractSubstring},
+	// --- string manipulation: concatenation -----------------------------
+	{Name: "concat", Category: StringManipulation, Kind: OperatorKind, Attr: AttrStringConcat, Original: true},
+	{Name: "implode", Category: StringManipulation, Kind: FuncKind, Attr: AttrStringConcat},
+	{Name: "join", Category: StringManipulation, Kind: FuncKind, Attr: AttrStringConcat},
+	// --- string manipulation: add char ----------------------------------
+	{Name: "addchar", Category: StringManipulation, Kind: FuncKind, Attr: AttrAddChar, Original: true},
+	{Name: "str_pad", Category: StringManipulation, Kind: FuncKind, Attr: AttrAddChar},
+	// --- string manipulation: replace string ----------------------------
+	{Name: "substr_replace", Category: StringManipulation, Kind: FuncKind, Attr: AttrReplaceString, Original: true},
+	{Name: "str_replace", Category: StringManipulation, Kind: FuncKind, Attr: AttrReplaceString, Original: true},
+	{Name: "preg_replace", Category: StringManipulation, Kind: FuncKind, Attr: AttrReplaceString, Original: true},
+	{Name: "preg_filter", Category: StringManipulation, Kind: FuncKind, Attr: AttrReplaceString},
+	{Name: "ereg_replace", Category: StringManipulation, Kind: FuncKind, Attr: AttrReplaceString},
+	{Name: "eregi_replace", Category: StringManipulation, Kind: FuncKind, Attr: AttrReplaceString},
+	{Name: "str_ireplace", Category: StringManipulation, Kind: FuncKind, Attr: AttrReplaceString},
+	{Name: "str_shuffle", Category: StringManipulation, Kind: FuncKind, Attr: AttrReplaceString},
+	{Name: "chunk_split", Category: StringManipulation, Kind: FuncKind, Attr: AttrReplaceString},
+	// --- string manipulation: remove whitespaces ------------------------
+	{Name: "trim", Category: StringManipulation, Kind: FuncKind, Attr: AttrRemoveWhitespace, Original: true},
+	{Name: "rtrim", Category: StringManipulation, Kind: FuncKind, Attr: AttrRemoveWhitespace},
+	{Name: "ltrim", Category: StringManipulation, Kind: FuncKind, Attr: AttrRemoveWhitespace},
+	// --- SQL query manipulation ------------------------------------------
+	{Name: "complex_query", Category: SQLQueryManipulation, Kind: DerivedKind, Attr: AttrComplexQuery, Original: true},
+	{Name: "numeric_entry_point", Category: SQLQueryManipulation, Kind: DerivedKind, Attr: AttrNumericEntryPoint, Original: true},
+	{Name: "from_clause", Category: SQLQueryManipulation, Kind: DerivedKind, Attr: AttrFROMClause, Original: true},
+	{Name: "agg_avg", Category: SQLQueryManipulation, Kind: DerivedKind, Attr: AttrAggregatedFunction, Original: true},
+	{Name: "agg_count", Category: SQLQueryManipulation, Kind: DerivedKind, Attr: AttrAggregatedFunction, Original: true},
+	{Name: "agg_sum", Category: SQLQueryManipulation, Kind: DerivedKind, Attr: AttrAggregatedFunction, Original: true},
+	{Name: "agg_max", Category: SQLQueryManipulation, Kind: DerivedKind, Attr: AttrAggregatedFunction, Original: true},
+	{Name: "agg_min", Category: SQLQueryManipulation, Kind: DerivedKind, Attr: AttrAggregatedFunction, Original: true},
+}
+
+// indexByName maps symptom name to catalog index.
+var indexByName = func() map[string]int {
+	m := make(map[string]int, len(catalog))
+	for i, s := range catalog {
+		m[s.Name] = i
+	}
+	return m
+}()
+
+// Index returns the catalog position of a symptom name, or -1.
+func Index(name string) int {
+	if i, ok := indexByName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// FuncSymptoms returns the set of PHP function names that are function-kind
+// symptoms, mapped to their catalog index.
+func FuncSymptoms() map[string]int {
+	out := make(map[string]int)
+	for i, s := range catalog {
+		if s.Kind == FuncKind {
+			out[s.Name] = i
+		}
+	}
+	return out
+}
+
+// OriginalSymptoms returns the names of the symptoms known to WAP v2.1.
+func OriginalSymptoms() []string {
+	var out []string
+	for _, s := range catalog {
+		if s.Original {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// Dynamic is a user-defined dynamic symptom (paper Section III-B2): a user
+// function declared to behave like a static symptom.
+type Dynamic struct {
+	// Func is the user function name (lower-case), e.g. "val_int".
+	Func string
+	// Category of the symptom (validation, string manipulation, ...).
+	Category Category
+	// MapsTo is the static symptom the function is equivalent to, e.g.
+	// "is_int", or "white_list"/"black_list" for user list functions.
+	MapsTo string
+}
+
+// Validate checks the dynamic symptom refers to a known static symptom.
+func (d Dynamic) Validate() error {
+	if d.Func == "" {
+		return fmt.Errorf("symptom: dynamic symptom needs a function name")
+	}
+	if Index(d.MapsTo) < 0 {
+		return fmt.Errorf("symptom: dynamic symptom %q maps to unknown static symptom %q", d.Func, d.MapsTo)
+	}
+	return nil
+}
+
+// Vector is a binary attribute vector plus a label. Attrs follows either the
+// 60-feature new layout or the 15-feature original layout; Label is true for
+// false positives (class FP) and false for real vulnerabilities (class RV),
+// matching the paper's "Yes (FP)" class.
+type Vector struct {
+	Attrs []bool
+	Label bool
+}
+
+// Clone returns a deep copy of the vector.
+func (v Vector) Clone() Vector {
+	return Vector{Attrs: append([]bool(nil), v.Attrs...), Label: v.Label}
+}
+
+// Key returns a canonical string form for deduplication.
+func (v Vector) Key() string {
+	b := make([]byte, len(v.Attrs)+1)
+	for i, a := range v.Attrs {
+		if a {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	if v.Label {
+		b[len(v.Attrs)] = 'F'
+	} else {
+		b[len(v.Attrs)] = 'R'
+	}
+	return string(b)
+}
+
+// NewVectorFromSet builds a new-layout (60-feature) vector from a set of
+// present symptom names. Unknown names are ignored.
+func NewVectorFromSet(present map[string]bool, label bool) Vector {
+	attrs := make([]bool, len(catalog))
+	for name := range present {
+		if i := Index(name); i >= 0 {
+			attrs[i] = present[name]
+		}
+	}
+	return Vector{Attrs: attrs, Label: label}
+}
+
+// OriginalVectorFromSet builds an original-layout (15-feature) vector: only
+// WAP v2.1 symptoms contribute, aggregated by coarse attribute.
+func OriginalVectorFromSet(present map[string]bool, label bool) Vector {
+	attrs := make([]bool, NumOriginalAttributes)
+	for name, p := range present {
+		if !p {
+			continue
+		}
+		i := Index(name)
+		if i < 0 || !catalog[i].Original {
+			continue
+		}
+		attrs[catalog[i].Attr-1] = true
+	}
+	return Vector{Attrs: attrs, Label: label}
+}
+
+// PresentNames lists the symptom names set in a new-layout vector, sorted.
+func PresentNames(v Vector) []string {
+	var out []string
+	for i, set := range v.Attrs {
+		if set && i < len(catalog) {
+			out = append(out, catalog[i].Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

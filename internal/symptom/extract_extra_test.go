@@ -1,0 +1,157 @@
+package symptom
+
+import (
+	"testing"
+
+	"repro/internal/php/parser"
+	"repro/internal/taint"
+	"repro/internal/vuln"
+)
+
+// Extraction scoping tests: symptoms must be collected from the code around
+// the candidate's own flow, not from unrelated code.
+
+func TestScopeLimitedToEnclosingFunction(t *testing.T) {
+	// The guard in other() must not contaminate the candidate in handler().
+	src := `<?php
+function other() {
+  $v = $_GET['v'];
+  if (!is_numeric($v)) { exit; }
+  mysql_query("SELECT safe FROM t WHERE v=" . intval($v));
+}
+function handler() {
+  $id = $_GET['id'];
+  mysql_query("SELECT raw FROM t WHERE id=" . $id);
+}`
+	f, errs := parser.Parse("scope.php", src)
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	cands := taint.New(taint.Config{Class: vuln.MustGet(vuln.SQLI)}).File(f)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d (intval should silence other())", len(cands))
+	}
+	got := NewExtractor(nil).Extract(cands[0], f)
+	if got["is_numeric"] || got["intval"] {
+		t.Errorf("symptoms leaked across functions: %v", got)
+	}
+}
+
+func TestGuardOnDifferentSuperglobalKeyIgnored(t *testing.T) {
+	src := `<?php
+if (!is_numeric($_GET['other'])) { exit; }
+mysql_query("SELECT * FROM t WHERE id=" . $_GET['id']);`
+	f, _ := parser.Parse("k.php", src)
+	cands := taint.New(taint.Config{Class: vuln.MustGet(vuln.SQLI)}).File(f)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	got := NewExtractor(nil).Extract(cands[0], f)
+	if got["is_numeric"] {
+		t.Errorf("guard on $_GET['other'] must not count for $_GET['id']: %v", got)
+	}
+}
+
+func TestGuardOnSameSuperglobalKeyCounts(t *testing.T) {
+	src := `<?php
+if (!is_numeric($_GET['id'])) { exit; }
+mysql_query("SELECT * FROM t WHERE id=" . $_GET['id']);`
+	f, _ := parser.Parse("k.php", src)
+	cands := taint.New(taint.Config{Class: vuln.MustGet(vuln.SQLI)}).File(f)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	got := NewExtractor(nil).Extract(cands[0], f)
+	if !got["is_numeric"] || !got["exit"] {
+		t.Errorf("same-key guard must count: %v", got)
+	}
+}
+
+func TestWholeSuperglobalGuardCounts(t *testing.T) {
+	// Guards on the whole array apply to every key.
+	src := `<?php
+if (empty($_POST)) { exit; }
+mysql_query("SELECT * FROM t WHERE a='" . $_POST['a'] . "'");`
+	f, _ := parser.Parse("w.php", src)
+	cands := taint.New(taint.Config{Class: vuln.MustGet(vuln.SQLI)}).File(f)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	got := NewExtractor(nil).Extract(cands[0], f)
+	if !got["empty"] {
+		t.Errorf("whole-array guard must count: %v", got)
+	}
+}
+
+func TestExitSymptomRequiresGuardRelation(t *testing.T) {
+	// An exit elsewhere (not conditioned on the flow) must not count.
+	src := `<?php
+if ($_POST['mode'] == 'off') { exit; }
+mysql_query("SELECT * FROM t WHERE id=" . $_GET['id']);`
+	f, _ := parser.Parse("e.php", src)
+	cands := taint.New(taint.Config{Class: vuln.MustGet(vuln.SQLI)}).File(f)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	got := NewExtractor(nil).Extract(cands[0], f)
+	if got["exit"] {
+		t.Errorf("unrelated exit counted: %v", got)
+	}
+}
+
+func TestReturnGuardCountsAsExit(t *testing.T) {
+	src := `<?php
+function page() {
+  $id = $_GET['id'];
+  if (!ctype_digit($id)) { return; }
+  mysql_query("SELECT * FROM t WHERE id=" . $id);
+}`
+	f, _ := parser.Parse("r.php", src)
+	cands := taint.New(taint.Config{Class: vuln.MustGet(vuln.SQLI)}).File(f)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	got := NewExtractor(nil).Extract(cands[0], f)
+	if !got["exit"] || !got["ctype_digit"] {
+		t.Errorf("return-guard symptoms: %v", got)
+	}
+}
+
+func TestQueryShapeNumericDetection(t *testing.T) {
+	cases := []struct {
+		src     string
+		numeric bool
+	}{
+		{`<?php mysql_query("SELECT a FROM t WHERE id=" . $_GET['x']);`, true},
+		{`<?php mysql_query("SELECT a FROM t WHERE name='" . $_GET['x'] . "'");`, false},
+		{`<?php mysql_query("SELECT a FROM t LIMIT " . $_GET['x']);`, true},
+		{`<?php mysql_query("SELECT a FROM t WHERE id > " . $_GET['x']);`, true},
+	}
+	for _, c := range cases {
+		f, _ := parser.Parse("q.php", c.src)
+		cands := taint.New(taint.Config{Class: vuln.MustGet(vuln.SQLI)}).File(f)
+		if len(cands) != 1 {
+			t.Fatalf("%q: candidates = %d", c.src, len(cands))
+		}
+		got := NewExtractor(nil).Extract(cands[0], f)
+		if got["numeric_entry_point"] != c.numeric {
+			t.Errorf("%q: numeric_entry_point = %v, want %v", c.src, got["numeric_entry_point"], c.numeric)
+		}
+	}
+}
+
+func TestTraceSymptomsFromCalls(t *testing.T) {
+	// Functions applied along the flow count even without variable-based
+	// matching (they are on the trace).
+	src := `<?php
+mysql_query("SELECT a FROM t WHERE v='" . trim($_GET['v']) . "'");`
+	f, _ := parser.Parse("tr.php", src)
+	cands := taint.New(taint.Config{Class: vuln.MustGet(vuln.SQLI)}).File(f)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	got := NewExtractor(nil).Extract(cands[0], f)
+	if !got["trim"] {
+		t.Errorf("trace symptom missing: %v", got)
+	}
+}

@@ -1,0 +1,231 @@
+package symptom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/php/parser"
+	"repro/internal/taint"
+	"repro/internal/vuln"
+)
+
+func TestCatalogCount(t *testing.T) {
+	// Paper: 61 attributes in the new WAP, one of which is the class label.
+	if NumNewAttributes != 60 {
+		t.Errorf("feature symptoms = %d, want 60 (61 with the class attribute)", NumNewAttributes)
+	}
+	// Original: 16 attributes including the class label.
+	if NumOriginalAttributes != 15 {
+		t.Errorf("original feature attributes = %d, want 15", NumOriginalAttributes)
+	}
+}
+
+func TestCatalogNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, s := range Catalog() {
+		if seen[s.Name] {
+			t.Errorf("duplicate symptom %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestOriginalSymptomsSubset(t *testing.T) {
+	orig := OriginalSymptoms()
+	// The paper's prose says the original attributes "represent 24 symptoms"
+	// but Table I's middle column enumerates 36 entries (counting each
+	// aggregate function and SQL-shape symptom); we encode the table.
+	if len(orig) != 36 {
+		t.Errorf("original symptoms = %d, want 36: %v", len(orig), orig)
+	}
+	for _, n := range orig {
+		if Index(n) < 0 {
+			t.Errorf("original symptom %q missing from catalog", n)
+		}
+	}
+}
+
+func TestEveryAttributeCovered(t *testing.T) {
+	covered := make(map[Attribute]bool)
+	for _, s := range Catalog() {
+		covered[s.Attr] = true
+	}
+	for a := AttrTypeChecking; a <= AttrAggregatedFunction; a++ {
+		if !covered[a] {
+			t.Errorf("attribute %v has no symptoms", a)
+		}
+	}
+}
+
+func extractFrom(t *testing.T, id vuln.ClassID, src string, dyn ...Dynamic) map[string]bool {
+	t.Helper()
+	f, errs := parser.Parse("sym.php", src)
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	cands := taint.New(taint.Config{Class: vuln.MustGet(id)}).File(f)
+	if len(cands) == 0 {
+		t.Fatal("no candidates to extract from")
+	}
+	return NewExtractor(dyn).Extract(cands[0], f)
+}
+
+func TestExtractValidationSymptoms(t *testing.T) {
+	got := extractFrom(t, vuln.SQLI, `<?php
+$id = $_GET['id'];
+if (!isset($_GET['id'])) { exit; }
+if (is_numeric($id)) {
+  mysql_query("SELECT name FROM users WHERE id=" . $id);
+}`)
+	for _, want := range []string{"isset", "is_numeric", "concat", "from_clause", "numeric_entry_point"} {
+		if !got[want] {
+			t.Errorf("symptom %q missing; got %v", want, got)
+		}
+	}
+}
+
+func TestExtractStringManipulation(t *testing.T) {
+	got := extractFrom(t, vuln.SQLI, `<?php
+$name = trim(substr($_POST['name'], 0, 32));
+$name = str_replace("'", "", $name);
+mysql_query("SELECT * FROM t WHERE name='" . $name . "'");`)
+	for _, want := range []string{"trim", "substr", "str_replace", "concat"} {
+		if !got[want] {
+			t.Errorf("symptom %q missing; got %v", want, got)
+		}
+	}
+	if got["numeric_entry_point"] {
+		t.Error("quoted context must not be numeric_entry_point")
+	}
+}
+
+func TestExtractAggregates(t *testing.T) {
+	got := extractFrom(t, vuln.SQLI, `<?php
+mysql_query("SELECT COUNT(*), MAX(age) FROM users WHERE dept='" . $_GET['d'] . "'");`)
+	if !got["agg_count"] || !got["agg_max"] {
+		t.Errorf("aggregates missing: %v", got)
+	}
+	if got["agg_sum"] {
+		t.Error("agg_sum should be absent")
+	}
+}
+
+func TestExtractComplexQuery(t *testing.T) {
+	got := extractFrom(t, vuln.SQLI, `<?php
+mysql_query("SELECT * FROM a JOIN b ON a.id=b.id WHERE a.x=" . $_GET['x']);`)
+	if !got["complex_query"] {
+		t.Errorf("complex_query missing: %v", got)
+	}
+}
+
+func TestNoSQLSymptomsForEcho(t *testing.T) {
+	got := extractFrom(t, vuln.XSSR, `<?php echo "hi " . $_GET['n'] . " FROM space";`)
+	if got["from_clause"] || got["numeric_entry_point"] {
+		t.Errorf("SQL symptoms on a non-query sink: %v", got)
+	}
+}
+
+func TestDynamicSymptomMapping(t *testing.T) {
+	dyn := Dynamic{Func: "val_int", Category: Validation, MapsTo: "is_int"}
+	if err := dyn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := extractFrom(t, vuln.SQLI, `<?php
+$id = $_GET['id'];
+if (val_int($id)) {
+  mysql_query("SELECT * FROM t WHERE id=" . $id);
+}`, dyn)
+	if !got["is_int"] {
+		t.Errorf("dynamic symptom not mapped: %v", got)
+	}
+}
+
+func TestDynamicSymptomValidation(t *testing.T) {
+	bad := Dynamic{Func: "f", MapsTo: "no_such_symptom"}
+	if err := bad.Validate(); err == nil {
+		t.Error("want error for unknown target symptom")
+	}
+	empty := Dynamic{MapsTo: "is_int"}
+	if err := empty.Validate(); err == nil {
+		t.Error("want error for empty function name")
+	}
+}
+
+func TestWhiteListDynamic(t *testing.T) {
+	dyn := Dynamic{Func: "check_allowed", Category: Validation, MapsTo: "white_list"}
+	got := extractFrom(t, vuln.SQLI, `<?php
+$v = $_GET['v'];
+if (!check_allowed($v)) { exit; }
+mysql_query("SELECT * FROM t WHERE a='" . $v . "'");`, dyn)
+	if !got["white_list"] {
+		t.Errorf("white_list missing: %v", got)
+	}
+	if !got["exit"] {
+		t.Errorf("exit missing: %v", got)
+	}
+}
+
+func TestVectorLayouts(t *testing.T) {
+	present := map[string]bool{
+		"is_numeric": true, "isset": true, "concat": true, "from_clause": true,
+	}
+	nv := NewVectorFromSet(present, true)
+	if len(nv.Attrs) != NumNewAttributes {
+		t.Fatalf("new vector len = %d", len(nv.Attrs))
+	}
+	count := 0
+	for _, a := range nv.Attrs {
+		if a {
+			count++
+		}
+	}
+	if count != 4 {
+		t.Errorf("set attrs = %d, want 4", count)
+	}
+	ov := OriginalVectorFromSet(present, true)
+	if len(ov.Attrs) != NumOriginalAttributes {
+		t.Fatalf("orig vector len = %d", len(ov.Attrs))
+	}
+	if !ov.Attrs[AttrTypeChecking-1] || !ov.Attrs[AttrEntryPointIsSet-1] ||
+		!ov.Attrs[AttrStringConcat-1] || !ov.Attrs[AttrFROMClause-1] {
+		t.Errorf("orig vector = %v", ov.Attrs)
+	}
+}
+
+func TestOriginalVectorIgnoresNewSymptoms(t *testing.T) {
+	// preg_match_all is a new symptom: v2.1 must not see it.
+	present := map[string]bool{"preg_match_all": true}
+	ov := OriginalVectorFromSet(present, false)
+	for i, a := range ov.Attrs {
+		if a {
+			t.Errorf("attr %d set from new-only symptom", i)
+		}
+	}
+	// But preg_match (original) sets Pattern control.
+	ov2 := OriginalVectorFromSet(map[string]bool{"preg_match": true}, false)
+	if !ov2.Attrs[AttrPatternControl-1] {
+		t.Error("preg_match should set pattern control")
+	}
+}
+
+func TestVectorKeyRoundtrip(t *testing.T) {
+	f := func(bits []bool, label bool) bool {
+		if len(bits) > NumNewAttributes {
+			bits = bits[:NumNewAttributes]
+		}
+		v := Vector{Attrs: bits, Label: label}
+		w := v.Clone()
+		return v.Key() == w.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPresentNames(t *testing.T) {
+	v := NewVectorFromSet(map[string]bool{"trim": true, "isset": true}, false)
+	names := PresentNames(v)
+	if len(names) != 2 || names[0] != "isset" || names[1] != "trim" {
+		t.Errorf("names = %v", names)
+	}
+}

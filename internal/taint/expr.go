@@ -1,0 +1,682 @@
+package taint
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/php/ast"
+	"repro/internal/php/token"
+	"repro/internal/vuln"
+)
+
+// expr evaluates the taint value of an expression, reporting candidates when
+// tainted data reaches a sink along the way.
+func (a *Analyzer) expr(x ast.Expr, e *env) Value {
+	switch t := x.(type) {
+	case *ast.Variable:
+		if a.isEntryPointVar(t.Name) {
+			return Value{
+				Tainted: true,
+				Sources: []Source{{Name: "$" + t.Name, Pos: t.Position}},
+				Trace:   []Step{{Pos: t.Position, Desc: "entry point $" + t.Name, Node: t}},
+			}
+		}
+		return e.get(t.Name)
+	case *ast.VarVar:
+		a.expr(t.X, e)
+		return clean() // variable variables: unknown binding
+	case *ast.Ident:
+		return clean()
+	case *ast.IntLit, *ast.FloatLit, *ast.BoolLit, *ast.NullLit, *ast.StringLit,
+		*ast.ClassConstExpr, *ast.BadExpr:
+		return clean()
+	case *ast.InterpString:
+		var v Value
+		for _, p := range t.Parts {
+			v = v.merge(a.expr(p, e))
+		}
+		if v.Tainted {
+			v.Trace = append(v.Trace, Step{Pos: t.Position, Desc: "string interpolation", Node: t})
+		}
+		return v
+	case *ast.ArrayLit:
+		var v Value
+		for _, it := range t.Items {
+			if it.Key != nil {
+				v = v.merge(a.expr(it.Key, e))
+			}
+			v = v.merge(a.expr(it.Value, e))
+		}
+		return v
+	case *ast.IndexExpr:
+		// Entry-point superglobal indexing: $_GET['id'].
+		if base, ok := t.X.(*ast.Variable); ok && a.isEntryPointVar(base.Name) {
+			key := indexKeyText(t.Index)
+			if t.Index != nil {
+				a.expr(t.Index, e)
+			}
+			// $_SERVER mixes attacker-controlled cells (HTTP_* headers,
+			// QUERY_STRING, PHP_SELF) with server-set ones (REMOTE_ADDR,
+			// SERVER_SOFTWARE); only the former taint.
+			if base.Name == "_SERVER" && serverKeySafe(key) {
+				return clean()
+			}
+			src := fmt.Sprintf("$%s[%s]", base.Name, key)
+			return Value{
+				Tainted: true,
+				Sources: []Source{{Name: src, Pos: t.Position}},
+				Trace:   []Step{{Pos: t.Position, Desc: "entry point " + src, Node: t}},
+			}
+		}
+		v := a.expr(t.X, e)
+		if t.Index != nil {
+			a.expr(t.Index, e)
+		}
+		return v
+	case *ast.PropExpr:
+		if key := propKey(t); key != "" {
+			return e.get(key)
+		}
+		return a.expr(t.X, e)
+	case *ast.StaticPropExpr:
+		return e.get("::" + strings.ToLower(t.Class) + "::" + t.Name)
+	case *ast.AssignExpr:
+		return a.assignExpr(t, e)
+	case *ast.ListExpr:
+		var v Value
+		for _, it := range t.Items {
+			if it != nil {
+				v = v.merge(a.expr(it, e))
+			}
+		}
+		return v
+	case *ast.BinaryExpr:
+		vx := a.expr(t.X, e)
+		vy := a.expr(t.Y, e)
+		switch t.Op {
+		case token.Dot:
+			v := vx.merge(vy)
+			if v.Tainted {
+				v.Trace = append(v.Trace, Step{Pos: t.Position, Desc: "concatenation", Node: t})
+			}
+			return v
+		case token.Coalesce:
+			return vx.merge(vy)
+		case token.Plus, token.Minus, token.Star, token.Slash, token.Percent,
+			token.Pow, token.Shl, token.Shr, token.Amp, token.Pipe, token.Caret:
+			// Arithmetic results are numbers: not exploitable strings.
+			return clean()
+		default:
+			// Comparisons and logic produce booleans.
+			return clean()
+		}
+	case *ast.UnaryExpr:
+		v := a.expr(t.X, e)
+		if t.Op == token.At {
+			return v // error suppression passes the value through
+		}
+		return clean()
+	case *ast.IncDecExpr:
+		a.expr(t.X, e)
+		return clean()
+	case *ast.CastExpr:
+		v := a.expr(t.X, e)
+		switch t.Kind {
+		case token.CastIntKw, token.CastFloatKw, token.CastBoolKw:
+			return clean() // numeric casts neutralize
+		default:
+			return v
+		}
+	case *ast.TernaryExpr:
+		a.expr(t.Cond, e)
+		var va Value
+		if t.A != nil {
+			va = a.expr(t.A, e)
+		} else {
+			va = a.expr(t.Cond, e) // short form reuses cond value
+		}
+		vb := a.expr(t.B, e)
+		return va.merge(vb)
+	case *ast.IssetExpr:
+		for _, arg := range t.Args {
+			a.expr(arg, e)
+		}
+		return clean()
+	case *ast.EmptyExpr:
+		a.expr(t.X, e)
+		return clean()
+	case *ast.ExitExpr:
+		if t.X != nil {
+			v := a.expr(t.X, e)
+			a.checkNamedSink("exit", t, t.X, v, -1, t.Position)
+		}
+		return clean()
+	case *ast.PrintExpr:
+		v := a.expr(t.X, e)
+		a.checkPseudoSink("print", t, t.X, v, t.Position)
+		return clean()
+	case *ast.IncludeExpr:
+		v := a.expr(t.X, e)
+		a.checkPseudoSink("include", t, t.X, v, t.Position)
+		return clean()
+	case *ast.CloneExpr:
+		return a.expr(t.X, e)
+	case *ast.ClosureExpr:
+		// Analyze the closure body with use() bindings; calls to the closure
+		// variable are not tracked, so analyze in place conservatively.
+		inner := newEnv(nil)
+		for _, u := range t.Uses {
+			inner.set(u.Name, e.get(u.Name))
+		}
+		for _, p := range t.Params {
+			inner.set(p.Name, clean())
+		}
+		if t.Body != nil {
+			a.stmts(t.Body.Stmts, inner)
+		}
+		return clean()
+	case *ast.InstanceofExpr:
+		a.expr(t.X, e)
+		return clean()
+	case *ast.MatchExpr:
+		a.expr(t.Subject, e)
+		var v Value
+		for _, arm := range t.Arms {
+			for _, c := range arm.Conds {
+				a.expr(c, e)
+			}
+			v = v.merge(a.expr(arm.Result, e))
+		}
+		return v
+	case *ast.NewExpr:
+		var v Value
+		for _, arg := range t.Args {
+			v = v.merge(a.expr(arg, e))
+		}
+		// Constructing with tainted args keeps taint on the object value so
+		// wrapper classes (e.g. query builders) propagate.
+		return v
+	case *ast.CallExpr:
+		return a.call(t, e)
+	case *ast.MethodCallExpr:
+		return a.methodCall(t, e)
+	case *ast.StaticCallExpr:
+		return a.staticCall(t, e)
+	}
+	return clean()
+}
+
+func (a *Analyzer) assignExpr(t *ast.AssignExpr, e *env) Value {
+	rhs := a.expr(t.Rhs, e)
+	var v Value
+	switch t.Op {
+	case token.DotEq:
+		// $x .= tainted keeps existing taint and adds new.
+		if lv, ok := t.Lhs.(*ast.Variable); ok {
+			v = e.get(lv.Name).merge(rhs)
+		} else {
+			v = rhs
+		}
+		if v.Tainted {
+			v.Trace = append(v.Trace, Step{Pos: t.Position, Desc: "append assignment", Node: t})
+		}
+	case token.Assign, token.CoalesceEq:
+		v = rhs
+		if v.Tainted {
+			v.Trace = append(v.Trace, Step{Pos: t.Position, Desc: "assignment", Node: t})
+		}
+	default:
+		// Arithmetic compound assignments produce numbers.
+		v = clean()
+	}
+	a.assignTo(t.Lhs, v, e)
+	return v
+}
+
+// serverKeySafe reports whether a $_SERVER cell is set by the server itself
+// rather than derived from the request; unknown keys stay tainted.
+func serverKeySafe(key string) bool {
+	switch key {
+	case "REMOTE_ADDR", "REMOTE_PORT", "SERVER_ADDR", "SERVER_PORT",
+		"SERVER_SOFTWARE", "GATEWAY_INTERFACE", "DOCUMENT_ROOT",
+		"SCRIPT_FILENAME", "SERVER_PROTOCOL", "REQUEST_TIME",
+		"REQUEST_TIME_FLOAT":
+		return true
+	}
+	return false
+}
+
+func indexKeyText(idx ast.Expr) string {
+	switch k := idx.(type) {
+	case *ast.StringLit:
+		return k.Value
+	case *ast.IntLit:
+		return k.Text
+	case *ast.Variable:
+		return "$" + k.Name
+	case nil:
+		return ""
+	default:
+		return "?"
+	}
+}
+
+func (a *Analyzer) isEntryPointVar(name string) bool {
+	if a.class.IsEntryPointVar(name) {
+		return true
+	}
+	for _, ep := range a.cfg.ExtraEntryPoints {
+		if ep == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Analyzer) isSanitizer(fn string) bool {
+	if a.class.IsSanitizer(fn) {
+		return true
+	}
+	for _, s := range a.cfg.ExtraSanitizers {
+		if s == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// allSinks returns the sinks of the class plus configured extras.
+func (a *Analyzer) allSinks() []vuln.Sink {
+	if len(a.cfg.ExtraSinks) == 0 {
+		return a.class.Sinks
+	}
+	out := make([]vuln.Sink, 0, len(a.class.Sinks)+len(a.cfg.ExtraSinks))
+	out = append(out, a.class.Sinks...)
+	out = append(out, a.cfg.ExtraSinks...)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Calls
+// ---------------------------------------------------------------------------
+
+// call handles plain function calls: sanitizers, entry-point functions,
+// sensitive sinks, taint-propagating builtins and user functions.
+func (a *Analyzer) call(t *ast.CallExpr, e *env) Value {
+	name := ast.CalleeName(t)
+	// Evaluate arguments first.
+	args := make([]Value, len(t.Args))
+	for i, arg := range t.Args {
+		args[i] = a.expr(arg, e)
+	}
+
+	if name == "" {
+		// Dynamic call $f(...): propagate argument taint conservatively.
+		a.expr(t.Fn, e)
+		return mergeAll(args)
+	}
+
+	// Sanitization function: output is clean for this class; remember the
+	// sanitizer so symptom extraction can see it.
+	if a.isSanitizer(name) {
+		v := clean()
+		v.Sanitizers = append(v.Sanitizers, name)
+		for _, av := range args {
+			v.Sanitizers = append(v.Sanitizers, av.Sanitizers...)
+		}
+		return v
+	}
+
+	// Entry-point function (e.g. mysql_fetch_assoc for stored XSS).
+	if a.class.IsEntryPointFunc(name) {
+		return Value{
+			Tainted: true,
+			Sources: []Source{{Name: name + "()", Pos: t.Position}},
+			Trace:   []Step{{Pos: t.Position, Desc: "entry point " + name + "()", Node: t}},
+		}
+	}
+
+	// Sensitive sink?
+	a.checkCallSinks(name, false, "", t, t.Args, args, t.Position)
+
+	// Taint-through builtins: string functions whose output carries input
+	// taint.
+	if propagatesTaint(name) {
+		v := mergeAll(args)
+		if v.Tainted {
+			v.Trace = append(v.Trace, Step{Pos: t.Position, Desc: name + "()", Node: t})
+		}
+		return v
+	}
+
+	// By-reference output builtins.
+	switch name {
+	case "preg_match", "preg_match_all":
+		// Matches (derived from the subject, arg 1) flow into the third
+		// argument.
+		if len(t.Args) >= 3 && len(args) >= 2 {
+			a.assignTo(t.Args[2], args[1], e)
+		}
+		return clean()
+	case "parse_str":
+		if len(t.Args) >= 2 && len(args) >= 1 {
+			a.assignTo(t.Args[1], args[0], e)
+		}
+		return clean()
+	case "extract":
+		// extract($_POST) taints unknown variables; documented imprecision.
+		return clean()
+	case "settype":
+		if len(t.Args) >= 1 {
+			a.assignTo(t.Args[0], clean(), e)
+		}
+		return clean()
+	}
+
+	// User-defined function: inline with argument binding.
+	if fn := a.resolveFunc(name); fn != nil && fn.Body != nil && !a.cfg.DisableInlining {
+		return a.inlineCall(fn, t.Args, args, t.Position, e)
+	}
+
+	// Unknown function: assume it neither sanitizes nor propagates (WAP's
+	// behaviour for unrecognized functions, a source of false negatives
+	// traded for precision).
+	return clean()
+}
+
+func (a *Analyzer) methodCall(t *ast.MethodCallExpr, e *env) Value {
+	recv := a.expr(t.Recv, e)
+	name := strings.ToLower(t.Name)
+	args := make([]Value, len(t.Args))
+	for i, arg := range t.Args {
+		args[i] = a.expr(arg, e)
+	}
+	if t.DynName != nil {
+		a.expr(t.DynName, e)
+		return mergeAll(args)
+	}
+
+	// Sanitizer methods ($wpdb->prepare, $db->quote).
+	if a.class.IsSanitizerMethod(name) {
+		v := clean()
+		v.Sanitizers = append(v.Sanitizers, name)
+		return v
+	}
+
+	recvName := ""
+	if rv, ok := t.Recv.(*ast.Variable); ok {
+		recvName = strings.ToLower(rv.Name)
+	}
+	a.checkCallSinks(name, true, recvName, t, t.Args, args, t.Position)
+
+	// User-defined method: resolve by name.
+	if m := a.resolveMethod(name); m != nil && m.Body != nil && !a.cfg.DisableInlining {
+		v := a.inlineCall(m, t.Args, args, t.Position, e)
+		return v
+	}
+
+	// Unknown method: argument and receiver taint flows to the result
+	// (query-builder chains like $db->where($input)->get()).
+	return recv.merge(mergeAll(args))
+}
+
+func (a *Analyzer) staticCall(t *ast.StaticCallExpr, e *env) Value {
+	name := strings.ToLower(t.Name)
+	args := make([]Value, len(t.Args))
+	for i, arg := range t.Args {
+		args[i] = a.expr(arg, e)
+	}
+	if a.class.IsSanitizerMethod(name) {
+		v := clean()
+		v.Sanitizers = append(v.Sanitizers, name)
+		return v
+	}
+	a.checkCallSinks(name, true, strings.ToLower(t.Class), t, t.Args, args, t.Position)
+	if m := a.resolveStaticMethod(t.Class, t.Name); m != nil && m.Body != nil {
+		return a.inlineCall(m, t.Args, args, t.Position, e)
+	}
+	return mergeAll(args)
+}
+
+func (a *Analyzer) resolveFunc(name string) *ast.FunctionDecl {
+	if a.file != nil {
+		if fn, ok := a.file.Funcs[name]; ok && fn.Class == nil {
+			return fn
+		}
+	}
+	if a.cfg.Resolver != nil {
+		return a.cfg.Resolver.ResolveFunc(name)
+	}
+	return nil
+}
+
+func (a *Analyzer) resolveMethod(name string) *ast.FunctionDecl {
+	if a.file != nil {
+		for _, cls := range a.file.Classes {
+			for _, m := range cls.Methods {
+				if strings.ToLower(m.Name) == name {
+					return m
+				}
+			}
+		}
+	}
+	if a.cfg.Resolver != nil {
+		return a.cfg.Resolver.ResolveMethod(name)
+	}
+	return nil
+}
+
+func (a *Analyzer) resolveStaticMethod(class, name string) *ast.FunctionDecl {
+	key := strings.ToLower(class) + "::" + strings.ToLower(name)
+	if a.file != nil {
+		if fn, ok := a.file.Funcs[key]; ok {
+			return fn
+		}
+	}
+	return a.resolveMethod(strings.ToLower(name))
+}
+
+// inlineCall analyzes a user function body with actual argument taint bound
+// to its parameters, memoizing on the taint pattern.
+func (a *Analyzer) inlineCall(fn *ast.FunctionDecl, argExprs []ast.Expr, args []Value, callPos token.Position, caller *env) Value {
+	if a.depth >= a.cfg.MaxCallDepth || a.analyzing[fn] {
+		// Recursion or depth limit: conservatively propagate argument taint.
+		return mergeAll(args)
+	}
+
+	// Memo key: function identity + which params are tainted.
+	var pat strings.Builder
+	pat.WriteString(fn.Name)
+	pat.WriteString("/")
+	fmt.Fprintf(&pat, "%p/", fn)
+	for _, v := range args {
+		if v.Tainted {
+			pat.WriteByte('1')
+		} else {
+			pat.WriteByte('0')
+		}
+	}
+	key := pat.String()
+	if s, ok := a.summaries[key]; ok {
+		v := s.returnValue
+		if v.Tainted {
+			v.Trace = append(append([]Step{}, v.Trace...),
+				Step{Pos: callPos, Desc: "return from " + fn.Name + "()"})
+		}
+		return v
+	}
+
+	a.depth++
+	a.analyzing[fn] = true
+	prevFunc := a.curFunc
+	a.curFunc = fn.Name
+
+	inner := newEnv(nil)
+	for i, p := range fn.Params {
+		switch {
+		case i < len(args):
+			inner.set(p.Name, args[i])
+		case p.Default != nil:
+			inner.set(p.Name, a.expr(p.Default, inner))
+		default:
+			inner.set(p.Name, clean())
+		}
+	}
+	ret := a.stmts(fn.Body.Stmts, inner)
+
+	// Propagate by-ref parameter taint back to caller arguments.
+	for i, p := range fn.Params {
+		if p.ByRef && i < len(argExprs) {
+			a.assignTo(argExprs[i], inner.get(p.Name), caller)
+		}
+	}
+
+	a.curFunc = prevFunc
+	delete(a.analyzing, fn)
+	a.depth--
+
+	a.summaries[key] = &summary{returnValue: ret}
+	if ret.Tainted {
+		ret.Trace = append(append([]Step{}, ret.Trace...),
+			Step{Pos: callPos, Desc: "return from " + fn.Name + "()"})
+	}
+	return ret
+}
+
+// ---------------------------------------------------------------------------
+// Sink checking
+// ---------------------------------------------------------------------------
+
+// checkCallSinks matches a call against the class sink list and reports a
+// candidate for each tainted dangerous argument.
+func (a *Analyzer) checkCallSinks(name string, method bool, recvName string, call ast.Node, argExprs []ast.Expr, args []Value, pos token.Position) {
+	for _, s := range a.allSinks() {
+		if s.Name != name || s.Method != method {
+			continue
+		}
+		if s.Recv != "" && s.Recv != recvName {
+			continue
+		}
+		idxs := s.Args
+		if idxs == nil {
+			idxs = make([]int, len(args))
+			for i := range idxs {
+				idxs[i] = i
+			}
+		}
+		for _, i := range idxs {
+			if i >= len(args) {
+				continue
+			}
+			if !args[i].Tainted {
+				continue
+			}
+			a.report(&Candidate{
+				Class:         a.class.ID,
+				SinkName:      name,
+				SinkPos:       pos,
+				SinkCall:      call,
+				ArgIndex:      i,
+				TaintedExpr:   argExprs[i],
+				Value:         args[i],
+				EnclosingFunc: a.curFunc,
+				File:          a.fileName(),
+			})
+		}
+	}
+}
+
+// checkPseudoSink reports candidates for language-construct sinks (echo,
+// print, include).
+func (a *Analyzer) checkPseudoSink(name string, node ast.Node, argExpr ast.Expr, v Value, pos token.Position) {
+	if !v.Tainted {
+		return
+	}
+	for _, s := range a.allSinks() {
+		if s.Method || s.Name != name {
+			continue
+		}
+		a.report(&Candidate{
+			Class:         a.class.ID,
+			SinkName:      name,
+			SinkPos:       pos,
+			SinkCall:      node,
+			ArgIndex:      -1,
+			TaintedExpr:   argExpr,
+			Value:         v,
+			EnclosingFunc: a.curFunc,
+			File:          a.fileName(),
+		})
+		return
+	}
+}
+
+// checkNamedSink matches exit/die-style named sinks used in expression form.
+func (a *Analyzer) checkNamedSink(name string, node ast.Node, argExpr ast.Expr, v Value, argIdx int, pos token.Position) {
+	if !v.Tainted {
+		return
+	}
+	for _, s := range a.allSinks() {
+		if s.Method || s.Name != name {
+			continue
+		}
+		a.report(&Candidate{
+			Class:         a.class.ID,
+			SinkName:      name,
+			SinkPos:       pos,
+			SinkCall:      node,
+			ArgIndex:      argIdx,
+			TaintedExpr:   argExpr,
+			Value:         v,
+			EnclosingFunc: a.curFunc,
+			File:          a.fileName(),
+		})
+		return
+	}
+}
+
+func (a *Analyzer) fileName() string {
+	if a.file != nil {
+		return a.file.Name
+	}
+	return ""
+}
+
+func mergeAll(vs []Value) Value {
+	var out Value
+	for _, v := range vs {
+		out = out.merge(v)
+	}
+	return out
+}
+
+// propagatesTaint reports whether a builtin passes input taint to its result
+// (string manipulation functions).
+func propagatesTaint(name string) bool {
+	_, ok := taintThrough[name]
+	return ok
+}
+
+// taintThrough is the set of PHP builtins that return data derived from
+// their string inputs.
+var taintThrough = map[string]struct{}{
+	"substr": {}, "trim": {}, "ltrim": {}, "rtrim": {}, "strtolower": {},
+	"strtoupper": {}, "ucfirst": {}, "ucwords": {}, "lcfirst": {},
+	"str_replace": {}, "str_ireplace": {}, "preg_replace": {}, "ereg_replace": {},
+	"eregi_replace": {}, "preg_filter": {}, "str_pad": {}, "str_repeat": {},
+	"strrev": {}, "nl2br": {}, "wordwrap": {}, "sprintf": {}, "vsprintf": {},
+	"implode": {}, "join": {}, "explode": {}, "split": {}, "spliti": {},
+	"preg_split": {}, "str_split": {}, "chunk_split": {}, "substr_replace": {},
+	"str_shuffle": {}, "strstr": {}, "stristr": {}, "strrchr": {}, "strtr": {},
+	"stripslashes": {}, "stripcslashes": {}, "htmlspecialchars_decode": {},
+	"html_entity_decode": {}, "urldecode": {}, "rawurldecode": {},
+	"base64_decode": {}, "base64_encode": {}, "serialize": {}, "unserialize": {},
+	"json_decode": {}, "array_merge": {}, "array_values": {}, "array_keys": {},
+	"array_pop": {}, "array_shift": {}, "array_slice": {}, "array_map": {},
+	"array_filter": {}, "current": {}, "reset": {}, "end": {}, "each": {},
+	"compact": {}, "number_format": {}, "utf8_encode": {}, "utf8_decode": {},
+	"iconv": {}, "mb_convert_encoding": {}, "mb_substr": {}, "mb_strtolower": {},
+	"mb_strtoupper": {}, "addcslashes": {}, "quotemeta": {}, "strval": {},
+	"print_r": {}, "var_export": {}, "gzinflate": {}, "gzuncompress": {},
+	"pack": {}, "unpack": {}, "hex2bin": {}, "bin2hex": {},
+}

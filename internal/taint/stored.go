@@ -1,0 +1,144 @@
+package taint
+
+import (
+	"strings"
+
+	"repro/internal/php/ast"
+)
+
+// StoredLink connects the two halves of a stored XSS: a tainted write into a
+// database table and an unsanitized echo of data read back from the same
+// table. WAP flags both halves independently (the write via SQLI-style
+// sinks, the read via the stored-XSS detector); the linker upgrades the pair
+// into one end-to-end finding when the table names can be matched.
+type StoredLink struct {
+	// Write is the candidate whose tainted data is persisted (an
+	// INSERT/UPDATE/REPLACE query sink).
+	Write *Candidate
+	// Read is the stored-XSS candidate echoing fetched data.
+	Read *Candidate
+	// Table is the database table connecting the two.
+	Table string
+}
+
+// LinkStoredXSS matches tainted-write candidates against stored-XSS read
+// candidates by table name, using the file ASTs to resolve which query each
+// fetch consumes. Candidates whose table cannot be determined are skipped.
+func LinkStoredXSS(writes, reads []*Candidate, files map[string]*ast.File) []StoredLink {
+	var links []StoredLink
+	for _, w := range writes {
+		table := writeTable(w)
+		if table == "" {
+			continue
+		}
+		for _, r := range reads {
+			f := files[r.File]
+			if f == nil {
+				continue
+			}
+			if readTable(r, f) == table {
+				links = append(links, StoredLink{Write: w, Read: r, Table: table})
+			}
+		}
+	}
+	return links
+}
+
+// writeTable extracts the target table of an INSERT/UPDATE/REPLACE write
+// candidate from the literal parts of its query argument.
+func writeTable(c *Candidate) string {
+	text := strings.ToUpper(literalText(c.TaintedExpr))
+	for _, kw := range [...]string{"INSERT INTO ", "REPLACE INTO ", "UPDATE "} {
+		if i := strings.Index(text, kw); i >= 0 {
+			return tableIdent(text[i+len(kw):])
+		}
+	}
+	return ""
+}
+
+// readTable determines the table a stored-XSS read candidate fetches from:
+// the fetch call's result-set argument is traced back to the mysql_query
+// SELECT that produced it within the same scope.
+func readTable(c *Candidate, file *ast.File) string {
+	// The fetch call is the first taint source step.
+	var fetchCall *ast.CallExpr
+	for _, step := range c.Value.Trace {
+		if call, ok := step.Node.(*ast.CallExpr); ok {
+			if strings.HasPrefix(ast.CalleeName(call), "mysql_fetch") ||
+				strings.HasPrefix(ast.CalleeName(call), "mysqli_fetch") ||
+				strings.HasPrefix(ast.CalleeName(call), "pg_fetch") {
+				fetchCall = call
+				break
+			}
+		}
+	}
+	if fetchCall == nil || len(fetchCall.Args) == 0 {
+		return ""
+	}
+	resVar, ok := fetchCall.Args[0].(*ast.Variable)
+	if !ok {
+		return ""
+	}
+	// Find `$resVar = <query call>("SELECT ... FROM table")` in the file.
+	table := ""
+	ast.Inspect(file, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignExpr)
+		if !ok {
+			return true
+		}
+		lhs, ok := a.Lhs.(*ast.Variable)
+		if !ok || lhs.Name != resVar.Name {
+			return true
+		}
+		call, ok := a.Rhs.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ast.CalleeName(call)
+		if !strings.Contains(name, "query") || len(call.Args) == 0 {
+			return true
+		}
+		text := strings.ToUpper(literalText(call.Args[0]))
+		if i := strings.Index(text, "FROM "); i >= 0 {
+			table = tableIdent(text[i+5:])
+			return false
+		}
+		return true
+	})
+	return table
+}
+
+// literalText concatenates the string-literal fragments of an expression.
+func literalText(e ast.Expr) string {
+	var b strings.Builder
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.StringLit); ok {
+			b.WriteString(lit.Value)
+		}
+		return true
+	})
+	return b.String()
+}
+
+// tableIdent reads the leading SQL identifier (already upper-cased input).
+func tableIdent(s string) string {
+	s = strings.TrimLeft(s, " `")
+	end := 0
+	for end < len(s) {
+		c := s[end]
+		if c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			end++
+			continue
+		}
+		break
+	}
+	return s[:end]
+}
+
+// IsWriteQuery reports whether a candidate's query text is a data-modifying
+// statement (the phase-1 filter of the stored-XSS linker).
+func IsWriteQuery(c *Candidate) bool {
+	text := strings.ToUpper(strings.TrimSpace(literalText(c.TaintedExpr)))
+	return strings.HasPrefix(text, "INSERT") || strings.HasPrefix(text, "UPDATE") ||
+		strings.HasPrefix(text, "REPLACE")
+}

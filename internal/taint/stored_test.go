@@ -1,0 +1,111 @@
+package taint
+
+import (
+	"testing"
+
+	"repro/internal/php/ast"
+	"repro/internal/php/parser"
+	"repro/internal/vuln"
+)
+
+const storedApp = `<?php
+// Comment form: tainted write into the comments table...
+$body = $_POST['body'];
+mysql_query("INSERT INTO comments (body) VALUES ('" . $body . "')");
+
+// ...and an unsanitized echo of data read back from the same table.
+$res = mysql_query("SELECT body FROM comments ORDER BY id DESC");
+$row = mysql_fetch_assoc($res);
+echo "<li>" . $row['body'] . "</li>";
+
+// An unrelated table: fetched and echoed, but never written with taint.
+$res2 = mysql_query("SELECT name FROM categories");
+$cat = mysql_fetch_assoc($res2);
+echo $cat['name'];
+`
+
+func storedSetup(t *testing.T, src string) (writes, reads []*Candidate, files map[string]*ast.File) {
+	t.Helper()
+	f, errs := parser.Parse("stored.php", src)
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	sqli := New(Config{Class: vuln.MustGet(vuln.SQLI)}).File(f)
+	for _, c := range sqli {
+		if IsWriteQuery(c) {
+			writes = append(writes, c)
+		}
+	}
+	reads = New(Config{Class: vuln.MustGet(vuln.XSSS)}).File(f)
+	return writes, reads, map[string]*ast.File{"stored.php": f}
+}
+
+func TestLinkStoredXSS(t *testing.T) {
+	writes, reads, files := storedSetup(t, storedApp)
+	if len(writes) != 1 {
+		t.Fatalf("writes = %d", len(writes))
+	}
+	if len(reads) != 2 {
+		t.Fatalf("reads = %d", len(reads))
+	}
+	links := LinkStoredXSS(writes, reads, files)
+	if len(links) != 1 {
+		t.Fatalf("links = %d, want 1 (only the comments table pair)", len(links))
+	}
+	if links[0].Table != "COMMENTS" {
+		t.Errorf("table = %q", links[0].Table)
+	}
+	if links[0].Write.SinkPos.Line != 4 {
+		t.Errorf("write line = %d", links[0].Write.SinkPos.Line)
+	}
+	if links[0].Read.SinkPos.Line != 9 {
+		t.Errorf("read line = %d", links[0].Read.SinkPos.Line)
+	}
+}
+
+func TestLinkStoredXSSUpdateQuery(t *testing.T) {
+	writes, reads, files := storedSetup(t, `<?php
+mysql_query("UPDATE profiles SET bio='" . $_POST['bio'] . "' WHERE id=1");
+$r = mysql_query("SELECT bio FROM profiles WHERE id=1");
+$row = mysql_fetch_array($r);
+echo $row['bio'];`)
+	links := LinkStoredXSS(writes, reads, files)
+	if len(links) != 1 || links[0].Table != "PROFILES" {
+		t.Fatalf("links = %+v", links)
+	}
+}
+
+func TestNoLinkAcrossDifferentTables(t *testing.T) {
+	writes, reads, files := storedSetup(t, `<?php
+mysql_query("INSERT INTO audit_log (msg) VALUES ('" . $_POST['m'] . "')");
+$r = mysql_query("SELECT title FROM articles");
+$row = mysql_fetch_assoc($r);
+echo $row['title'];`)
+	links := LinkStoredXSS(writes, reads, files)
+	if len(links) != 0 {
+		t.Fatalf("links = %+v, want none", links)
+	}
+}
+
+func TestIsWriteQuery(t *testing.T) {
+	writes, _, _ := storedSetup(t, `<?php
+mysql_query("INSERT INTO t (a) VALUES ('" . $_GET['a'] . "')");
+mysql_query("SELECT * FROM t WHERE a='" . $_GET['b'] . "'");
+mysql_query("UPDATE t SET a='" . $_GET['c'] . "'");
+mysql_query("REPLACE INTO t (a) VALUES ('" . $_GET['d'] . "')");`)
+	if len(writes) != 3 {
+		t.Fatalf("write candidates = %d, want 3", len(writes))
+	}
+}
+
+func TestReadTableRequiresResolvableResult(t *testing.T) {
+	// Fetch from an unresolvable result set: no link, no panic.
+	writes, reads, files := storedSetup(t, `<?php
+mysql_query("INSERT INTO x (a) VALUES ('" . $_POST['a'] . "')");
+$row = mysql_fetch_assoc(get_result());
+echo $row['a'];`)
+	links := LinkStoredXSS(writes, reads, files)
+	if len(links) != 0 {
+		t.Fatalf("links = %+v", links)
+	}
+}

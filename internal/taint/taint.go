@@ -1,0 +1,494 @@
+// Package taint implements WAP's taint analysis: it tracks data from entry
+// points through assignments, string operations and function calls, and
+// reports candidate vulnerabilities whenever tainted data reaches a
+// sensitive sink of the configured vulnerability class.
+//
+// One Analyzer instance is one configured detector — the paper's generic
+// "vulnerability detector" parameterized by an (ep, ss, san) triple. All
+// fifteen classes and every generated weapon run through this engine.
+package taint
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/php/ast"
+	"repro/internal/php/token"
+	"repro/internal/vuln"
+)
+
+// Source records one entry-point occurrence feeding a tainted value.
+type Source struct {
+	// Name is the human-readable entry point, e.g. "$_GET[id]" or
+	// "mysql_fetch_assoc()".
+	Name string
+	Pos  token.Position
+}
+
+// Step is one hop of a taint propagation trace.
+type Step struct {
+	Pos  token.Position
+	Desc string
+	// Node is the AST node of the step; used for symptom extraction.
+	Node ast.Node
+}
+
+// Value is the abstract value of an expression under taint analysis.
+type Value struct {
+	Tainted bool
+	// Sources are the entry points that contribute taint.
+	Sources []Source
+	// Sanitizers are the sanitization function names applied to the data at
+	// some point (recorded even when they untaint, for symptom extraction).
+	Sanitizers []string
+	// Trace records the propagation path from source to the present point.
+	Trace []Step
+}
+
+// maxTraceSteps and maxSources bound per-value bookkeeping so pathological
+// inputs (thousand-step concatenation chains) stay linear; the prefix of a
+// trace is the informative part (entry point and early propagation).
+const (
+	maxTraceSteps = 64
+	maxSources    = 16
+)
+
+// merge combines v with other, unioning taint.
+func (v Value) merge(other Value) Value {
+	out := Value{Tainted: v.Tainted || other.Tainted}
+	out.Sources = capSlice(append(append([]Source{}, v.Sources...), other.Sources...), maxSources)
+	out.Sanitizers = append(append([]string{}, v.Sanitizers...), other.Sanitizers...)
+	out.Trace = capSlice(append(append([]Step{}, v.Trace...), other.Trace...), maxTraceSteps)
+	return out
+}
+
+func capSlice[T any](s []T, limit int) []T {
+	if len(s) > limit {
+		return s[:limit]
+	}
+	return s
+}
+
+// clean returns an untainted value.
+func clean() Value { return Value{} }
+
+// Candidate is a candidate vulnerability: a data flow from an entry point to
+// a sensitive sink (the analyzer may still be wrong — the false-positive
+// predictor decides).
+type Candidate struct {
+	Class vuln.ClassID
+	// SinkName is the matched sensitive sink (function, method or pseudo
+	// sink such as "echo").
+	SinkName string
+	// SinkPos is the position of the sink call.
+	SinkPos token.Position
+	// SinkCall is the AST node of the sink (a *ast.CallExpr,
+	// *ast.MethodCallExpr, *ast.EchoStmt, *ast.IncludeStmt, ...).
+	SinkCall ast.Node
+	// ArgIndex is the tainted argument position, -1 for pseudo-sinks.
+	ArgIndex int
+	// TaintedExpr is the argument expression carrying taint.
+	TaintedExpr ast.Expr
+	Value       Value
+	// EnclosingFunc is the function containing the sink, "" at top level.
+	EnclosingFunc string
+	File          string
+}
+
+// Key returns a deduplication key for the candidate.
+func (c *Candidate) Key() string {
+	return fmt.Sprintf("%s|%s|%s:%d:%d|%d",
+		c.Class, c.SinkName, c.SinkPos.File, c.SinkPos.Line, c.SinkPos.Column, c.ArgIndex)
+}
+
+// String renders a one-line description.
+func (c *Candidate) String() string {
+	src := "?"
+	if len(c.Value.Sources) > 0 {
+		src = c.Value.Sources[0].Name
+	}
+	return fmt.Sprintf("[%s] %s: %s -> %s", strings.ToUpper(string(c.Class)), c.SinkPos, src, c.SinkName)
+}
+
+// FuncResolver resolves user-defined functions project-wide so taint can
+// cross file boundaries.
+type FuncResolver interface {
+	// ResolveFunc returns the declaration of a global function by lower-case
+	// name, or nil.
+	ResolveFunc(name string) *ast.FunctionDecl
+	// ResolveMethod returns the declaration of a method by lower-case name
+	// (searching all classes), or nil. Ambiguous names may return any match.
+	ResolveMethod(name string) *ast.FunctionDecl
+}
+
+// Config parameterizes an analysis run.
+type Config struct {
+	Class *vuln.Class
+	// Resolver provides cross-file function lookup; may be nil for
+	// single-file analysis.
+	Resolver FuncResolver
+	// MaxCallDepth bounds interprocedural inlining (default 12).
+	MaxCallDepth int
+	// DisableInlining turns off interprocedural analysis: user-function
+	// calls are treated like unknown builtins (clean result, bodies only
+	// analyzed standalone). Used by the interprocedural ablation.
+	DisableInlining bool
+	// ExtraSanitizers extends the class sanitization set (paper Section V-A:
+	// feeding the tool application-specific functions such as "escape").
+	ExtraSanitizers []string
+	// ExtraEntryPoints extends the superglobal entry-point set.
+	ExtraEntryPoints []string
+	// ExtraSinks extends the sink set.
+	ExtraSinks []vuln.Sink
+}
+
+// Analyzer runs taint analysis for one vulnerability class over one file.
+type Analyzer struct {
+	cfg       Config
+	class     *vuln.Class
+	file      *ast.File
+	cands     []*Candidate
+	seen      map[string]bool
+	depth     int
+	curFunc   string
+	analyzing map[*ast.FunctionDecl]bool // recursion guard
+
+	// summaries caches per-(function, taint pattern) results.
+	summaries map[string]*summary
+}
+
+// summary captures the effect of calling a user function with a given taint
+// pattern on its arguments.
+type summary struct {
+	returnValue Value
+}
+
+// New returns an analyzer for the given configuration.
+func New(cfg Config) *Analyzer {
+	if cfg.MaxCallDepth == 0 {
+		cfg.MaxCallDepth = 12
+	}
+	return &Analyzer{
+		cfg:       cfg,
+		class:     cfg.Class,
+		seen:      make(map[string]bool),
+		analyzing: make(map[*ast.FunctionDecl]bool),
+		summaries: make(map[string]*summary),
+	}
+}
+
+// File analyzes the top-level statements of a file and returns the candidate
+// vulnerabilities found. Function bodies are analyzed when called; uncalled
+// functions are additionally analyzed with their parameters assumed tainted,
+// which is how WAP inspects library code whose callers are unknown.
+func (a *Analyzer) File(f *ast.File) []*Candidate {
+	a.file = f
+	a.cands = a.cands[:0]
+	a.seen = make(map[string]bool)
+	env := newEnv(nil)
+	a.stmts(f.Stmts, env)
+
+	// Second pass: functions never called from top level, assuming tainted
+	// superglobals only (not tainted params — params of library functions
+	// are an unknown; WAP flags flows from superglobals inside them).
+	for _, fn := range f.Funcs {
+		if fn.Body == nil || a.analyzing[fn] {
+			continue
+		}
+		a.analyzeUncalled(fn)
+	}
+	return a.cands
+}
+
+func (a *Analyzer) analyzeUncalled(fn *ast.FunctionDecl) {
+	prev := a.curFunc
+	a.curFunc = fn.Name
+	a.analyzing[fn] = true
+	env := newEnv(nil)
+	for _, p := range fn.Params {
+		if p.Default != nil {
+			env.set(p.Name, a.expr(p.Default, env))
+		} else {
+			env.set(p.Name, clean())
+		}
+	}
+	a.stmts(fn.Body.Stmts, env)
+	delete(a.analyzing, fn)
+	a.curFunc = prev
+}
+
+func (a *Analyzer) report(c *Candidate) {
+	if c.Value.Tainted == false {
+		return
+	}
+	k := c.Key()
+	if a.seen[k] {
+		return
+	}
+	a.seen[k] = true
+	a.cands = append(a.cands, c)
+}
+
+// ---------------------------------------------------------------------------
+// Environment
+// ---------------------------------------------------------------------------
+
+// env is a variable taint environment with optional parent (for globals).
+type env struct {
+	vars   map[string]Value
+	parent *env
+}
+
+func newEnv(parent *env) *env {
+	return &env{vars: make(map[string]Value), parent: parent}
+}
+
+func (e *env) get(name string) Value {
+	if v, ok := e.vars[name]; ok {
+		return v
+	}
+	if e.parent != nil {
+		return e.parent.get(name)
+	}
+	return clean()
+}
+
+func (e *env) set(name string, v Value) { e.vars[name] = v }
+
+// mergeSet unions taint into an existing binding (used for index assignment
+// and loop bodies).
+func (e *env) mergeSet(name string, v Value) {
+	e.vars[name] = e.get(name).merge(v)
+}
+
+// snapshot copies the current bindings (for branch merging).
+func (e *env) snapshot() map[string]Value {
+	return copyBindings(e.vars)
+}
+
+func copyBindings(m map[string]Value) map[string]Value {
+	out := make(map[string]Value, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeFrom unions bindings from a branch snapshot.
+func (e *env) mergeFrom(snap map[string]Value) {
+	for k, v := range snap {
+		if v.Tainted {
+			e.vars[k] = e.get(k).merge(v)
+		} else if _, ok := e.vars[k]; !ok {
+			e.vars[k] = v
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+func (a *Analyzer) stmts(list []ast.Stmt, e *env) Value {
+	var ret Value
+	for _, s := range list {
+		ret = ret.merge(a.stmt(s, e))
+	}
+	return ret
+}
+
+// stmt analyzes one statement; the returned value accumulates possible
+// return values of the enclosing function.
+func (a *Analyzer) stmt(s ast.Stmt, e *env) Value {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		a.expr(x.X, e)
+	case *ast.EchoStmt:
+		for _, arg := range x.Args {
+			v := a.expr(arg, e)
+			a.checkPseudoSink("echo", x, arg, v, x.Position)
+		}
+	case *ast.BlockStmt:
+		return a.stmts(x.Stmts, e)
+	case *ast.IfStmt:
+		a.expr(x.Cond, e)
+		base := e.snapshot()
+		var ret Value
+		ret = ret.merge(a.stmts(x.Then.Stmts, e))
+		thenSnap := e.snapshot()
+		// Restore base, run else, then merge both.
+		e.vars = base
+		if x.Else != nil {
+			ret = ret.merge(a.stmt(x.Else, e))
+		}
+		e.mergeFrom(thenSnap)
+		return ret
+	case *ast.WhileStmt:
+		a.expr(x.Cond, e)
+		// Two passes propagate taint introduced by the body to earlier uses.
+		ret := a.stmts(x.Body.Stmts, e)
+		ret = ret.merge(a.stmts(x.Body.Stmts, e))
+		return ret
+	case *ast.DoWhileStmt:
+		ret := a.stmts(x.Body.Stmts, e)
+		ret = ret.merge(a.stmts(x.Body.Stmts, e))
+		a.expr(x.Cond, e)
+		return ret
+	case *ast.ForStmt:
+		for _, ex := range x.Init {
+			a.expr(ex, e)
+		}
+		for _, ex := range x.Cond {
+			a.expr(ex, e)
+		}
+		ret := a.stmts(x.Body.Stmts, e)
+		for _, ex := range x.Post {
+			a.expr(ex, e)
+		}
+		ret = ret.merge(a.stmts(x.Body.Stmts, e))
+		return ret
+	case *ast.ForeachStmt:
+		subj := a.expr(x.Subject, e)
+		if x.Key != nil {
+			a.assignTo(x.Key, subj, e)
+		}
+		a.assignTo(x.Value, subj, e)
+		ret := a.stmts(x.Body.Stmts, e)
+		ret = ret.merge(a.stmts(x.Body.Stmts, e))
+		return ret
+	case *ast.SwitchStmt:
+		a.expr(x.Subject, e)
+		// Cases are alternative branches: run each against the entry state
+		// and merge the results (fallthrough is over-approximated by the
+		// merge).
+		base := e.snapshot()
+		var ret Value
+		snaps := make([]map[string]Value, 0, len(x.Cases))
+		for _, c := range x.Cases {
+			e.vars = copyBindings(base)
+			if c.Cond != nil {
+				a.expr(c.Cond, e)
+			}
+			for _, st := range c.Body {
+				ret = ret.merge(a.stmt(st, e))
+			}
+			snaps = append(snaps, e.snapshot())
+		}
+		e.vars = base
+		for _, s := range snaps {
+			e.mergeFrom(s)
+		}
+		return ret
+	case *ast.ReturnStmt:
+		if x.Result != nil {
+			return a.expr(x.Result, e)
+		}
+	case *ast.ThrowStmt:
+		a.expr(x.X, e)
+	case *ast.TryStmt:
+		ret := a.stmts(x.Body.Stmts, e)
+		for _, c := range x.Catches {
+			if c.Var != "" {
+				e.set(c.Var, clean())
+			}
+			ret = ret.merge(a.stmts(c.Body.Stmts, e))
+		}
+		if x.Finally != nil {
+			ret = ret.merge(a.stmts(x.Finally.Stmts, e))
+		}
+		return ret
+	case *ast.GlobalStmt:
+		// Globals are unknown; be conservative and treat as clean (WAP does
+		// not track globals across scripts either).
+		for _, n := range x.Names {
+			e.set(n, clean())
+		}
+	case *ast.StaticVarStmt:
+		for i, n := range x.Names {
+			if x.Inits[i] != nil {
+				e.set(n, a.expr(x.Inits[i], e))
+			} else {
+				e.set(n, clean())
+			}
+		}
+	case *ast.UnsetStmt:
+		for _, arg := range x.Args {
+			if v, ok := arg.(*ast.Variable); ok {
+				e.set(v.Name, clean())
+			}
+		}
+	case *ast.IncludeStmt:
+		v := a.expr(x.X, e)
+		a.checkPseudoSink("include", x, x.X, v, x.Position)
+	case *ast.FunctionDecl, *ast.ClassDecl, *ast.InlineHTMLStmt,
+		*ast.BreakStmt, *ast.ContinueStmt:
+		// Declarations analyzed on call; HTML/flow have no taint effect.
+	}
+	return clean()
+}
+
+// assignTo writes a value to an assignable expression.
+func (a *Analyzer) assignTo(lhs ast.Expr, v Value, e *env) {
+	switch t := lhs.(type) {
+	case *ast.Variable:
+		e.set(t.Name, v)
+	case *ast.IndexExpr:
+		if base := rootVar(t.X); base != "" {
+			// Element assignment taints the whole array conservatively.
+			if v.Tainted {
+				e.mergeSet(base, v)
+			}
+		}
+	case *ast.PropExpr:
+		if key := propKey(t); key != "" {
+			if v.Tainted {
+				e.mergeSet(key, v)
+			} else {
+				e.set(key, v)
+			}
+		}
+	case *ast.StaticPropExpr:
+		key := "::" + strings.ToLower(t.Class) + "::" + t.Name
+		e.set(key, v)
+	case *ast.ListExpr:
+		for _, item := range t.Items {
+			if item != nil {
+				a.assignTo(item, v, e)
+			}
+		}
+	case *ast.ArrayLit:
+		for _, item := range t.Items {
+			a.assignTo(item.Value, v, e)
+		}
+	case *ast.VarVar:
+		// Unknown target: ignore (documented imprecision, as in WAP).
+	}
+}
+
+// rootVar returns the base variable name of nested index expressions.
+func rootVar(x ast.Expr) string {
+	for {
+		switch t := x.(type) {
+		case *ast.Variable:
+			return t.Name
+		case *ast.IndexExpr:
+			x = t.X
+		case *ast.PropExpr:
+			if k := propKey(t); k != "" {
+				return k
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// propKey builds an environment key for $var->prop chains ("var->prop").
+func propKey(p *ast.PropExpr) string {
+	base, ok := p.X.(*ast.Variable)
+	if !ok || p.Name == "" {
+		return ""
+	}
+	return base.Name + "->" + strings.ToLower(p.Name)
+}

@@ -1,0 +1,306 @@
+package taint
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/php/parser"
+	"repro/internal/vuln"
+)
+
+// These tests cover the harder data-flow shapes: closures, object state,
+// heredocs, switch flows, and the engine's robustness properties.
+
+func TestClosureUseBinding(t *testing.T) {
+	cands := analyze(t, vuln.SQLI, `<?php
+$id = $_GET['id'];
+$runner = function () use ($id) {
+  mysql_query("SELECT * FROM t WHERE id=" . $id);
+};`)
+	wantCount(t, cands, 1)
+}
+
+func TestClosureParamsClean(t *testing.T) {
+	// Closure parameters are unknown: not tainted by default.
+	cands := analyze(t, vuln.SQLI, `<?php
+$f = function ($x) { mysql_query("SELECT " . $x); };`)
+	wantCount(t, cands, 0)
+}
+
+func TestHeredocFlow(t *testing.T) {
+	cands := analyze(t, vuln.SQLI, `<?php
+$name = $_POST['name'];
+$q = <<<SQL
+SELECT * FROM users WHERE name = '$name'
+SQL;
+mysql_query($q);`)
+	wantCount(t, cands, 1)
+}
+
+func TestNowdocIsClean(t *testing.T) {
+	cands := analyze(t, vuln.SQLI, `<?php
+$q = <<<'SQL'
+SELECT * FROM users WHERE name = '$name'
+SQL;
+mysql_query($q);`)
+	wantCount(t, cands, 0)
+}
+
+func TestSwitchCaseFlows(t *testing.T) {
+	cands := analyze(t, vuln.SQLI, `<?php
+switch ($_GET['mode']) {
+case 'by_id':
+  $q = "SELECT * FROM t WHERE id=" . $_GET['v'];
+  break;
+default:
+  $q = "SELECT * FROM t";
+}
+mysql_query($q);`)
+	wantCount(t, cands, 1)
+}
+
+func TestStaticPropertyFlow(t *testing.T) {
+	cands := analyze(t, vuln.SQLI, `<?php
+Config::$filter = $_GET['f'];
+mysql_query("SELECT * FROM t WHERE " . Config::$filter);`)
+	wantCount(t, cands, 1)
+}
+
+func TestThisPropertyFlowInMethod(t *testing.T) {
+	cands := analyze(t, vuln.SQLI, `<?php
+class Query {
+  public $where;
+  function setWhere() { $this->where = $_GET['w']; }
+  function run() { mysql_query("SELECT * FROM t WHERE " . $this->where); }
+}`)
+	// Uncalled-method analysis: setWhere taints $this->where only in its own
+	// activation; run() has its own environment, so this conservative model
+	// does not flag. Calling both in sequence through an object would need
+	// heap tracking WAP also lacks. Assert stability, not detection.
+	if len(cands) > 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+}
+
+func TestObjectPropertyFlowSameScope(t *testing.T) {
+	cands := analyze(t, vuln.SQLI, `<?php
+$req = new Request();
+$req->id = $_GET['id'];
+mysql_query("SELECT * FROM t WHERE id=" . $req->id);`)
+	wantCount(t, cands, 1)
+}
+
+func TestTaintedMethodChain(t *testing.T) {
+	// Query-builder style: taint flows through unknown method chains on a
+	// tainted receiver.
+	cands := analyze(t, vuln.XSSR, `<?php
+$v = $_GET['v'];
+echo $fmt->wrap($v)->render();`)
+	// wrap($v) returns tainted (unknown method, tainted arg); render() on a
+	// tainted receiver stays tainted.
+	wantCount(t, cands, 1)
+}
+
+func TestStaticCallPropagation(t *testing.T) {
+	cands := analyze(t, vuln.SQLI, `<?php
+class Util { static function pass($v) { return $v; } }
+mysql_query("SELECT " . Util::pass($_GET['x']));`)
+	wantCount(t, cands, 1)
+}
+
+func TestStaticCallSanitizerMethod(t *testing.T) {
+	cands := analyze(t, vuln.SQLI, `<?php
+$sql = DB::prepare("SELECT * FROM t WHERE id=?", $_GET['id']);
+mysql_query($sql);`)
+	wantCount(t, cands, 0)
+}
+
+func TestVarVarNoFalseFlow(t *testing.T) {
+	cands := analyze(t, vuln.SQLI, `<?php
+$name = 'q';
+$$name = $_GET['x'];
+mysql_query("SELECT " . $q);`)
+	// Variable variables are not tracked (documented imprecision): no flow.
+	wantCount(t, cands, 0)
+}
+
+func TestGlobalResetsTaint(t *testing.T) {
+	cands := analyze(t, vuln.SQLI, `<?php
+function f() {
+  global $q;
+  mysql_query("SELECT " . $q);
+}`)
+	wantCount(t, cands, 0)
+}
+
+func TestNestedArrayLiteralTaint(t *testing.T) {
+	cands := analyze(t, vuln.NOSQLI, `<?php
+$filter = array("meta" => array("user" => $_POST['u']));
+$coll->find($filter);`)
+	wantCount(t, cands, 1)
+}
+
+func TestErrorSuppressionPassesTaint(t *testing.T) {
+	cands := analyze(t, vuln.SQLI, `<?php
+$v = @$_GET['v'];
+mysql_query("SELECT " . $v);`)
+	wantCount(t, cands, 1)
+}
+
+func TestCoalesceKeepsTaint(t *testing.T) {
+	cands := analyze(t, vuln.SQLI, `<?php
+$v = $_GET['v'] ?? 'default';
+mysql_query("SELECT " . $v);`)
+	wantCount(t, cands, 1)
+}
+
+func TestDoWhileFlow(t *testing.T) {
+	cands := analyze(t, vuln.XSSR, `<?php
+do {
+  echo $_GET['chunk'];
+} while (false);`)
+	wantCount(t, cands, 1)
+}
+
+func TestTryCatchFinallyFlow(t *testing.T) {
+	cands := analyze(t, vuln.SQLI, `<?php
+try {
+  mysql_query("SELECT " . $_GET['a']);
+} catch (Exception $e) {
+  mysql_query("SELECT " . $_GET['b']);
+} finally {
+  mysql_query("SELECT " . $_GET['c']);
+}`)
+	wantCount(t, cands, 3)
+}
+
+func TestCatchVariableClean(t *testing.T) {
+	cands := analyze(t, vuln.XSSR, `<?php
+try { risky(); } catch (Exception $e) { echo $e->getMessage(); }`)
+	wantCount(t, cands, 0)
+}
+
+func TestMultipleClassesSameSink(t *testing.T) {
+	// ldap_search with a tainted filter must not trigger the SQLI detector.
+	src := `<?php ldap_search($c, "dc=x", "(uid=" . $_GET['u'] . ")");`
+	wantCount(t, analyze(t, vuln.SQLI, src), 0)
+	wantCount(t, analyze(t, vuln.LDAPI, src), 1)
+}
+
+func TestDeepConcatChain(t *testing.T) {
+	// Long chains must not blow up and must keep taint.
+	src := `<?php $q = "SELECT";`
+	for i := 0; i < 50; i++ {
+		src += fmt.Sprintf("\n$q = $q . \" col%d\";", i)
+	}
+	src += "\n$q = $q . $_GET['tail'];\nmysql_query($q);"
+	cands := analyze(t, vuln.SQLI, src)
+	wantCount(t, cands, 1)
+}
+
+func TestManyFunctionsMemoized(t *testing.T) {
+	// Repeated calls with the same taint pattern hit the summary cache.
+	src := "<?php\nfunction pass($v) { return $v; }\n"
+	for i := 0; i < 40; i++ {
+		src += fmt.Sprintf("mysql_query(\"SELECT %d WHERE x=\" . pass($_GET['x%d']));\n", i, i)
+	}
+	cands := analyze(t, vuln.SQLI, src)
+	wantCount(t, cands, 40)
+}
+
+// Property: adding a sanitizer wrapper around every entry-point read of a
+// random raw flow always silences the detector.
+func TestSanitizationAlwaysSilencesQuick(t *testing.T) {
+	sinks := []struct {
+		class vuln.ClassID
+		tmpl  string
+		san   string
+	}{
+		{vuln.SQLI, `mysql_query("SELECT * FROM t WHERE id=" . %s);`, "mysql_real_escape_string"},
+		{vuln.XSSR, `echo "<p>" . %s . "</p>";`, "htmlspecialchars"},
+		{vuln.OSCI, `system("ls " . %s);`, "escapeshellarg"},
+	}
+	f := func(seed uint32) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		s := sinks[rng.Intn(len(sinks))]
+		key := fmt.Sprintf("k%d", rng.Intn(1000))
+		raw := fmt.Sprintf("$_GET['%s']", key)
+		srcRaw := "<?php\n" + fmt.Sprintf(s.tmpl, raw)
+		srcSan := "<?php\n" + fmt.Sprintf(s.tmpl, s.san+"("+raw+")")
+
+		fRaw, errs := parser.Parse("q.php", srcRaw)
+		if len(errs) > 0 {
+			return false
+		}
+		fSan, errs := parser.Parse("q.php", srcSan)
+		if len(errs) > 0 {
+			return false
+		}
+		nRaw := len(New(Config{Class: vuln.MustGet(s.class)}).File(fRaw))
+		nSan := len(New(Config{Class: vuln.MustGet(s.class)}).File(fSan))
+		return nRaw == 1 && nSan == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: analysis is deterministic — same file, same candidates.
+func TestAnalysisDeterministicQuick(t *testing.T) {
+	src := `<?php
+$a = $_GET['a'];
+if ($a) { $b = $a . "x"; } else { $b = "y"; }
+mysql_query("SELECT " . $b);
+echo $b;`
+	f, errs := parser.Parse("d.php", src)
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	base := New(Config{Class: vuln.MustGet(vuln.SQLI)}).File(f)
+	for i := 0; i < 20; i++ {
+		got := New(Config{Class: vuln.MustGet(vuln.SQLI)}).File(f)
+		if len(got) != len(base) {
+			t.Fatalf("run %d: %d candidates vs %d", i, len(got), len(base))
+		}
+		for j := range got {
+			if got[j].Key() != base[j].Key() {
+				t.Fatalf("run %d: candidate %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestServerKeyTaintDistinction(t *testing.T) {
+	// HTTP_* headers and PHP_SELF are attacker-controlled; REMOTE_ADDR and
+	// SERVER_SOFTWARE are set by the server.
+	tainted := []string{"HTTP_USER_AGENT", "HTTP_REFERER", "PHP_SELF", "QUERY_STRING", "REQUEST_URI"}
+	for _, key := range tainted {
+		src := fmt.Sprintf(`<?php echo $_SERVER['%s'];`, key)
+		if got := len(analyze(t, vuln.XSSR, src)); got != 1 {
+			t.Errorf("$_SERVER[%s]: candidates = %d, want 1", key, got)
+		}
+	}
+	safe := []string{"REMOTE_ADDR", "SERVER_SOFTWARE", "SERVER_PORT", "DOCUMENT_ROOT"}
+	for _, key := range safe {
+		src := fmt.Sprintf(`<?php echo $_SERVER['%s'];`, key)
+		if got := len(analyze(t, vuln.XSSR, src)); got != 0 {
+			t.Errorf("$_SERVER[%s]: candidates = %d, want 0 (server-set)", key, got)
+		}
+	}
+	// Unknown or dynamic keys stay tainted (conservative).
+	if got := len(analyze(t, vuln.XSSR, `<?php echo $_SERVER[$k];`)); got != 1 {
+		t.Errorf("dynamic $_SERVER key: candidates = %d, want 1", got)
+	}
+}
+
+func TestMatchExpressionTaint(t *testing.T) {
+	cands := analyze(t, vuln.SQLI, `<?php
+$order = match ($_GET['sort']) {
+  'name' => "name",
+  default => $_GET['sort'],
+};
+mysql_query("SELECT * FROM t ORDER BY " . $order);`)
+	wantCount(t, cands, 1)
+}

@@ -1,0 +1,141 @@
+package weapon_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/php/parser"
+	"repro/internal/taint"
+	"repro/internal/vuln"
+	"repro/internal/weapon"
+)
+
+// bundledDir locates the repository's weapons/ directory from the package's
+// test working directory.
+func bundledDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "..", "weapons"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Skipf("weapons dir not found: %v", err)
+	}
+	return dir
+}
+
+// TestBundledSpecsLoad validates every .weapon file shipped in weapons/.
+func TestBundledSpecsLoad(t *testing.T) {
+	dir := bundledDir(t)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".weapon" {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := weapon.ParseSpec(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if _, err := weapon.Generate(*spec); err != nil {
+			t.Errorf("%s: generate: %v", e.Name(), err)
+		}
+		loaded++
+	}
+	if loaded < 3 {
+		t.Errorf("bundled weapons = %d, want >= 3", loaded)
+	}
+}
+
+// TestXMLIWeaponDetects exercises the XML-injection spec end to end.
+func TestXMLIWeaponDetects(t *testing.T) {
+	f, err := os.Open(filepath.Join(bundledDir(t), "xmli.weapon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec, err := weapon.ParseSpec(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := weapon.Generate(*spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `<?php
+$payload = $_POST['xml'];
+$doc = simplexml_load_string($payload);
+$doc2 = simplexml_load_string('<fixed/>');
+$node->addChild("name", $_GET['n']);`
+	file, errs := parser.Parse("x.php", src)
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	cands := taint.New(taint.Config{Class: w.Class}).File(file)
+	if len(cands) != 2 {
+		for _, c := range cands {
+			t.Logf("cand: %v", c)
+		}
+		t.Fatalf("candidates = %d, want 2", len(cands))
+	}
+}
+
+// TestLogiWeaponInEngine runs the log-injection weapon through the whole
+// engine including its dynamic symptoms and fix.
+func TestLogiWeaponInEngine(t *testing.T) {
+	f, err := os.Open(filepath.Join(bundledDir(t), "logi.weapon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec, err := weapon.ParseSpec(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := weapon.Generate(*spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(core.Options{
+		Mode:    core.ModeWAPe,
+		Classes: []vuln.ClassID{},
+		Weapons: []*weapon.Weapon{w},
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Train(); err != nil {
+		t.Fatal(err)
+	}
+	src := `<?php
+error_log("login failed for " . $_POST['user']);
+error_log("ip " . log_escape($_SERVER['REMOTE_ADDR']));`
+	rep, err := eng.Analyze(core.LoadMap("logs", map[string]string{"l.php": src}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %d, want 1 (log_escape sanitizes)", len(rep.Findings))
+	}
+	fixed, _, err := eng.FixProject(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fixed["l.php"]
+	if !strings.Contains(out, "san_logi(") || !strings.Contains(out, "function san_logi") {
+		t.Errorf("weapon fix missing:\n%s", out)
+	}
+}

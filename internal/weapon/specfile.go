@@ -1,0 +1,262 @@
+package weapon
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/corrector"
+	"repro/internal/symptom"
+	"repro/internal/vuln"
+)
+
+// The spec file is the external representation of the ss/san/ep data the
+// paper stores "in external files, allowing the inclusion of new items
+// without recompiling the tool". One line per item:
+//
+//	name nosqli
+//	description NoSQL injection for MongoDB
+//	sink find method
+//	sink header arg=0
+//	sink query method recv=wpdb
+//	san mysql_real_escape_string
+//	san-method prepare
+//	ep _CUSTOM
+//	ep-func mysql_fetch_assoc
+//	fix-template php_san | user_san | user_val
+//	fix-san mysql_real_escape_string
+//	fix-chars \r \n %0a
+//	fix-neutralizer \x20
+//	fix-message WAP: blocked
+//	symptom val_int -> is_int validation
+//
+// '#' starts a comment; blank lines are ignored.
+
+// ParseSpec reads a weapon spec file.
+func ParseSpec(r io.Reader) (*Spec, error) {
+	sc := bufio.NewScanner(r)
+	spec := &Spec{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		var err error
+		switch key {
+		case "name":
+			spec.Name = rest
+		case "description":
+			spec.Description = rest
+		case "sink":
+			err = parseSinkLine(spec, rest)
+		case "san":
+			spec.Sanitizers = append(spec.Sanitizers, strings.ToLower(rest))
+		case "san-method":
+			spec.SanitizerMethods = append(spec.SanitizerMethods, strings.ToLower(rest))
+		case "ep":
+			spec.EntryPoints = append(spec.EntryPoints, rest)
+		case "ep-func":
+			spec.EntryPointFuncs = append(spec.EntryPointFuncs, strings.ToLower(rest))
+		case "fix-template":
+			switch rest {
+			case "php_san":
+				spec.Fix.Kind = corrector.PHPSanitization
+			case "user_san":
+				spec.Fix.Kind = corrector.UserSanitization
+			case "user_val":
+				spec.Fix.Kind = corrector.UserValidation
+			default:
+				err = fmt.Errorf("unknown fix template %q", rest)
+			}
+		case "fix-san":
+			spec.Fix.SanFunc = rest
+		case "fix-chars":
+			for _, c := range strings.Fields(rest) {
+				spec.Fix.MaliciousChars = append(spec.Fix.MaliciousChars, unescapeChar(c))
+			}
+		case "fix-neutralizer":
+			spec.Fix.Neutralizer = unescapeChar(rest)
+		case "fix-message":
+			spec.Fix.Message = rest
+		case "symptom":
+			err = parseSymptomLine(spec, rest)
+		default:
+			err = fmt.Errorf("unknown directive %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("weapon: spec line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("weapon: read spec: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// parseSinkLine parses "name [method] [recv=var] [arg=i ...]".
+func parseSinkLine(spec *Spec, rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return fmt.Errorf("sink needs a name")
+	}
+	s := vuln.Sink{Name: strings.ToLower(fields[0])}
+	for _, f := range fields[1:] {
+		switch {
+		case f == "method":
+			s.Method = true
+		case strings.HasPrefix(f, "recv="):
+			s.Recv = strings.ToLower(strings.TrimPrefix(f, "recv="))
+		case strings.HasPrefix(f, "arg="):
+			n, err := strconv.Atoi(strings.TrimPrefix(f, "arg="))
+			if err != nil || n < 0 {
+				return fmt.Errorf("bad arg index %q", f)
+			}
+			s.Args = append(s.Args, n)
+		default:
+			return fmt.Errorf("unknown sink option %q", f)
+		}
+	}
+	spec.Sinks = append(spec.Sinks, s)
+	return nil
+}
+
+// parseSymptomLine parses "func -> static_symptom category".
+func parseSymptomLine(spec *Spec, rest string) error {
+	fn, mapping, ok := strings.Cut(rest, "->")
+	if !ok {
+		return fmt.Errorf("symptom needs 'func -> static [category]'")
+	}
+	fields := strings.Fields(strings.TrimSpace(mapping))
+	if len(fields) == 0 {
+		return fmt.Errorf("symptom needs a static symptom name")
+	}
+	d := symptom.Dynamic{Func: strings.ToLower(strings.TrimSpace(fn)), MapsTo: fields[0]}
+	if len(fields) > 1 {
+		switch fields[1] {
+		case "validation":
+			d.Category = symptom.Validation
+		case "string", "string_manipulation":
+			d.Category = symptom.StringManipulation
+		case "sql", "sql_query_manipulation":
+			d.Category = symptom.SQLQueryManipulation
+		default:
+			return fmt.Errorf("unknown symptom category %q", fields[1])
+		}
+	} else {
+		d.Category = symptom.Validation
+	}
+	spec.Dynamics = append(spec.Dynamics, d)
+	return nil
+}
+
+// WriteSpec serializes a spec in the file format understood by ParseSpec.
+func WriteSpec(w io.Writer, spec *Spec) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# WAP weapon specification\nname %s\n", spec.Name)
+	if spec.Description != "" {
+		fmt.Fprintf(bw, "description %s\n", spec.Description)
+	}
+	for _, s := range spec.Sinks {
+		fmt.Fprintf(bw, "sink %s", s.Name)
+		if s.Method {
+			fmt.Fprint(bw, " method")
+		}
+		if s.Recv != "" {
+			fmt.Fprintf(bw, " recv=%s", s.Recv)
+		}
+		for _, a := range s.Args {
+			fmt.Fprintf(bw, " arg=%d", a)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, s := range spec.Sanitizers {
+		fmt.Fprintf(bw, "san %s\n", s)
+	}
+	for _, s := range spec.SanitizerMethods {
+		fmt.Fprintf(bw, "san-method %s\n", s)
+	}
+	for _, e := range spec.EntryPoints {
+		fmt.Fprintf(bw, "ep %s\n", e)
+	}
+	for _, e := range spec.EntryPointFuncs {
+		fmt.Fprintf(bw, "ep-func %s\n", e)
+	}
+	switch spec.Fix.Kind {
+	case corrector.PHPSanitization:
+		fmt.Fprintln(bw, "fix-template php_san")
+	case corrector.UserSanitization:
+		fmt.Fprintln(bw, "fix-template user_san")
+	case corrector.UserValidation:
+		fmt.Fprintln(bw, "fix-template user_val")
+	}
+	if spec.Fix.SanFunc != "" {
+		fmt.Fprintf(bw, "fix-san %s\n", spec.Fix.SanFunc)
+	}
+	if len(spec.Fix.MaliciousChars) > 0 {
+		fmt.Fprint(bw, "fix-chars")
+		for _, c := range spec.Fix.MaliciousChars {
+			fmt.Fprintf(bw, " %s", escapeChar(c))
+		}
+		fmt.Fprintln(bw)
+	}
+	if spec.Fix.Neutralizer != "" {
+		fmt.Fprintf(bw, "fix-neutralizer %s\n", escapeChar(spec.Fix.Neutralizer))
+	}
+	if spec.Fix.Message != "" {
+		fmt.Fprintf(bw, "fix-message %s\n", spec.Fix.Message)
+	}
+	for _, d := range spec.Dynamics {
+		cat := "validation"
+		switch d.Category {
+		case symptom.StringManipulation:
+			cat = "string"
+		case symptom.SQLQueryManipulation:
+			cat = "sql"
+		}
+		fmt.Fprintf(bw, "symptom %s -> %s %s\n", d.Func, d.MapsTo, cat)
+	}
+	return bw.Flush()
+}
+
+func unescapeChar(s string) string {
+	switch s {
+	case `\r`:
+		return "\r"
+	case `\n`:
+		return "\n"
+	case `\t`:
+		return "\t"
+	case `\0`:
+		return "\x00"
+	case `\x20`, `\s`:
+		return " "
+	default:
+		return s
+	}
+}
+
+func escapeChar(s string) string {
+	switch s {
+	case "\r":
+		return `\r`
+	case "\n":
+		return `\n`
+	case "\t":
+		return `\t`
+	case "\x00":
+		return `\0`
+	case " ":
+		return `\x20`
+	default:
+		return s
+	}
+}

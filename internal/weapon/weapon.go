@@ -1,0 +1,206 @@
+// Package weapon implements the paper's headline contribution: WAP
+// extensions ("weapons") that detect and correct new vulnerability classes
+// without programming. A weapon is generated from user-provided data — the
+// sensitive sinks and sanitization functions (plus optional entry points)
+// for the detector, fix-template data for the fix, and optional dynamic
+// symptoms — and plugs into the engine as a new detector + fix + symptom
+// map (Section III-D).
+package weapon
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/corrector"
+	"repro/internal/symptom"
+	"repro/internal/vuln"
+)
+
+// Spec is the user-provided configuration the weapon generator consumes.
+type Spec struct {
+	// Name identifies the weapon and derives the activation flag: a weapon
+	// named "nosqli" is activated by -nosqli.
+	Name string
+	// Description is free-form documentation.
+	Description string
+
+	// Sinks are the sensitive sinks of the new class (functions exploited
+	// by the attack).
+	Sinks []vuln.Sink
+	// Sanitizers are functions that neutralize malicious input.
+	Sanitizers []string
+	// SanitizerMethods are sanitizing method names (e.g. "prepare").
+	SanitizerMethods []string
+	// EntryPoints are additional input superglobals, beyond the native set.
+	EntryPoints []string
+	// EntryPointFuncs are functions whose return values are tainted.
+	EntryPointFuncs []string
+
+	// Fix is the fix-template instantiation data (Section III-C).
+	Fix corrector.Template
+
+	// Dynamics are the user's dynamic symptoms (Section III-B2).
+	Dynamics []symptom.Dynamic
+}
+
+// Validate checks the spec is complete enough to generate a weapon.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("weapon: spec needs a name")
+	}
+	if strings.ContainsAny(s.Name, " \t/\\") {
+		return fmt.Errorf("weapon: name %q must be a single flag-friendly word", s.Name)
+	}
+	if len(s.Sinks) == 0 {
+		return fmt.Errorf("weapon: spec %q needs at least one sensitive sink", s.Name)
+	}
+	for _, d := range s.Dynamics {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("weapon: spec %q: %w", s.Name, err)
+		}
+	}
+	switch s.Fix.Kind {
+	case corrector.PHPSanitization, corrector.UserSanitization, corrector.UserValidation:
+	default:
+		return fmt.Errorf("weapon: spec %q needs a fix template", s.Name)
+	}
+	return nil
+}
+
+// Weapon is a generated extension: a detector configuration, a fix, and
+// dynamic symptoms, ready to be linked into the engine.
+type Weapon struct {
+	// Class is the generated detector configuration; its ID is the weapon
+	// name and its Submodule is SubGenerated.
+	Class *vuln.Class
+	// Fix is the generated fix.
+	Fix *corrector.Fix
+	// Dynamics are the user's dynamic symptoms.
+	Dynamics []symptom.Dynamic
+	// Spec preserves the source configuration.
+	Spec Spec
+}
+
+// Flag returns the command-line flag activating the weapon.
+func (w *Weapon) Flag() string { return "-" + string(w.Class.ID) }
+
+// Generate builds a weapon from a spec: it configures the generic
+// vulnerability detector with the (ep, ss, san) data, instantiates the fix
+// template, and packages the dynamic symptoms (the paper's weapon
+// generator).
+func Generate(spec Spec) (*Weapon, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	fixID := "san_" + strings.ToLower(spec.Name)
+	fx, err := corrector.GenerateFix(fixID, spec.Fix)
+	if err != nil {
+		return nil, fmt.Errorf("weapon: spec %q: %w", spec.Name, err)
+	}
+
+	cls := &vuln.Class{
+		ID:          vuln.ClassID(strings.ToLower(spec.Name)),
+		Name:        spec.Description,
+		Description: spec.Description,
+		Submodule:   vuln.SubGenerated,
+		Sinks:       append([]vuln.Sink(nil), spec.Sinks...),
+		Sanitizers:  append([]string(nil), lowerAll(spec.Sanitizers)...),
+		SanitizerMethods: append([]string(nil),
+			lowerAll(spec.SanitizerMethods)...),
+		EntryPointFuncs: append([]string(nil), lowerAll(spec.EntryPointFuncs)...),
+		FixID:           fixID,
+		New:             true,
+		Weapon:          true,
+	}
+	if cls.Name == "" {
+		cls.Name = strings.ToUpper(spec.Name)
+	}
+	if len(spec.EntryPoints) > 0 {
+		// Weapons extend the native entry points rather than replacing them.
+		cls.EntryPoints = append(append([]string(nil), vuln.DefaultEntryPoints...), spec.EntryPoints...)
+	}
+	// Normalize sink names to lower case.
+	for i := range cls.Sinks {
+		cls.Sinks[i].Name = strings.ToLower(cls.Sinks[i].Name)
+		cls.Sinks[i].Recv = strings.ToLower(cls.Sinks[i].Recv)
+	}
+
+	return &Weapon{
+		Class:    cls,
+		Fix:      fx,
+		Dynamics: append([]symptom.Dynamic(nil), spec.Dynamics...),
+		Spec:     spec,
+	}, nil
+}
+
+func lowerAll(in []string) []string {
+	out := make([]string, len(in))
+	for i, s := range in {
+		out[i] = strings.ToLower(s)
+	}
+	return out
+}
+
+// BuiltinSpecs returns the three weapons the paper creates (Section IV-C):
+// NoSQLI, HI+EI (as separate weapons sharing a fix), and SQLI for WordPress.
+func BuiltinSpecs() []Spec {
+	return []Spec{
+		{
+			Name:        "nosqli",
+			Description: "NoSQL injection (MongoDB)",
+			Sinks: []vuln.Sink{
+				{Name: "find", Method: true},
+				{Name: "findone", Method: true},
+				{Name: "findandmodify", Method: true},
+				{Name: "insert", Method: true},
+				{Name: "remove", Method: true},
+				{Name: "save", Method: true},
+				{Name: "execute", Method: true},
+			},
+			Sanitizers: []string{"mysql_real_escape_string"},
+			Fix: corrector.Template{
+				Kind:    corrector.PHPSanitization,
+				SanFunc: "mysql_real_escape_string",
+			},
+		},
+		{
+			Name:        "hei",
+			Description: "Header injection / HTTP response splitting and email injection",
+			Sinks: []vuln.Sink{
+				{Name: "header", Args: []int{0}},
+				{Name: "mail"},
+				{Name: "mb_send_mail"},
+			},
+			Fix: corrector.Template{
+				Kind:           corrector.UserSanitization,
+				MaliciousChars: []string{"\r", "\n", "%0a", "%0d", "%0A", "%0D"},
+				Neutralizer:    " ",
+			},
+		},
+		{
+			Name:        "wpsqli",
+			Description: "SQL injection through WordPress $wpdb",
+			Sinks: []vuln.Sink{
+				{Name: "query", Method: true, Recv: "wpdb"},
+				{Name: "get_results", Method: true, Recv: "wpdb"},
+				{Name: "get_row", Method: true, Recv: "wpdb"},
+				{Name: "get_var", Method: true, Recv: "wpdb"},
+				{Name: "get_col", Method: true, Recv: "wpdb"},
+			},
+			Sanitizers:       []string{"esc_sql", "absint", "sanitize_key"},
+			SanitizerMethods: []string{"prepare"},
+			Fix: corrector.Template{
+				Kind:    corrector.PHPSanitization,
+				SanFunc: "esc_sql",
+			},
+			Dynamics: []symptom.Dynamic{
+				{Func: "sanitize_text_field", Category: symptom.StringManipulation, MapsTo: "str_replace"},
+				{Func: "sanitize_email", Category: symptom.StringManipulation, MapsTo: "str_replace"},
+				{Func: "sanitize_title", Category: symptom.StringManipulation, MapsTo: "str_replace"},
+				{Func: "wp_kses", Category: symptom.StringManipulation, MapsTo: "str_replace"},
+				{Func: "absint", Category: symptom.Validation, MapsTo: "intval"},
+				{Func: "is_email", Category: symptom.Validation, MapsTo: "preg_match"},
+			},
+		},
+	}
+}
