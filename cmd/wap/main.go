@@ -11,9 +11,20 @@
 // -lfi, -dt, -osci, -scd, -phpci, -ldapi, -xpathi, -nosqli, -cs, -hi, -ei,
 // -sf, -wpsqli. With no class flags every class (and the built-in weapons)
 // is active.
+//
+// Exit codes:
+//
+//	0  scan completed with full coverage, no vulnerabilities
+//	1  scan completed with full coverage, vulnerabilities found
+//	2  scan completed degraded: partial results plus diagnostics for what
+//	   could not be analyzed (skipped files, panics, timeouts, budgets)
+//	3  fatal error (bad usage, unreadable root directory, ...); with
+//	   -strict, any degradation is also fatal
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,14 +38,23 @@ import (
 	"repro/internal/weapon"
 )
 
+// Exit codes of the documented policy.
+const (
+	exitClean    = 0
+	exitVulns    = 1
+	exitDegraded = 2
+	exitFatal    = 3
+)
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "wap:", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run(args []string) error {
+func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("wap", flag.ContinueOnError)
 	var (
 		v21      = fs.Bool("v21", false, "run as the original WAP v2.1 (8 classes, old predictor)")
@@ -47,6 +67,10 @@ func run(args []string) error {
 		weaponFS = fs.String("weapon", "", "comma-separated weapon spec files to load")
 		confPath = fs.String("conf", "", "project configuration file (default: <dir>/wap.conf if present)")
 		compare  = fs.String("compare", "", "diff against an older version of the application at this directory")
+		timeout  = fs.Duration("timeout", 0, "overall scan deadline; on expiry the scan stops and reports partial results (0 = none)")
+		taskTO   = fs.Duration("task-timeout", 0, "per-(file, class) task deadline; a stalled task is cut off and diagnosed (0 = none)")
+		strict   = fs.Bool("strict", false, "treat any degradation (skipped files, panics, timeouts, budget exhaustion) as fatal (exit 3)")
+		maxFile  = fs.Int64("max-file-size", 0, "per-file size cap in bytes; larger files are skipped with a diagnostic (0 = default 8 MiB, -1 = unlimited)")
 	)
 	classFlags := make(map[vuln.ClassID]*bool)
 	for _, c := range vuln.WAPe() {
@@ -54,14 +78,14 @@ func run(args []string) error {
 	}
 	classFlags[vuln.WPSQLI] = fs.Bool(string(vuln.WPSQLI), false, "detect SQLI via the WordPress weapon")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return exitFatal, err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: wap [flags] <dir>")
+		return exitFatal, fmt.Errorf("usage: wap [flags] <dir>")
 	}
 	dir := fs.Arg(0)
 
-	opts := core.Options{Mode: core.ModeWAPe, Seed: *seed}
+	opts := core.Options{Mode: core.ModeWAPe, Seed: *seed, TaskTimeout: *taskTO}
 	if *v21 {
 		opts.Mode = core.ModeOriginal
 	}
@@ -76,7 +100,7 @@ func run(args []string) error {
 	}
 	pc, err := core.LoadProjectConfig(conf)
 	if err != nil {
-		return err
+		return exitFatal, err
 	}
 	pc.ApplyTo(&opts)
 
@@ -108,69 +132,83 @@ func run(args []string) error {
 			}
 			w, err := weapon.Generate(spec)
 			if err != nil {
-				return err
+				return exitFatal, err
 			}
 			opts.Weapons = append(opts.Weapons, w)
 		}
 		for _, path := range splitTrim(*weaponFS) {
 			w, err := loadWeapon(path)
 			if err != nil {
-				return err
+				return exitFatal, err
 			}
 			opts.Weapons = append(opts.Weapons, w)
 		}
 	} else if *weaponFS != "" {
-		return fmt.Errorf("weapons require the new WAP version (drop -v21)")
+		return exitFatal, fmt.Errorf("weapons require the new WAP version (drop -v21)")
 	}
 
 	eng, err := core.New(opts)
 	if err != nil {
-		return err
+		return exitFatal, err
 	}
 	if !*jsonOut {
 		fmt.Printf("training false positive predictor (%s)...\n", opts.Mode)
 	}
 	if err := eng.Train(); err != nil {
-		return err
+		return exitFatal, err
 	}
 
-	proj, err := core.LoadDir(filepath.Base(dir), dir)
+	loadOpts := core.LoadOptions{MaxFileSize: *maxFile}
+	proj, err := core.LoadDirOptions(filepath.Base(dir), dir, loadOpts)
 	if err != nil {
-		return err
+		return exitFatal, err
 	}
 	if !*jsonOut {
 		fmt.Printf("analyzing %s: %d files, %d lines\n", dir, len(proj.Files), proj.TotalLines())
 	}
-	rep, err := eng.Analyze(proj)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rep, err := eng.AnalyzeContext(ctx, proj)
 	if err != nil {
-		return err
+		// A scan cut short by the -timeout deadline still yields partial
+		// results with a diagnostic; anything else is fatal.
+		if rep == nil || !errors.Is(err, context.DeadlineExceeded) {
+			return exitFatal, err
+		}
 	}
 	if *compare != "" {
-		oldProj, err := core.LoadDir(filepath.Base(*compare), *compare)
+		oldProj, err := core.LoadDirOptions(filepath.Base(*compare), *compare, loadOpts)
 		if err != nil {
-			return err
+			return exitFatal, err
 		}
 		oldRep, err := eng.Analyze(oldProj)
 		if err != nil {
-			return err
+			return exitFatal, err
 		}
 		d := report.DiffFindings(report.Group(oldRep), report.Group(rep))
 		fmt.Print(d.Render(*compare, dir))
-		return nil
+		return exitCode(rep, len(rep.Vulnerabilities()), *strict)
 	}
 	if *htmlOut != "" {
 		f, err := os.Create(*htmlOut)
 		if err != nil {
-			return err
+			return exitFatal, err
 		}
 		defer f.Close()
 		if err := report.WriteHTML(f, rep); err != nil {
-			return err
+			return exitFatal, err
 		}
 		fmt.Printf("HTML report written to %s\n", *htmlOut)
 	}
 	if *jsonOut {
-		return report.WriteJSON(os.Stdout, rep)
+		if err := report.WriteJSON(os.Stdout, rep); err != nil {
+			return exitFatal, err
+		}
+		return exitCode(rep, len(rep.Vulnerabilities()), *strict)
 	}
 
 	grouped := report.Group(rep)
@@ -198,6 +236,13 @@ func run(args []string) error {
 			l.Read.File, l.Read.SinkPos.Line)
 	}
 
+	if len(rep.Diagnostics) > 0 {
+		fmt.Printf("\ndiagnostics (%d) — not analyzed:\n", len(rep.Diagnostics))
+		for _, d := range rep.Diagnostics {
+			fmt.Printf("  %s\n", d)
+		}
+	}
+
 	fmt.Printf("\n%d vulnerabilities, %d predicted false positives (%.0f ms)\n",
 		nVuln, nFP, float64(rep.Duration.Milliseconds()))
 
@@ -219,20 +264,36 @@ func run(args []string) error {
 	if *fix && nVuln > 0 {
 		fixed, applied, err := eng.FixProject(rep)
 		if err != nil {
-			return err
+			return exitFatal, err
 		}
 		for path, src := range fixed {
 			out := filepath.Join(dir, path+".fixed.php")
 			if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
-				return err
+				return exitFatal, err
 			}
 			if err := os.WriteFile(out, []byte(src), 0o644); err != nil {
-				return err
+				return exitFatal, err
 			}
 			fmt.Printf("fixed %s -> %s (%d corrections)\n", path, out, len(applied[path]))
 		}
 	}
-	return nil
+	return exitCode(rep, nVuln, *strict)
+}
+
+// exitCode applies the documented policy: degradation dominates (a partial
+// scan must not read as a clean bill of health), vulnerabilities exit 1,
+// and -strict escalates degradation to fatal.
+func exitCode(rep *core.Report, nVuln int, strict bool) (int, error) {
+	if rep.Degraded() {
+		if strict {
+			return exitFatal, fmt.Errorf("scan degraded (%d diagnostics) and -strict is set", len(rep.Diagnostics))
+		}
+		return exitDegraded, nil
+	}
+	if nVuln > 0 {
+		return exitVulns, nil
+	}
+	return exitClean, nil
 }
 
 func loadWeapon(path string) (*weapon.Weapon, error) {

@@ -29,35 +29,94 @@ echo $_POST['msg'];
 
 func TestRunBasic(t *testing.T) {
 	dir := writeApp(t, map[string]string{"index.php": vulnerablePage})
-	if err := run([]string{dir}); err != nil {
+	code, err := run([]string{dir})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if code != exitVulns {
+		t.Errorf("vulnerable app: exit code = %d, want %d", code, exitVulns)
+	}
+}
+
+func TestRunCleanExitsZero(t *testing.T) {
+	dir := writeApp(t, map[string]string{"index.php": `<?php echo "hello";`})
+	code, err := run([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitClean {
+		t.Errorf("clean app: exit code = %d, want %d", code, exitClean)
+	}
+}
+
+func TestRunDegradedExitCodes(t *testing.T) {
+	// A 2-byte size cap forces every file to be skipped with a load-skipped
+	// diagnostic: the scan completes degraded.
+	dir := writeApp(t, map[string]string{"index.php": vulnerablePage})
+	code, err := run([]string{"-max-file-size", "2", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitDegraded {
+		t.Errorf("degraded scan: exit code = %d, want %d", code, exitDegraded)
+	}
+	// -strict escalates degradation to fatal.
+	code, err = run([]string{"-max-file-size", "2", "-strict", dir})
+	if err == nil {
+		t.Error("strict degraded scan: want an error")
+	}
+	if code != exitFatal {
+		t.Errorf("strict degraded scan: exit code = %d, want %d", code, exitFatal)
+	}
+	// Without the cap the same tree is analyzed in full.
+	code, err = run([]string{"-strict", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitVulns {
+		t.Errorf("strict full scan: exit code = %d, want %d", code, exitVulns)
+	}
+}
+
+func TestRunTaskTimeoutFlagParses(t *testing.T) {
+	dir := writeApp(t, map[string]string{"index.php": vulnerablePage})
+	code, err := run([]string{"-task-timeout", "30s", "-timeout", "1m", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitVulns {
+		t.Errorf("exit code = %d, want %d", code, exitVulns)
 	}
 }
 
 func TestRunClassSelection(t *testing.T) {
 	dir := writeApp(t, map[string]string{"index.php": vulnerablePage})
-	if err := run([]string{"-sqli", dir}); err != nil {
+	if _, err := run([]string{"-sqli", dir}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunV21Mode(t *testing.T) {
 	dir := writeApp(t, map[string]string{"index.php": vulnerablePage})
-	if err := run([]string{"-v21", dir}); err != nil {
+	if _, err := run([]string{"-v21", dir}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunJSON(t *testing.T) {
 	dir := writeApp(t, map[string]string{"index.php": vulnerablePage})
-	if err := run([]string{"-json", dir}); err != nil {
+	code, err := run([]string{"-json", dir})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if code != exitVulns {
+		t.Errorf("json run: exit code = %d, want %d", code, exitVulns)
 	}
 }
 
 func TestRunFixWritesFiles(t *testing.T) {
 	dir := writeApp(t, map[string]string{"index.php": vulnerablePage})
-	if err := run([]string{"-fix", dir}); err != nil {
+	if _, err := run([]string{"-fix", dir}); err != nil {
 		t.Fatal(err)
 	}
 	fixed, err := os.ReadFile(filepath.Join(dir, "index.php.fixed.php"))
@@ -82,25 +141,25 @@ fix-chars ' "
 	if err := os.WriteFile(weaponFile, []byte(spec), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-weapon", weaponFile, dir}); err != nil {
+	if _, err := run([]string{"-weapon", weaponFile, dir}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{}); err == nil {
-		t.Error("want usage error without a directory")
+	if code, err := run([]string{}); err == nil || code != exitFatal {
+		t.Errorf("want fatal usage error without a directory, got code %d err %v", code, err)
 	}
-	if err := run([]string{"/no/such/dir"}); err == nil {
-		t.Error("want error for missing directory")
+	if code, err := run([]string{"/no/such/dir"}); err == nil || code != exitFatal {
+		t.Errorf("want fatal error for missing directory, got code %d err %v", code, err)
 	}
 	dir := writeApp(t, map[string]string{"a.php": `<?php echo 1;`})
-	if err := run([]string{"-weapon", "/no/such.weapon", dir}); err == nil {
-		t.Error("want error for missing weapon file")
+	if code, err := run([]string{"-weapon", "/no/such.weapon", dir}); err == nil || code != exitFatal {
+		t.Errorf("want fatal error for missing weapon file, got code %d err %v", code, err)
 	}
 	// Weapons are a WAPe feature.
-	if err := run([]string{"-v21", "-weapon", "/no/such.weapon", dir}); err == nil {
-		t.Error("want error for weapon with -v21 or missing file")
+	if code, err := run([]string{"-v21", "-weapon", "/no/such.weapon", dir}); err == nil || code != exitFatal {
+		t.Errorf("want fatal error for weapon with -v21, got code %d err %v", code, err)
 	}
 }
 
@@ -117,7 +176,7 @@ func TestSplitTrim(t *testing.T) {
 func TestRunHTMLReport(t *testing.T) {
 	dir := writeApp(t, map[string]string{"index.php": vulnerablePage})
 	out := filepath.Join(t.TempDir(), "report.html")
-	if err := run([]string{"-html", out, dir}); err != nil {
+	if _, err := run([]string{"-html", out, dir}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -135,7 +194,7 @@ $id = $_GET['id'];
 if (!isset($_GET['id']) || !is_numeric($id)) { exit; }
 mysql_query("SELECT * FROM t WHERE id=" . $id);
 `})
-	if err := run([]string{"-show-fp", dir}); err != nil {
+	if _, err := run([]string{"-show-fp", dir}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -145,10 +204,10 @@ func TestRunCompare(t *testing.T) {
 	newDir := writeApp(t, map[string]string{"a.php": `<?php
 echo $_GET['x'];
 mysql_query("SELECT " . $_GET['q']);`})
-	if err := run([]string{"-compare", oldDir, newDir}); err != nil {
+	if _, err := run([]string{"-compare", oldDir, newDir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-compare", "/no/such/dir", newDir}); err == nil {
+	if _, err := run([]string{"-compare", "/no/such/dir", newDir}); err == nil {
 		t.Error("want error for missing compare dir")
 	}
 }

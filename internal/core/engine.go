@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/corrector"
@@ -74,7 +77,28 @@ type Options struct {
 	// identical at any setting: findings are ordered by (file, class)
 	// regardless of completion order.
 	Parallelism int
+	// TaskTimeout is the per-(file, class) task deadline. A task that runs
+	// longer is cut off by a watchdog, its findings are discarded, and a
+	// timeout diagnostic is recorded; the scan continues. 0 disables the
+	// watchdog.
+	TaskTimeout time.Duration
+	// TaskBudget bounds the AST-node steps one (file, class) task may spend
+	// in taint analysis, so runaway interprocedural walks degrade to
+	// conservative propagation instead of hanging. 0 uses DefaultTaskBudget;
+	// negative means unlimited.
+	TaskBudget int
+	// TaskHook, when set, runs at the start of every (file, class) task in
+	// the task's own goroutine. It exists for fault injection (chaos
+	// testing): a hook that panics or stalls exercises the isolation layer
+	// exactly like a bug in the parser or taint engine would.
+	TaskHook func(file string, class vuln.ClassID)
 }
+
+// DefaultTaskBudget is the per-task AST-step budget applied when
+// Options.TaskBudget is zero. Typical files spend well under 10^5 steps;
+// only pathological inputs (exponential loop nesting, huge generated files)
+// come near it.
+const DefaultTaskBudget = 5 << 20
 
 // Finding is one analyzed candidate vulnerability.
 type Finding struct {
@@ -98,8 +122,26 @@ type Report struct {
 	// StoredLinks pairs tainted database writes with stored-XSS reads of
 	// the same table (end-to-end stored XSS evidence).
 	StoredLinks []taint.StoredLink
+	// Diagnostics records everything the scan could not analyze: panicking
+	// or timed-out tasks, exhausted step budgets, degraded parses and files
+	// skipped at load time. Findings are complete and sound for everything
+	// NOT listed here; an empty slice means full coverage.
+	Diagnostics []Diagnostic
 	// Duration is the analysis wall time.
 	Duration time.Duration
+}
+
+// Degraded reports whether any part of the input escaped analysis; the
+// findings are then a sound partial result rather than full coverage.
+func (r *Report) Degraded() bool { return len(r.Diagnostics) > 0 }
+
+// DiagnosticsByKind tallies diagnostics per kind.
+func (r *Report) DiagnosticsByKind() map[DiagKind]int {
+	out := make(map[DiagKind]int)
+	for _, d := range r.Diagnostics {
+		out[d.Kind]++
+	}
+	return out
 }
 
 // Vulnerabilities returns findings predicted to be real vulnerabilities.
@@ -266,22 +308,60 @@ func (e *Engine) Train() error {
 }
 
 // Analyze runs the full pipeline over a project: taint detection for every
-// active class, then false positive prediction for every candidate.
+// active class, then false positive prediction for every candidate. It is
+// AnalyzeContext with a background context.
 func (e *Engine) Analyze(p *Project) (*Report, error) {
+	return e.AnalyzeContext(context.Background(), p)
+}
+
+// task is one unit of fault isolation: taint analysis + FP prediction for a
+// single (file, class) pair.
+type task struct {
+	file *SourceFile
+	cls  *vuln.Class
+}
+
+// taskOutcome is what one task hands back to its worker.
+type taskOutcome struct {
+	findings  []*Finding
+	exhausted bool // step budget ran out; findings are a sound prefix
+	stopped   bool // cut off by the cooperative stop flag
+	panicVal  string
+	stack     string
+}
+
+// AnalyzeContext runs the full pipeline under a context. Fault isolation:
+//
+//   - every (file, class) task runs with panic recovery — a bug in the
+//     parser or taint engine costs that task only and is recorded as a
+//     panic diagnostic;
+//   - Options.TaskTimeout bounds each task's wall time via a watchdog; a
+//     stalled task is abandoned and recorded as a timeout diagnostic;
+//   - Options.TaskBudget bounds each task's AST-step count; a runaway walk
+//     degrades to conservative propagation and is recorded as a
+//     budget-exhausted diagnostic;
+//   - ctx cancellation stops the scan between tasks (and interrupts running
+//     tasks cooperatively); AnalyzeContext then returns the partial report
+//     alongside ctx's error.
+//
+// The report is complete and deterministic for everything not listed in its
+// Diagnostics, regardless of Parallelism.
+func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error) {
 	if !e.trained {
 		if err := e.Train(); err != nil {
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	rep := &Report{Project: p, Mode: e.opts.Mode}
+	// Load-time and parse-time degradation is part of the scan's account.
+	rep.Diagnostics = append(rep.Diagnostics, p.Diagnostics...)
 
 	// One task per (file, class) pair; results keep task order so output is
 	// independent of scheduling.
-	type task struct {
-		file *SourceFile
-		cls  *vuln.Class
-	}
 	tasks := make([]task, 0, len(p.Files)*len(e.classes))
 	for _, file := range p.Files {
 		for _, cls := range e.classes {
@@ -290,30 +370,87 @@ func (e *Engine) Analyze(p *Project) (*Report, error) {
 	}
 	results := make([][]*Finding, len(tasks))
 
-	runTask := func(i int) {
+	budget := e.opts.TaskBudget
+	if budget == 0 {
+		budget = DefaultTaskBudget
+	} else if budget < 0 {
+		budget = 0 // unlimited
+	}
+
+	var (
+		diagMu    sync.Mutex
+		taskDiags []Diagnostic
+		nextIdx   atomic.Int64
+		completed atomic.Int64
+	)
+	addDiag := func(d Diagnostic) {
+		diagMu.Lock()
+		taskDiags = append(taskDiags, d)
+		diagMu.Unlock()
+	}
+
+	// execTask runs task i in its own goroutine so a panic is contained, a
+	// watchdog can abandon it, and an abandoned task keeps no reference to
+	// shared state (it reports through a buffered channel it owns).
+	execTask := func(i int) {
 		t := tasks[i]
-		// The tool's own fix for the class counts as a sanitizer so
-		// corrected code is not re-flagged.
-		sans := append([]string(nil), e.opts.ExtraSanitizers...)
-		if fixID := e.fixIDFor(t.cls); fixID != "" {
-			sans = append(sans, fixID)
+		stop := new(atomic.Bool)
+		taskStart := time.Now()
+		outc := make(chan taskOutcome, 1)
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					outc <- taskOutcome{panicVal: fmt.Sprint(r), stack: string(debug.Stack())}
+				}
+			}()
+			outc <- e.runTask(t, p, stop, budget)
+		}()
+
+		var timeoutC <-chan time.Time
+		if e.opts.TaskTimeout > 0 {
+			timer := time.NewTimer(e.opts.TaskTimeout)
+			defer timer.Stop()
+			timeoutC = timer.C
 		}
-		sans = append(sans, e.opts.ClassSanitizers[t.cls.ID]...)
-		an := taint.New(taint.Config{
-			Class:            t.cls,
-			Resolver:         p,
-			ExtraSanitizers:  sans,
-			ExtraEntryPoints: e.opts.ExtraEntryPoints,
-			ExtraSinks:       e.opts.ClassSinks[t.cls.ID],
-		})
-		for _, cand := range an.File(t.file.AST) {
-			f := &Finding{Candidate: cand}
-			if w, ok := e.weapons[cand.Class]; ok {
-				f.Weapon = string(w.Class.ID)
+		select {
+		case out := <-outc:
+			completed.Add(1)
+			elapsed := time.Since(taskStart)
+			switch {
+			case out.panicVal != "":
+				addDiag(Diagnostic{
+					File: t.file.Path, Class: t.cls.ID, Kind: DiagPanic,
+					Message: "analysis panicked: " + out.panicVal,
+					Stack:   out.stack, Elapsed: elapsed,
+				})
+			case out.stopped:
+				addDiag(Diagnostic{
+					File: t.file.Path, Class: t.cls.ID, Kind: DiagTimeout,
+					Message: "analysis interrupted by cancellation", Elapsed: elapsed,
+				})
+				results[i] = out.findings
+			case out.exhausted:
+				addDiag(Diagnostic{
+					File: t.file.Path, Class: t.cls.ID, Kind: DiagBudget,
+					Message: fmt.Sprintf("AST-step budget of %d exhausted; taint walk degraded to conservative propagation", budget),
+					Elapsed: elapsed,
+				})
+				results[i] = out.findings
+			default:
+				results[i] = out.findings
 			}
-			f.Symptoms = e.extractor.Extract(cand, t.file.AST)
-			f.PredictedFP, f.Votes = e.predict(f.Symptoms)
-			results[i] = append(results[i], f)
+		case <-timeoutC:
+			// Signal the cooperative stop and abandon the goroutine; it
+			// reports into its buffered channel and exits on its own. Its
+			// findings are discarded either way.
+			stop.Store(true)
+			addDiag(Diagnostic{
+				File: t.file.Path, Class: t.cls.ID, Kind: DiagTimeout,
+				Message: fmt.Sprintf("task exceeded deadline %v", e.opts.TaskTimeout),
+				Elapsed: time.Since(taskStart),
+			})
+		case <-ctx.Done():
+			stop.Store(true)
 		}
 	}
 
@@ -324,27 +461,42 @@ func (e *Engine) Analyze(p *Project) (*Report, error) {
 			workers = 8
 		}
 	}
-	if workers <= 1 || len(tasks) < 2 {
-		for i := range tasks {
-			runTask(i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					runTask(i)
+	if workers > len(tasks) && len(tasks) > 0 {
+		workers = len(tasks)
+	}
+	// Workers claim task indices from an atomic counter (not an unbuffered
+	// feed channel), so there is no send loop that cancellation could leave
+	// blocked, and task order — hence output order — stays deterministic.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(nextIdx.Add(1)) - 1
+				if i >= len(tasks) {
+					return
 				}
-			}()
+				execTask(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	sortDiagnostics(taskDiags)
+	rep.Diagnostics = append(rep.Diagnostics, taskDiags...)
+	if err := ctx.Err(); err != nil {
+		rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+			Kind: DiagTimeout,
+			Message: fmt.Sprintf("scan cancelled (%v) with %d of %d tasks incomplete; findings below are the completed subset",
+				err, int64(len(tasks))-completed.Load(), len(tasks)),
+			Elapsed: time.Since(start),
+		})
+		for _, fs := range results {
+			rep.Findings = append(rep.Findings, fs...)
 		}
-		for i := range tasks {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
+		rep.Duration = time.Since(start)
+		return rep, err
 	}
 
 	for _, fs := range results {
@@ -353,6 +505,45 @@ func (e *Engine) Analyze(p *Project) (*Report, error) {
 	rep.linkStoredXSS()
 	rep.Duration = time.Since(start)
 	return rep, nil
+}
+
+// runTask performs one (file, class) analysis. It runs inside the task's
+// goroutine: everything it touches besides the engine's read-only state is
+// task-local, so an abandoned (timed-out) invocation cannot race a live
+// scan.
+func (e *Engine) runTask(t task, p *Project, stop *atomic.Bool, budget int) taskOutcome {
+	if e.opts.TaskHook != nil {
+		e.opts.TaskHook(t.file.Path, t.cls.ID)
+	}
+	// The tool's own fix for the class counts as a sanitizer so corrected
+	// code is not re-flagged.
+	sans := append([]string(nil), e.opts.ExtraSanitizers...)
+	if fixID := e.fixIDFor(t.cls); fixID != "" {
+		sans = append(sans, fixID)
+	}
+	sans = append(sans, e.opts.ClassSanitizers[t.cls.ID]...)
+	an := taint.New(taint.Config{
+		Class:            t.cls,
+		Resolver:         p,
+		ExtraSanitizers:  sans,
+		ExtraEntryPoints: e.opts.ExtraEntryPoints,
+		ExtraSinks:       e.opts.ClassSinks[t.cls.ID],
+		MaxSteps:         budget,
+		Stop:             stop,
+	})
+	var out taskOutcome
+	for _, cand := range an.File(t.file.AST) {
+		f := &Finding{Candidate: cand}
+		if w, ok := e.weapons[cand.Class]; ok {
+			f.Weapon = string(w.Class.ID)
+		}
+		f.Symptoms = e.extractor.Extract(cand, t.file.AST)
+		f.PredictedFP, f.Votes = e.predict(f.Symptoms)
+		out.findings = append(out.findings, f)
+	}
+	out.exhausted = an.Exhausted()
+	out.stopped = an.Stopped()
+	return out
 }
 
 // linkStoredXSS runs the two-phase stored-XSS linker over the report's

@@ -27,6 +27,9 @@ type SourceFile struct {
 	AST *ast.File
 	// ParseErrs records recoverable syntax errors.
 	ParseErrs []*parser.Error
+	// Degraded is true when the parser hit its nesting bound and the AST is
+	// a truncated approximation of the file.
+	Degraded bool
 	// Lines is the line count of Src.
 	Lines int
 }
@@ -38,8 +41,13 @@ type Project struct {
 	Name  string
 	Files []*SourceFile
 
+	// Diagnostics records files skipped at load time and degraded parses.
+	// Analysis copies them into the report so no loss of coverage is silent.
+	Diagnostics []Diagnostic
+
 	funcs   map[string]*ast.FunctionDecl
 	methods map[string]*ast.FunctionDecl
+	byPath  map[string]*SourceFile
 }
 
 // ResolveFunc implements taint.FuncResolver.
@@ -63,6 +71,10 @@ func (p *Project) TotalLines() int {
 
 // File returns the source file with the given path, or nil.
 func (p *Project) File(path string) *SourceFile {
+	if p.byPath != nil {
+		return p.byPath[path]
+	}
+	// Fallback for hand-assembled projects that never called index().
 	for _, f := range p.Files {
 		if f.Path == path {
 			return f
@@ -87,23 +99,81 @@ func LoadMap(name string, files map[string]string) *Project {
 	return p
 }
 
-// LoadDir builds a project from every .php file under dir.
+// DefaultMaxFileSize is the load-time size cap (bytes) applied when
+// LoadOptions.MaxFileSize is zero. Real-world trees contain giant generated
+// or data-bearing .php files that only stall analysis; they are skipped and
+// recorded as load-skipped diagnostics.
+const DefaultMaxFileSize = 8 << 20
+
+// LoadOptions tunes directory loading.
+type LoadOptions struct {
+	// MaxFileSize is the per-file size cap in bytes; 0 means
+	// DefaultMaxFileSize, negative means unlimited.
+	MaxFileSize int64
+}
+
+func (o LoadOptions) maxFileSize() int64 {
+	switch {
+	case o.MaxFileSize < 0:
+		return 0 // unlimited
+	case o.MaxFileSize == 0:
+		return DefaultMaxFileSize
+	default:
+		return o.MaxFileSize
+	}
+}
+
+// LoadDir builds a project from every .php file under dir (matched by
+// lowercase suffix, so Page.PHP loads too) with default options.
 func LoadDir(name, dir string) (*Project, error) {
+	return LoadDirOptions(name, dir, LoadOptions{})
+}
+
+// LoadDirOptions builds a project from every .php file under dir. The load
+// is resilient: unreadable files, unresolvable symlinks and files over the
+// size cap are skipped and recorded as load-skipped diagnostics (with their
+// original path casing) instead of aborting the whole load. Only a missing
+// or unreadable root directory is a fatal error.
+func LoadDirOptions(name, dir string, opts LoadOptions) (*Project, error) {
 	p := &Project{Name: name}
+	sizeCap := opts.maxFileSize()
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		rel := relPath(dir, path)
 		if err != nil {
-			return err
+			if path == dir || filepath.Clean(path) == filepath.Clean(dir) {
+				return err // unreadable root: fatal
+			}
+			p.Diagnostics = append(p.Diagnostics, Diagnostic{
+				File: rel, Kind: DiagLoadSkipped,
+				Message: fmt.Sprintf("unreadable: %v", err),
+			})
+			if d != nil && d.IsDir() {
+				return fs.SkipDir
+			}
+			return nil
 		}
 		if d.IsDir() || !strings.HasSuffix(strings.ToLower(d.Name()), ".php") {
 			return nil
 		}
+		// WalkDir never descends into directory symlinks, so symlink cycles
+		// cannot recurse; file symlinks are read through os.ReadFile below
+		// and skipped with a diagnostic when broken or self-referential.
+		if sizeCap > 0 {
+			if info, ierr := os.Stat(path); ierr == nil && info.Size() > sizeCap {
+				p.Diagnostics = append(p.Diagnostics, Diagnostic{
+					File: rel, Kind: DiagLoadSkipped,
+					Message: fmt.Sprintf("file size %d exceeds cap %d bytes", info.Size(), sizeCap),
+				})
+				return nil
+			}
+		}
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return fmt.Errorf("core: read %s: %w", path, err)
-		}
-		rel, err := filepath.Rel(dir, path)
-		if err != nil {
-			rel = path
+			p.Diagnostics = append(p.Diagnostics, Diagnostic{
+				File: rel, Kind: DiagLoadSkipped,
+				Message: fmt.Sprintf("unreadable: %v", err),
+			})
+			return nil
 		}
 		p.addFile(rel, string(data))
 		return nil
@@ -115,22 +185,44 @@ func LoadDir(name, dir string) (*Project, error) {
 	return p, nil
 }
 
+// relPath makes path relative to dir, preserving the original casing.
+func relPath(dir, path string) string {
+	rel, err := filepath.Rel(dir, path)
+	if err != nil {
+		return path
+	}
+	return rel
+}
+
 func (p *Project) addFile(path, src string) {
 	f, errs := parser.Parse(path, src)
-	p.Files = append(p.Files, &SourceFile{
+	sf := &SourceFile{
 		Path:      path,
 		Src:       src,
 		AST:       f,
 		ParseErrs: errs,
 		Lines:     strings.Count(src, "\n") + 1,
-	})
+	}
+	for _, e := range errs {
+		if e.Degraded {
+			sf.Degraded = true
+			p.Diagnostics = append(p.Diagnostics, Diagnostic{
+				File: path, Kind: DiagParseDegraded,
+				Message: e.Msg,
+			})
+			break
+		}
+	}
+	p.Files = append(p.Files, sf)
 }
 
-// index builds the project-wide function and method tables.
+// index builds the project-wide function, method and path tables.
 func (p *Project) index() {
 	p.funcs = make(map[string]*ast.FunctionDecl)
 	p.methods = make(map[string]*ast.FunctionDecl)
+	p.byPath = make(map[string]*SourceFile, len(p.Files))
 	for _, f := range p.Files {
+		p.byPath[f.Path] = f
 		for key, fn := range f.AST.Funcs {
 			if strings.Contains(key, "::") {
 				// Method key Class::name; also index by bare name.

@@ -3,6 +3,7 @@ package core
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -74,6 +75,113 @@ func TestProjectFileLookup(t *testing.T) {
 	}
 	if p.File("b.php") != nil {
 		t.Error("missing file should return nil")
+	}
+}
+
+// TestLoadDirResilient asserts the load survives unreadable files, broken
+// symlinks and files over the size cap: every failure becomes a load-skipped
+// diagnostic (preserving the original path casing) and the rest of the tree
+// loads normally.
+func TestLoadDirResilient(t *testing.T) {
+	dir := t.TempDir()
+	write := func(path, src string) {
+		t.Helper()
+		full := filepath.Join(dir, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("ok.php", `<?php echo 1;`)
+	write("Sub/BIG.PHP", "<?php echo 2; "+strings.Repeat("// pad\n", 64))
+	write("locked.php", `<?php echo 3;`)
+	if err := os.Chmod(filepath.Join(dir, "locked.php"), 0o000); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(filepath.Join(dir, "locked.php"), 0o644) // so TempDir cleanup works everywhere
+	if err := os.Symlink(filepath.Join(dir, "nowhere"), filepath.Join(dir, "dangling.php")); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := LoadDirOptions("resilient", dir, LoadOptions{MaxFileSize: 64})
+	if err != nil {
+		t.Fatalf("load must not abort on per-file failures: %v", err)
+	}
+	if p.File("ok.php") == nil {
+		t.Fatal("healthy file missing from the project")
+	}
+	diagFor := func(path string) *Diagnostic {
+		for i := range p.Diagnostics {
+			if p.Diagnostics[i].File == path {
+				return &p.Diagnostics[i]
+			}
+		}
+		return nil
+	}
+	// Size cap: skipped, diagnostic keeps the original casing.
+	big := diagFor(filepath.FromSlash("Sub/BIG.PHP"))
+	if big == nil || big.Kind != DiagLoadSkipped {
+		t.Fatalf("over-cap file not diagnosed: %v", p.Diagnostics)
+	}
+	if !strings.Contains(big.Message, "exceeds cap") {
+		t.Errorf("size-cap diagnostic message = %q", big.Message)
+	}
+	if p.File(filepath.FromSlash("Sub/BIG.PHP")) != nil {
+		t.Error("over-cap file loaded anyway")
+	}
+	// Broken symlink: skipped with a diagnostic.
+	if d := diagFor("dangling.php"); d == nil || d.Kind != DiagLoadSkipped {
+		t.Errorf("dangling symlink not diagnosed: %v", p.Diagnostics)
+	}
+	// chmod 000: unreadable for normal users; root reads it regardless, so
+	// accept either a loaded file or a load-skipped diagnostic — what must
+	// not happen is an aborted load.
+	if p.File("locked.php") == nil {
+		if d := diagFor("locked.php"); d == nil || d.Kind != DiagLoadSkipped {
+			t.Errorf("unreadable file neither loaded nor diagnosed: %v", p.Diagnostics)
+		}
+	}
+}
+
+// TestLoadDirUnlimitedCap asserts MaxFileSize < 0 disables the cap.
+func TestLoadDirUnlimitedCap(t *testing.T) {
+	dir := t.TempDir()
+	src := "<?php echo 1; " + strings.Repeat("// filler\n", 100)
+	if err := os.WriteFile(filepath.Join(dir, "big.php"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadDirOptions("nocap", dir, LoadOptions{MaxFileSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.File("big.php") == nil || len(p.Diagnostics) != 0 {
+		t.Errorf("unlimited cap still skipped files: %v", p.Diagnostics)
+	}
+}
+
+// TestProjectFileIndexIsMap exercises the path index on a project large
+// enough that a linear scan would differ observably, and pins the fallback
+// behavior for hand-assembled projects.
+func TestProjectFileIndex(t *testing.T) {
+	files := make(map[string]string, 200)
+	for i := 0; i < 200; i++ {
+		files[filepath.Join("d", "f"+string(rune('a'+i%26))+string(rune('0'+i/26))+".php")] = `<?php echo 1;`
+	}
+	p := LoadMap("idx", files)
+	for path := range files {
+		if got := p.File(path); got == nil || got.Path != path {
+			t.Fatalf("File(%q) = %v", path, got)
+		}
+	}
+	if p.File("d/zz.php") != nil {
+		t.Error("missing path must return nil")
+	}
+	// A Project assembled without index() still answers via the fallback.
+	manual := &Project{Files: []*SourceFile{{Path: "x.php"}}}
+	if manual.File("x.php") == nil {
+		t.Error("fallback lookup failed")
 	}
 }
 

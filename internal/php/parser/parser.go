@@ -17,10 +17,24 @@ import (
 type Error struct {
 	Pos token.Position
 	Msg string
+	// Degraded marks the error recorded when the parser hit its nesting
+	// bound: the AST from that point on is a truncated approximation, not
+	// just locally repaired. Callers surface it as a parse-degraded
+	// diagnostic.
+	Degraded bool
 }
 
 // Error implements the error interface.
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// maxNestingDepth bounds statement/expression nesting. Recursive descent
+// otherwise turns adversarial inputs (10^5 open parentheses, assignment or
+// ternary chains) into unbounded stack growth; beyond the bound the parser
+// records one Degraded error and consumes tokens without building nodes.
+// One source-level nesting level costs a handful of counter increments
+// (expr → assign → ternary → binary → unary), so the effective bound is
+// roughly maxNestingDepth/5 nested expressions — far beyond real code.
+const maxNestingDepth = 512
 
 // Parser holds parsing state for a single file.
 type Parser struct {
@@ -29,7 +43,41 @@ type Parser struct {
 	errs []*Error
 	file string
 
+	depth    int
+	degraded bool
+
 	curClass *ast.ClassDecl
+}
+
+// enter counts one level of parse nesting; it reports false — after
+// recording a single Degraded error — once the bound is exceeded. Callers
+// pair it with a deferred leave.
+func (p *Parser) enter() bool {
+	p.depth++
+	if p.depth <= maxNestingDepth {
+		return true
+	}
+	if !p.degraded {
+		p.degraded = true
+		p.errs = append(p.errs, &Error{
+			Pos:      p.cur().Pos,
+			Msg:      fmt.Sprintf("nesting exceeds %d levels; parse degraded", maxNestingDepth),
+			Degraded: true,
+		})
+	}
+	return false
+}
+
+func (p *Parser) leave() { p.depth-- }
+
+// bailExpr consumes one token (guaranteeing progress in any enclosing loop)
+// and yields a BadExpr; used when the nesting bound is exceeded.
+func (p *Parser) bailExpr() ast.Expr {
+	t := p.cur()
+	if t.Kind != token.EOF {
+		p.next()
+	}
+	return &ast.BadExpr{Position: t.Pos}
 }
 
 // Parse lexes and parses src, returning the file AST and any errors. The AST
@@ -173,6 +221,13 @@ func (p *Parser) sync() {
 // ---------------------------------------------------------------------------
 
 func (p *Parser) parseStmt() ast.Stmt {
+	defer p.leave()
+	if !p.enter() {
+		if !p.at(token.EOF) {
+			p.next()
+		}
+		return nil
+	}
 	t := p.cur()
 	switch t.Kind {
 	case token.InlineHTML:
@@ -926,10 +981,18 @@ func (p *Parser) parseExprList() []ast.Expr {
 
 // parseExpr parses a full expression including assignment.
 func (p *Parser) parseExpr() ast.Expr {
+	defer p.leave()
+	if !p.enter() {
+		return p.bailExpr()
+	}
 	return p.parseAssign()
 }
 
 func (p *Parser) parseAssign() ast.Expr {
+	defer p.leave()
+	if !p.enter() {
+		return p.bailExpr()
+	}
 	lhs := p.parseTernary()
 	t := p.cur()
 	if !t.Kind.IsAssignOp() {
@@ -945,6 +1008,10 @@ func (p *Parser) parseAssign() ast.Expr {
 }
 
 func (p *Parser) parseTernary() ast.Expr {
+	defer p.leave()
+	if !p.enter() {
+		return p.bailExpr()
+	}
 	cond := p.parseBinary(1)
 	if !p.at(token.Question) {
 		return cond
@@ -1000,6 +1067,10 @@ func binaryPrec(k token.Kind) int {
 }
 
 func (p *Parser) parseBinary(minPrec int) ast.Expr {
+	defer p.leave()
+	if !p.enter() {
+		return p.bailExpr()
+	}
 	x := p.parseUnary()
 	for {
 		t := p.cur()
@@ -1029,6 +1100,10 @@ func (p *Parser) parseBinary(minPrec int) ast.Expr {
 }
 
 func (p *Parser) parseUnary() ast.Expr {
+	defer p.leave()
+	if !p.enter() {
+		return p.bailExpr()
+	}
 	t := p.cur()
 	switch t.Kind {
 	case token.Not, token.Minus, token.Plus, token.Tilde, token.At:

@@ -11,13 +11,22 @@ import (
 
 // htmlReport is the template context for WriteHTML.
 type htmlReport struct {
-	Project  string
-	Mode     string
-	Files    int
-	Lines    int
-	Duration string
-	Vulns    []htmlFinding
-	FPs      []htmlFinding
+	Project     string
+	Mode        string
+	Files       int
+	Lines       int
+	Duration    string
+	Vulns       []htmlFinding
+	FPs         []htmlFinding
+	Diagnostics []htmlDiagnostic
+}
+
+type htmlDiagnostic struct {
+	Kind    string
+	File    string
+	Class   string
+	Message string
+	Elapsed string
 }
 
 type htmlFinding struct {
@@ -44,6 +53,7 @@ th, td { border: 1px solid #ccc; padding: .35rem .6rem; text-align: left; vertic
 th { background: #f3f3f3; }
 tr.vuln td:first-child { border-left: 4px solid #c0392b; }
 tr.fp td:first-child { border-left: 4px solid #f39c12; }
+tr.diag td:first-child { border-left: 4px solid #7f8c8d; }
 .meta { color: #666; font-size: .9rem; }
 code { background: #f7f7f7; padding: 0 .2rem; }
 ul.trace { margin: 0; padding-left: 1.1rem; }
@@ -83,6 +93,23 @@ ul.trace { margin: 0; padding-left: 1.1rem; }
 {{end}}
 </table>
 {{else}}<p>None.</p>{{end}}
+
+{{if .Diagnostics}}
+<h2>Diagnostics — not analyzed ({{len .Diagnostics}})</h2>
+<p class="meta">The scan completed in degraded mode. Findings above are complete
+for everything except the entries below.</p>
+<table>
+<tr><th>Kind</th><th>Location</th><th>Detail</th><th>Elapsed</th></tr>
+{{range .Diagnostics}}
+<tr class="diag">
+<td><code>{{.Kind}}</code></td>
+<td><code>{{.File}}</code>{{if .Class}} <em>({{.Class}})</em>{{end}}</td>
+<td>{{.Message}}</td>
+<td>{{.Elapsed}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}
 </body>
 </html>
 `))
@@ -122,6 +149,18 @@ func WriteHTML(w io.Writer, rep *core.Report) error {
 		} else {
 			ctx.Vulns = append(ctx.Vulns, hf)
 		}
+	}
+	for _, d := range rep.Diagnostics {
+		hd := htmlDiagnostic{
+			Kind:    string(d.Kind),
+			File:    d.File,
+			Class:   string(d.Class),
+			Message: d.Message,
+		}
+		if d.Elapsed > 0 {
+			hd.Elapsed = d.Elapsed.String()
+		}
+		ctx.Diagnostics = append(ctx.Diagnostics, hd)
 	}
 	return htmlTemplate.Execute(w, ctx)
 }

@@ -22,6 +22,16 @@ type JSONFinding struct {
 	Trace       []string `json:"trace,omitempty"`
 }
 
+// JSONDiagnostic is the machine-readable form of one scan diagnostic.
+type JSONDiagnostic struct {
+	Kind      string `json:"kind"`
+	File      string `json:"file,omitempty"`
+	Class     string `json:"class,omitempty"`
+	Message   string `json:"message"`
+	Stack     string `json:"stack,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
+}
+
 // JSONReport is the machine-readable analysis report.
 type JSONReport struct {
 	Project    string        `json:"project"`
@@ -33,6 +43,10 @@ type JSONReport struct {
 	// Vulnerabilities counts findings not predicted to be false positives.
 	Vulnerabilities int `json:"vulnerabilities"`
 	FalsePositives  int `json:"false_positives"`
+	// Degraded is true when Diagnostics is non-empty: the findings are a
+	// sound partial result, complete for everything not diagnosed.
+	Degraded    bool             `json:"degraded"`
+	Diagnostics []JSONDiagnostic `json:"diagnostics,omitempty"`
 }
 
 // ToJSON converts an analysis report into its machine-readable form.
@@ -80,6 +94,17 @@ func ToJSON(rep *core.Report) *JSONReport {
 			out.Vulnerabilities++
 		}
 		out.Findings = append(out.Findings, jf)
+	}
+	out.Degraded = rep.Degraded()
+	for _, d := range rep.Diagnostics {
+		out.Diagnostics = append(out.Diagnostics, JSONDiagnostic{
+			Kind:      string(d.Kind),
+			File:      d.File,
+			Class:     string(d.Class),
+			Message:   d.Message,
+			Stack:     d.Stack,
+			ElapsedMS: d.Elapsed.Milliseconds(),
+		})
 	}
 	return out
 }

@@ -12,6 +12,12 @@ import (
 // expr evaluates the taint value of an expression, reporting candidates when
 // tainted data reaches a sink along the way.
 func (a *Analyzer) expr(x ast.Expr, e *env) Value {
+	if !a.step() {
+		// Budget exhausted or stopped: stop descending. The enclosing walk
+		// winds down via the stmts/inlineCall checks; values already computed
+		// keep their taint, unvisited subtrees contribute nothing.
+		return clean()
+	}
 	switch t := x.(type) {
 	case *ast.Variable:
 		if a.isEntryPointVar(t.Name) {
@@ -479,8 +485,10 @@ func (a *Analyzer) resolveStaticMethod(class, name string) *ast.FunctionDecl {
 // inlineCall analyzes a user function body with actual argument taint bound
 // to its parameters, memoizing on the taint pattern.
 func (a *Analyzer) inlineCall(fn *ast.FunctionDecl, argExprs []ast.Expr, args []Value, callPos token.Position, caller *env) Value {
-	if a.depth >= a.cfg.MaxCallDepth || a.analyzing[fn] {
-		// Recursion or depth limit: conservatively propagate argument taint.
+	if a.depth >= a.cfg.MaxCallDepth || a.analyzing[fn] || a.exhausted {
+		// Recursion, depth limit or exhausted step budget: the call is not
+		// inlined, its result is conservatively tainted with the argument
+		// taint instead.
 		return mergeAll(args)
 	}
 

@@ -11,6 +11,7 @@ package taint
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/php/ast"
 	"repro/internal/php/token"
@@ -140,6 +141,16 @@ type Config struct {
 	ExtraEntryPoints []string
 	// ExtraSinks extends the sink set.
 	ExtraSinks []vuln.Sink
+	// MaxSteps bounds the number of AST nodes this analyzer may visit in one
+	// File run (0 = unlimited). When the budget is exhausted the walk
+	// degrades instead of running away: statement traversal stops, pending
+	// user-function calls conservatively propagate their argument taint, and
+	// Exhausted reports true so callers can record a diagnostic.
+	MaxSteps int
+	// Stop is an optional cooperative cancellation flag. When an external
+	// watchdog sets it, the analyzer winds down at the next step check the
+	// same way budget exhaustion does, and Stopped reports true.
+	Stop *atomic.Bool
 }
 
 // Analyzer runs taint analysis for one vulnerability class over one file.
@@ -155,7 +166,44 @@ type Analyzer struct {
 
 	// summaries caches per-(function, taint pattern) results.
 	summaries map[string]*summary
+
+	steps     int
+	exhausted bool
+	stopped   bool
 }
+
+// step counts one AST-node visit and flips the analyzer into degraded mode
+// when the budget runs out or the cooperative stop flag is set. It returns
+// false once the walk should wind down.
+func (a *Analyzer) step() bool {
+	if a.exhausted {
+		return false
+	}
+	a.steps++
+	if a.cfg.MaxSteps > 0 && a.steps > a.cfg.MaxSteps {
+		a.exhausted = true
+		return false
+	}
+	// The atomic load is cheap but pointless at full rate; poll every 64
+	// nodes so a watchdog still cuts a runaway walk off within microseconds.
+	if a.cfg.Stop != nil && a.steps%64 == 0 && a.cfg.Stop.Load() {
+		a.stopped = true
+		a.exhausted = true
+		return false
+	}
+	return true
+}
+
+// Exhausted reports whether the last File run ran out of its step budget (or
+// was stopped) and therefore degraded to conservative propagation.
+func (a *Analyzer) Exhausted() bool { return a.exhausted }
+
+// Stopped reports whether the last File run was cut off by the cooperative
+// Stop flag rather than by the step budget.
+func (a *Analyzer) Stopped() bool { return a.stopped }
+
+// Steps reports how many AST nodes the last File run visited.
+func (a *Analyzer) Steps() int { return a.steps }
 
 // summary captures the effect of calling a user function with a given taint
 // pattern on its arguments.
@@ -185,6 +233,9 @@ func (a *Analyzer) File(f *ast.File) []*Candidate {
 	a.file = f
 	a.cands = a.cands[:0]
 	a.seen = make(map[string]bool)
+	a.steps = 0
+	a.exhausted = false
+	a.stopped = false
 	env := newEnv(nil)
 	a.stmts(f.Stmts, env)
 
@@ -192,6 +243,9 @@ func (a *Analyzer) File(f *ast.File) []*Candidate {
 	// superglobals only (not tainted params — params of library functions
 	// are an unknown; WAP flags flows from superglobals inside them).
 	for _, fn := range f.Funcs {
+		if a.exhausted {
+			break
+		}
 		if fn.Body == nil || a.analyzing[fn] {
 			continue
 		}
@@ -292,6 +346,9 @@ func (e *env) mergeFrom(snap map[string]Value) {
 func (a *Analyzer) stmts(list []ast.Stmt, e *env) Value {
 	var ret Value
 	for _, s := range list {
+		if a.exhausted {
+			break
+		}
 		ret = ret.merge(a.stmt(s, e))
 	}
 	return ret
@@ -300,6 +357,9 @@ func (a *Analyzer) stmts(list []ast.Stmt, e *env) Value {
 // stmt analyzes one statement; the returned value accumulates possible
 // return values of the enclosing function.
 func (a *Analyzer) stmt(s ast.Stmt, e *env) Value {
+	if !a.step() {
+		return clean()
+	}
 	switch x := s.(type) {
 	case *ast.ExprStmt:
 		a.expr(x.X, e)
