@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench
+.PHONY: all build test race vet bench bench-baseline
 
 all: build vet test
 
@@ -18,3 +18,8 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable baseline for the analysis benchmarks (cached vs
+# uncached), for before/after comparison of engine changes.
+bench-baseline:
+	$(GO) test -json -run '^$$' -bench 'BenchmarkAnalyzeApp' -benchmem . > BENCH_analyze.json

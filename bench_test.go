@@ -207,6 +207,33 @@ func BenchmarkAnalyzeApp(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeAppUncached is BenchmarkAnalyzeApp with the shared summary
+// cache and the sink pre-filter disabled — the PR-1 baseline. The ratio
+// between the two is the observable speedup of the caching layer; findings
+// are identical either way (TestFindingsIdenticalCacheOnOff in
+// internal/core).
+func BenchmarkAnalyzeAppUncached(b *testing.B) {
+	app := benchApp()
+	eng, err := core.New(core.Options{
+		Mode: core.ModeWAPe, Seed: 1,
+		DisableSummaryCache:  true,
+		DisableSinkPrefilter: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Train(); err != nil {
+		b.Fatal(err)
+	}
+	proj := core.LoadMap(app.Name, app.Files)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Analyze(proj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLargeAppThroughput measures full-pipeline throughput on a
 // Play_sms-scale application (the paper's largest package was ~249k lines),
 // reporting bytes/sec over the source corpus.

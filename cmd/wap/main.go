@@ -60,6 +60,7 @@ func run(args []string) (int, error) {
 		v21      = fs.Bool("v21", false, "run as the original WAP v2.1 (8 classes, old predictor)")
 		fix      = fs.Bool("fix", false, "write corrected copies of vulnerable files (*.fixed.php)")
 		showFP   = fs.Bool("show-fp", false, "also list candidates predicted to be false positives")
+		stats    = fs.Bool("stats", false, "print scan statistics (tasks, AST steps, summary cache, per-class wall time)")
 		jsonOut  = fs.Bool("json", false, "emit the report as JSON on stdout")
 		htmlOut  = fs.String("html", "", "write an HTML report to this file")
 		seed     = fs.Int64("seed", 2016, "training seed for the false positive predictor")
@@ -259,6 +260,12 @@ func run(args []string) (int, error) {
 	sort.Strings(groups)
 	for _, g := range groups {
 		fmt.Printf("  %-8s %d\n", g, byGroup[g])
+	}
+
+	if *stats {
+		if out := report.RenderStats(rep.Stats); out != "" {
+			fmt.Printf("\n%s", out)
+		}
 	}
 
 	if *fix && nVuln > 0 {

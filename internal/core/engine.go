@@ -92,6 +92,15 @@ type Options struct {
 	// testing): a hook that panics or stalls exercises the isolation layer
 	// exactly like a bug in the parser or taint engine would.
 	TaskHook func(file string, class vuln.ClassID)
+	// DisableSummaryCache turns off the scan-scoped shared summary cache.
+	// Findings are identical either way (the cache shares only summaries
+	// whose replay is indistinguishable from recomputation); the switch
+	// exists for benchmarking and for the identity tests that prove it.
+	DisableSummaryCache bool
+	// DisableSinkPrefilter turns off the lexical sink pre-filter that skips
+	// (file, class) tasks provably unable to produce findings. Findings are
+	// identical either way.
+	DisableSinkPrefilter bool
 }
 
 // DefaultTaskBudget is the per-task AST-step budget applied when
@@ -127,8 +136,19 @@ type Report struct {
 	// skipped at load time. Findings are complete and sound for everything
 	// NOT listed here; an empty slice means full coverage.
 	Diagnostics []Diagnostic
+	// Stats is the scan's performance account: tasks executed and skipped,
+	// AST steps, shared-cache traffic and per-class wall time. It describes
+	// the work performed, never the findings (which are cache-independent),
+	// and is schedule-dependent, so comparisons should exclude it.
+	Stats *ScanStats
 	// Duration is the analysis wall time.
 	Duration time.Duration
+
+	// vulns memoizes Vulnerabilities(): renderers call the filter many
+	// times (counts, per-file grouping, tables) and findings are immutable
+	// once the report is built.
+	vulnOnce sync.Once
+	vulns    []*Finding
 }
 
 // Degraded reports whether any part of the input escaped analysis; the
@@ -145,14 +165,17 @@ func (r *Report) DiagnosticsByKind() map[DiagKind]int {
 }
 
 // Vulnerabilities returns findings predicted to be real vulnerabilities.
+// The subset is computed once and reused; callers must not mutate the
+// returned slice or flip PredictedFP after rendering starts.
 func (r *Report) Vulnerabilities() []*Finding {
-	var out []*Finding
-	for _, f := range r.Findings {
-		if !f.PredictedFP {
-			out = append(out, f)
+	r.vulnOnce.Do(func() {
+		for _, f := range r.Findings {
+			if !f.PredictedFP {
+				r.vulns = append(r.vulns, f)
+			}
 		}
-	}
-	return out
+	})
+	return r.vulns
 }
 
 // FalsePositives returns findings predicted to be false positives.
@@ -328,6 +351,14 @@ type taskOutcome struct {
 	stopped   bool // cut off by the cooperative stop flag
 	panicVal  string
 	stack     string
+
+	// Scan accounting and shared-cache produce. pending is committed by the
+	// worker only when the task completed cleanly (none of the flags above),
+	// so a faulting task can never poison the cache.
+	steps       int
+	cacheHits   int
+	cacheMisses int
+	pending     []taint.PendingSummary
 }
 
 // AnalyzeContext runs the full pipeline under a context. Fault isolation:
@@ -360,11 +391,27 @@ func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error
 	// Load-time and parse-time degradation is part of the scan's account.
 	rep.Diagnostics = append(rep.Diagnostics, p.Diagnostics...)
 
+	stats := newStatsCollector()
+	var shared *taint.SharedSummaries
+	if !e.opts.DisableSummaryCache {
+		shared = taint.NewSharedSummaries()
+	}
+	var pf *prefilter
+	if !e.opts.DisableSinkPrefilter {
+		pf = newPrefilter(p)
+	}
+
 	// One task per (file, class) pair; results keep task order so output is
-	// independent of scheduling.
+	// independent of scheduling. Pairs whose reachable files contain no
+	// lexical trace of the class's sinks are skipped outright — they cannot
+	// produce a finding, so the skip is statistics, not degradation.
 	tasks := make([]task, 0, len(p.Files)*len(e.classes))
-	for _, file := range p.Files {
+	for fi, file := range p.Files {
 		for _, cls := range e.classes {
+			if pf != nil && !pf.sinkReachable(fi, cls, e.opts.ClassSinks[cls.ID]) {
+				stats.recordSkip(cls.ID)
+				continue
+			}
 			tasks = append(tasks, task{file: file, cls: cls})
 		}
 	}
@@ -403,7 +450,7 @@ func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error
 					outc <- taskOutcome{panicVal: fmt.Sprint(r), stack: string(debug.Stack())}
 				}
 			}()
-			outc <- e.runTask(t, p, stop, budget)
+			outc <- e.runTask(t, p, stop, budget, shared)
 		}()
 
 		var timeoutC <-chan time.Time
@@ -416,6 +463,7 @@ func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error
 		case out := <-outc:
 			completed.Add(1)
 			elapsed := time.Since(taskStart)
+			stats.recordTask(t.cls.ID, out, elapsed)
 			switch {
 			case out.panicVal != "":
 				addDiag(Diagnostic{
@@ -437,12 +485,19 @@ func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error
 				})
 				results[i] = out.findings
 			default:
+				// Only a fully clean completion may publish its summaries:
+				// panicked, stopped and budget-exhausted tasks never touch
+				// the shared cache.
+				shared.Commit(out.pending)
 				results[i] = out.findings
 			}
 		case <-timeoutC:
 			// Signal the cooperative stop and abandon the goroutine; it
 			// reports into its buffered channel and exits on its own. Its
-			// findings are discarded either way.
+			// findings are discarded either way. The task is dispositioned
+			// (it has a diagnostic), so it counts as completed for the
+			// cancellation account.
+			completed.Add(1)
 			stop.Store(true)
 			addDiag(Diagnostic{
 				File: t.file.Path, Class: t.cls.ID, Kind: DiagTimeout,
@@ -485,6 +540,7 @@ func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error
 
 	sortDiagnostics(taskDiags)
 	rep.Diagnostics = append(rep.Diagnostics, taskDiags...)
+	rep.Stats = stats.snapshot(shared.Len())
 	if err := ctx.Err(); err != nil {
 		rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
 			Kind: DiagTimeout,
@@ -495,6 +551,9 @@ func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error
 		for _, fs := range results {
 			rep.Findings = append(rep.Findings, fs...)
 		}
+		// The completed subset can still contain matching write/read pairs;
+		// a partial report links them like a full one would.
+		rep.linkStoredXSS()
 		rep.Duration = time.Since(start)
 		return rep, err
 	}
@@ -511,7 +570,7 @@ func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error
 // goroutine: everything it touches besides the engine's read-only state is
 // task-local, so an abandoned (timed-out) invocation cannot race a live
 // scan.
-func (e *Engine) runTask(t task, p *Project, stop *atomic.Bool, budget int) taskOutcome {
+func (e *Engine) runTask(t task, p *Project, stop *atomic.Bool, budget int, shared *taint.SharedSummaries) taskOutcome {
 	if e.opts.TaskHook != nil {
 		e.opts.TaskHook(t.file.Path, t.cls.ID)
 	}
@@ -530,6 +589,7 @@ func (e *Engine) runTask(t task, p *Project, stop *atomic.Bool, budget int) task
 		ExtraSinks:       e.opts.ClassSinks[t.cls.ID],
 		MaxSteps:         budget,
 		Stop:             stop,
+		Shared:           shared,
 	})
 	var out taskOutcome
 	for _, cand := range an.File(t.file.AST) {
@@ -543,6 +603,10 @@ func (e *Engine) runTask(t task, p *Project, stop *atomic.Bool, budget int) task
 	}
 	out.exhausted = an.Exhausted()
 	out.stopped = an.Stopped()
+	out.steps = an.Steps()
+	out.cacheHits = an.SharedHits()
+	out.cacheMisses = an.SharedMisses()
+	out.pending = an.PendingShared()
 	return out
 }
 

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/php/ast"
+	"repro/internal/vuln"
+)
+
+// The sink pre-filter skips (file, class) tasks that provably cannot produce
+// a candidate: every candidate needs tainted data reaching one of the
+// class's sinks, and a sink call site always spells the sink's name (or a
+// language-construct alias) literally in some analyzed source file. A task
+// on file X can reach sinks in X itself and — through inlined user-function
+// calls — in any file declaring a function X's call graph mentions, so the
+// check runs over X's reachable-file closure, not X alone. Dynamic calls
+// ($f(...), $obj->$m(...)) are never matched against sinks by the analyzer,
+// so ignoring them here loses no soundness.
+//
+// A skipped task is equivalent to a completed task with zero findings; the
+// skip is recorded in the scan statistics, not as a diagnostic.
+
+// sinkTokens returns the lower-case source substrings whose total absence
+// from a file proves the file contains no call site of any of the class's
+// sinks. Language-construct sinks have lexical aliases: echo also appears as
+// the `<?=` short tag, include covers require (and the substring match
+// covers the _once variants), exit covers die.
+func sinkTokens(cls *vuln.Class, extra []vuln.Sink) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(tok string) {
+		if !seen[tok] {
+			seen[tok] = true
+			out = append(out, tok)
+		}
+	}
+	for _, set := range [][]vuln.Sink{cls.Sinks, extra} {
+		for _, s := range set {
+			switch s.Name {
+			case "echo":
+				add("echo")
+				add("<?=")
+			case "include":
+				add("include")
+				add("require")
+			case "exit":
+				add("exit")
+				add("die")
+			default:
+				add(s.Name)
+			}
+		}
+	}
+	return out
+}
+
+// calledNames collects every statically named callable a file mentions:
+// plain calls, method calls and static calls, lower-cased. These are the
+// only names the analyzer can resolve to user functions in other files.
+func calledNames(f *ast.File) map[string]bool {
+	names := make(map[string]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if name := ast.CalleeName(x); name != "" {
+				names[name] = true
+			}
+		case *ast.MethodCallExpr:
+			if x.DynName == nil && x.Name != "" {
+				names[strings.ToLower(x.Name)] = true
+			}
+		case *ast.StaticCallExpr:
+			if x.Name != "" {
+				names[strings.ToLower(x.Name)] = true
+			}
+		}
+		return true
+	})
+	return names
+}
+
+// declaredNames collects the callable names a file declares (functions by
+// bare name, methods by bare method name), lower-cased.
+func declaredNames(f *SourceFile) []string {
+	var out []string
+	for key := range f.AST.Funcs {
+		if i := strings.Index(key, "::"); i >= 0 {
+			out = append(out, key[i+2:])
+		} else {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// prefilter precomputes, per file, the set of files reachable through the
+// static call-name graph (including the file itself) and each file's
+// lower-cased source, so sinkReachable answers in O(closure size) substring
+// scans.
+type prefilter struct {
+	files    []*SourceFile
+	lowered  []string
+	reach    [][]int // per file index: reachable file indices (self included)
+	tokCache map[vuln.ClassID][]string
+}
+
+// newPrefilter builds the reachability closure for p's files.
+func newPrefilter(p *Project) *prefilter {
+	pf := &prefilter{
+		files:    p.Files,
+		lowered:  make([]string, len(p.Files)),
+		reach:    make([][]int, len(p.Files)),
+		tokCache: make(map[vuln.ClassID][]string),
+	}
+	idx := make(map[*SourceFile]int, len(p.Files))
+	declIn := make(map[string][]int) // callable name -> declaring file indices
+	called := make([]map[string]bool, len(p.Files))
+	for i, f := range p.Files {
+		idx[f] = i
+		pf.lowered[i] = strings.ToLower(f.Src)
+		called[i] = calledNames(f.AST)
+		for _, name := range declaredNames(f) {
+			declIn[name] = append(declIn[name], i)
+		}
+	}
+	for i := range p.Files {
+		visited := make([]bool, len(p.Files))
+		visited[i] = true
+		queue := []int{i}
+		closure := []int{i}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for name := range called[cur] {
+				for _, j := range declIn[name] {
+					if !visited[j] {
+						visited[j] = true
+						queue = append(queue, j)
+						closure = append(closure, j)
+					}
+				}
+			}
+		}
+		pf.reach[i] = closure
+	}
+	return pf
+}
+
+// sinkReachable reports whether any file in fileIdx's reachable closure
+// lexically contains a sink token of cls: if none does, the (file, class)
+// task cannot produce a candidate and may be skipped.
+func (pf *prefilter) sinkReachable(fileIdx int, cls *vuln.Class, extra []vuln.Sink) bool {
+	toks, ok := pf.tokCache[cls.ID]
+	if !ok {
+		toks = sinkTokens(cls, extra)
+		pf.tokCache[cls.ID] = toks
+	}
+	for _, j := range pf.reach[fileIdx] {
+		src := pf.lowered[j]
+		for _, tok := range toks {
+			if strings.Contains(src, tok) {
+				return true
+			}
+		}
+	}
+	return false
+}

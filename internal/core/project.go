@@ -48,6 +48,11 @@ type Project struct {
 	funcs   map[string]*ast.FunctionDecl
 	methods map[string]*ast.FunctionDecl
 	byPath  map[string]*SourceFile
+	// ambig holds callable names declared more than once project-wide
+	// (functions and methods conflated, conservatively): resolving such a
+	// name from different files can yield different declarations, so taint
+	// summaries that touched one are never shared across tasks.
+	ambig map[string]bool
 }
 
 // ResolveFunc implements taint.FuncResolver.
@@ -58,6 +63,12 @@ func (p *Project) ResolveFunc(name string) *ast.FunctionDecl {
 // ResolveMethod implements taint.FuncResolver.
 func (p *Project) ResolveMethod(name string) *ast.FunctionDecl {
 	return p.methods[name]
+}
+
+// AmbiguousCallable implements taint.AmbiguityReporter: it reports whether
+// name (lower-case) has more than one declaration anywhere in the project.
+func (p *Project) AmbiguousCallable(name string) bool {
+	return p.ambig[name]
 }
 
 // TotalLines returns the project's total line count.
@@ -216,26 +227,35 @@ func (p *Project) addFile(path, src string) {
 	p.Files = append(p.Files, sf)
 }
 
-// index builds the project-wide function, method and path tables.
+// index builds the project-wide function, method, path and ambiguity tables.
 func (p *Project) index() {
 	p.funcs = make(map[string]*ast.FunctionDecl)
 	p.methods = make(map[string]*ast.FunctionDecl)
 	p.byPath = make(map[string]*SourceFile, len(p.Files))
+	counts := make(map[string]int)
 	for _, f := range p.Files {
 		p.byPath[f.Path] = f
 		for key, fn := range f.AST.Funcs {
 			if strings.Contains(key, "::") {
 				// Method key Class::name; also index by bare name.
 				parts := strings.SplitN(key, "::", 2)
+				counts[parts[1]]++
 				if _, exists := p.methods[parts[1]]; !exists {
 					p.methods[parts[1]] = fn
 				}
 				p.funcs[key] = fn
 				continue
 			}
+			counts[key]++
 			if _, exists := p.funcs[key]; !exists {
 				p.funcs[key] = fn
 			}
+		}
+	}
+	p.ambig = make(map[string]bool)
+	for name, n := range counts {
+		if n > 1 {
+			p.ambig[name] = true
 		}
 	}
 }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/vuln"
+)
+
+// ClassStats aggregates scan counters for one vulnerability class.
+type ClassStats struct {
+	// Tasks is the number of (file, class) tasks executed for the class;
+	// Skipped the number dropped by the sink pre-filter.
+	Tasks   int
+	Skipped int
+	// Steps is the total AST-node count the class's tasks visited.
+	Steps int64
+	// CacheHits / CacheMisses count shared-summary lookups by the class's
+	// tasks (hits replay a committed summary; misses opened a fill attempt).
+	CacheHits   int64
+	CacheMisses int64
+	// Wall is the accumulated wall time of the class's tasks (sums across
+	// parallel workers, so it can exceed the scan's Duration).
+	Wall time.Duration
+	// Findings is the number of candidates the class's tasks produced.
+	Findings int
+}
+
+// ScanStats is the scan's performance account, carried on Report.Stats.
+// All numbers describe the work performed, which depends on scheduling and
+// caching; the findings themselves are identical with or without the cache
+// and pre-filter.
+type ScanStats struct {
+	// Tasks executed / skipped by the sink pre-filter (their sum is the
+	// full (file, class) grid minus nothing — a skipped task is a task
+	// proven to have zero findings without running).
+	Tasks        int
+	TasksSkipped int
+	// TotalSteps / MaxTaskSteps summarize AST-step consumption.
+	TotalSteps   int64
+	MaxTaskSteps int64
+	// CacheHits / CacheMisses / CacheEntries describe the shared summary
+	// cache: lookups that replayed a committed summary, eligible lookups
+	// that found none, and entries committed by cleanly completed tasks.
+	CacheHits    int64
+	CacheMisses  int64
+	CacheEntries int
+	// ByClass breaks the account down per vulnerability class.
+	ByClass map[vuln.ClassID]*ClassStats
+}
+
+// ClassIDs returns the classes present in ByClass in stable (sorted) order,
+// for deterministic rendering.
+func (s *ScanStats) ClassIDs() []vuln.ClassID {
+	ids := make([]vuln.ClassID, 0, len(s.ByClass))
+	for id := range s.ByClass {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// statsCollector accumulates per-task records concurrently during a scan.
+type statsCollector struct {
+	mu sync.Mutex
+	s  ScanStats
+}
+
+func newStatsCollector() *statsCollector {
+	return &statsCollector{s: ScanStats{ByClass: make(map[vuln.ClassID]*ClassStats)}}
+}
+
+func (c *statsCollector) class(id vuln.ClassID) *ClassStats {
+	cs := c.s.ByClass[id]
+	if cs == nil {
+		cs = &ClassStats{}
+		c.s.ByClass[id] = cs
+	}
+	return cs
+}
+
+// recordTask accounts one executed task's outcome.
+func (c *statsCollector) recordTask(id vuln.ClassID, out taskOutcome, wall time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Tasks++
+	c.s.TotalSteps += int64(out.steps)
+	if int64(out.steps) > c.s.MaxTaskSteps {
+		c.s.MaxTaskSteps = int64(out.steps)
+	}
+	c.s.CacheHits += int64(out.cacheHits)
+	c.s.CacheMisses += int64(out.cacheMisses)
+	cs := c.class(id)
+	cs.Tasks++
+	cs.Steps += int64(out.steps)
+	cs.CacheHits += int64(out.cacheHits)
+	cs.CacheMisses += int64(out.cacheMisses)
+	cs.Wall += wall
+	cs.Findings += len(out.findings)
+}
+
+// recordSkip accounts one task dropped by the sink pre-filter.
+func (c *statsCollector) recordSkip(id vuln.ClassID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.TasksSkipped++
+	c.class(id).Skipped++
+}
+
+// snapshot finalizes the stats for the report.
+func (c *statsCollector) snapshot(cacheEntries int) *ScanStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.s
+	out.CacheEntries = cacheEntries
+	out.ByClass = make(map[vuln.ClassID]*ClassStats, len(c.s.ByClass))
+	for id, cs := range c.s.ByClass {
+		cp := *cs
+		out.ByClass[id] = &cp
+	}
+	return &out
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/vuln"
+)
+
+// TestJSONByteIdenticalAcrossParallelism pins scan determinism end to end:
+// with the summary cache and pre-filter enabled, a sequential and an
+// 8-worker scan of the same project must serialize to byte-identical JSON.
+// Duration and Stats are schedule-dependent by design and are normalized
+// away; everything else — findings, traces, predictions, diagnostics —
+// must match exactly.
+func TestJSONByteIdenticalAcrossParallelism(t *testing.T) {
+	app := corpus.WebAppSuite(1)[2]
+	render := func(parallelism int) string {
+		e, err := core.New(core.Options{Mode: core.ModeWAPe, Seed: 1, Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Analyze(core.LoadMap(app.Name, app.Files))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Duration = 0
+		rep.Stats = nil
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Errorf("JSON report differs between parallelism 1 and 8\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, `"findings"`) {
+		t.Fatal("report rendered no findings; determinism check is vacuous")
+	}
+}
+
+func sampleStats() *core.ScanStats {
+	return &core.ScanStats{
+		Tasks: 7, TasksSkipped: 3,
+		TotalSteps: 1234, MaxTaskSteps: 600,
+		CacheHits: 5, CacheMisses: 2, CacheEntries: 2,
+		ByClass: map[vuln.ClassID]*core.ClassStats{
+			vuln.SQLI: {Tasks: 4, Skipped: 1, Steps: 1000, CacheHits: 3, CacheMisses: 1, Wall: 2 * time.Millisecond, Findings: 2},
+			vuln.XSSR: {Tasks: 3, Skipped: 2, Steps: 234, CacheHits: 2, CacheMisses: 1, Wall: time.Millisecond, Findings: 1},
+		},
+	}
+}
+
+func TestRenderStats(t *testing.T) {
+	if got := RenderStats(nil); got != "" {
+		t.Errorf("RenderStats(nil) = %q, want empty", got)
+	}
+	out := RenderStats(sampleStats())
+	for _, want := range []string{
+		"7 executed, 3 skipped by the sink pre-filter",
+		"1234 total, 600 in the heaviest task",
+		"5 hits, 2 misses, 2 entries committed",
+		string(vuln.SQLI),
+		string(vuln.XSSR),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats text missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestStatsInRenderers checks the JSON and HTML renderers surface the scan
+// account (and omit it cleanly when absent).
+func TestStatsInRenderers(t *testing.T) {
+	p := core.LoadMap("s", map[string]string{"a.php": `<?php echo $_GET['x'];`})
+	rep := &core.Report{Project: p, Mode: core.ModeWAPe, Stats: sampleStats()}
+
+	js := ToJSON(rep)
+	if js.Stats == nil {
+		t.Fatal("ToJSON dropped Stats")
+	}
+	if js.Stats.Tasks != 7 || js.Stats.CacheEntries != 2 {
+		t.Errorf("JSON stats totals = %+v", js.Stats)
+	}
+	if len(js.Stats.ByClass) != 2 || js.Stats.ByClass[0].Class > js.Stats.ByClass[1].Class {
+		t.Errorf("JSON per-class stats not in sorted order: %+v", js.Stats.ByClass)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	if !strings.Contains(html, "Scan statistics") || !strings.Contains(html, "7 tasks executed") {
+		t.Error("HTML report missing the statistics section")
+	}
+
+	rep.Stats = nil
+	if js := ToJSON(rep); js.Stats != nil {
+		t.Error("ToJSON fabricated stats for a report without them")
+	}
+	buf.Reset()
+	if err := WriteHTML(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Scan statistics") {
+		t.Error("HTML report rendered a statistics section without stats")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"html/template"
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 )
@@ -19,6 +20,24 @@ type htmlReport struct {
 	Vulns       []htmlFinding
 	FPs         []htmlFinding
 	Diagnostics []htmlDiagnostic
+	Stats       *htmlStats
+}
+
+// htmlStats carries the scan account pre-rendered for the template.
+type htmlStats struct {
+	Summary []string
+	Classes []htmlClassStats
+}
+
+type htmlClassStats struct {
+	Class    string
+	Tasks    int
+	Skipped  int
+	Steps    int64
+	Hits     int64
+	Misses   int64
+	Wall     string
+	Findings int
 }
 
 type htmlDiagnostic struct {
@@ -110,6 +129,25 @@ for everything except the entries below.</p>
 {{end}}
 </table>
 {{end}}
+
+{{if .Stats}}
+<h2>Scan statistics</h2>
+<p class="meta">Work performed by this scan. These numbers vary with
+scheduling and caching; the findings above do not.</p>
+<ul>
+{{range .Stats.Summary}}<li>{{.}}</li>
+{{end}}</ul>
+<table>
+<tr><th>Class</th><th>Tasks</th><th>Skipped</th><th>Steps</th><th>Cache hits</th><th>Cache misses</th><th>Wall</th><th>Findings</th></tr>
+{{range .Stats.Classes}}
+<tr>
+<td><code>{{.Class}}</code></td>
+<td>{{.Tasks}}</td><td>{{.Skipped}}</td><td>{{.Steps}}</td>
+<td>{{.Hits}}</td><td>{{.Misses}}</td><td>{{.Wall}}</td><td>{{.Findings}}</td>
+</tr>
+{{end}}
+</table>
+{{end}}
 </body>
 </html>
 `))
@@ -161,6 +199,27 @@ func WriteHTML(w io.Writer, rep *core.Report) error {
 			hd.Elapsed = d.Elapsed.String()
 		}
 		ctx.Diagnostics = append(ctx.Diagnostics, hd)
+	}
+	if s := rep.Stats; s != nil {
+		hs := &htmlStats{Summary: []string{
+			fmt.Sprintf("%d tasks executed, %d skipped by the sink pre-filter", s.Tasks, s.TasksSkipped),
+			fmt.Sprintf("%d AST steps total, %d in the heaviest task", s.TotalSteps, s.MaxTaskSteps),
+			fmt.Sprintf("summary cache: %d hits, %d misses, %d entries committed", s.CacheHits, s.CacheMisses, s.CacheEntries),
+		}}
+		for _, id := range s.ClassIDs() {
+			cs := s.ByClass[id]
+			hs.Classes = append(hs.Classes, htmlClassStats{
+				Class:    string(id),
+				Tasks:    cs.Tasks,
+				Skipped:  cs.Skipped,
+				Steps:    cs.Steps,
+				Hits:     cs.CacheHits,
+				Misses:   cs.CacheMisses,
+				Wall:     cs.Wall.Round(10 * time.Microsecond).String(),
+				Findings: cs.Findings,
+			})
+		}
+		ctx.Stats = hs
 	}
 	return htmlTemplate.Execute(w, ctx)
 }

@@ -32,6 +32,32 @@ type JSONDiagnostic struct {
 	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
 }
 
+// JSONClassStats is the machine-readable per-class scan account.
+type JSONClassStats struct {
+	Class       string `json:"class"`
+	Tasks       int    `json:"tasks"`
+	Skipped     int    `json:"skipped,omitempty"`
+	Steps       int64  `json:"steps"`
+	CacheHits   int64  `json:"cache_hits,omitempty"`
+	CacheMisses int64  `json:"cache_misses,omitempty"`
+	WallMS      int64  `json:"wall_ms"`
+	Findings    int    `json:"findings"`
+}
+
+// JSONScanStats mirrors core.ScanStats. These numbers describe the work the
+// scan performed — they vary with scheduling and caching even though the
+// findings do not, so consumers diffing reports should exclude this object.
+type JSONScanStats struct {
+	Tasks        int              `json:"tasks"`
+	TasksSkipped int              `json:"tasks_skipped"`
+	TotalSteps   int64            `json:"total_steps"`
+	MaxTaskSteps int64            `json:"max_task_steps"`
+	CacheHits    int64            `json:"cache_hits"`
+	CacheMisses  int64            `json:"cache_misses"`
+	CacheEntries int              `json:"cache_entries"`
+	ByClass      []JSONClassStats `json:"by_class,omitempty"`
+}
+
 // JSONReport is the machine-readable analysis report.
 type JSONReport struct {
 	Project    string        `json:"project"`
@@ -47,6 +73,7 @@ type JSONReport struct {
 	// sound partial result, complete for everything not diagnosed.
 	Degraded    bool             `json:"degraded"`
 	Diagnostics []JSONDiagnostic `json:"diagnostics,omitempty"`
+	Stats       *JSONScanStats   `json:"stats,omitempty"`
 }
 
 // ToJSON converts an analysis report into its machine-readable form.
@@ -105,6 +132,31 @@ func ToJSON(rep *core.Report) *JSONReport {
 			Stack:     d.Stack,
 			ElapsedMS: d.Elapsed.Milliseconds(),
 		})
+	}
+	if s := rep.Stats; s != nil {
+		js := &JSONScanStats{
+			Tasks:        s.Tasks,
+			TasksSkipped: s.TasksSkipped,
+			TotalSteps:   s.TotalSteps,
+			MaxTaskSteps: s.MaxTaskSteps,
+			CacheHits:    s.CacheHits,
+			CacheMisses:  s.CacheMisses,
+			CacheEntries: s.CacheEntries,
+		}
+		for _, id := range s.ClassIDs() {
+			cs := s.ByClass[id]
+			js.ByClass = append(js.ByClass, JSONClassStats{
+				Class:       string(id),
+				Tasks:       cs.Tasks,
+				Skipped:     cs.Skipped,
+				Steps:       cs.Steps,
+				CacheHits:   cs.CacheHits,
+				CacheMisses: cs.CacheMisses,
+				WallMS:      cs.Wall.Milliseconds(),
+				Findings:    cs.Findings,
+			})
+		}
+		out.Stats = js
 	}
 	return out
 }

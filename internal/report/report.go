@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode/utf8"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -180,16 +181,17 @@ func ScoreApp(app *corpus.App, findings []GroupedFinding) *Score {
 // Text rendering
 // ---------------------------------------------------------------------------
 
-// Table renders an ASCII table with a header row.
+// Table renders an ASCII table with a header row. Widths are measured in
+// runes so non-ASCII cells (µs durations) stay aligned.
 func Table(headers []string, rows [][]string) string {
 	widths := make([]int, len(headers))
 	for i, h := range headers {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if n := utf8.RuneCountInString(cell); i < len(widths) && n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -201,7 +203,7 @@ func Table(headers []string, rows [][]string) string {
 			}
 			b.WriteString(c)
 			if i < len(cells)-1 {
-				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+				b.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c)))
 			}
 		}
 		b.WriteString("\n")

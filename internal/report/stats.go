@@ -1,0 +1,48 @@
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// RenderStats renders the scan's performance account as text: the
+// task/step/cache totals and a per-class table. Returns "" when the report
+// carries no stats (older callers, or a scan aborted before accounting).
+func RenderStats(s *core.ScanStats) string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("scan statistics\n")
+	fmt.Fprintf(&b, "  tasks: %d executed, %d skipped by the sink pre-filter\n",
+		s.Tasks, s.TasksSkipped)
+	fmt.Fprintf(&b, "  AST steps: %d total, %d in the heaviest task\n",
+		s.TotalSteps, s.MaxTaskSteps)
+	fmt.Fprintf(&b, "  summary cache: %d hits, %d misses, %d entries committed\n",
+		s.CacheHits, s.CacheMisses, s.CacheEntries)
+	if len(s.ByClass) == 0 {
+		return b.String()
+	}
+	var rows [][]string
+	for _, id := range s.ClassIDs() {
+		cs := s.ByClass[id]
+		rows = append(rows, []string{
+			string(id),
+			strconv.Itoa(cs.Tasks),
+			strconv.Itoa(cs.Skipped),
+			strconv.FormatInt(cs.Steps, 10),
+			strconv.FormatInt(cs.CacheHits, 10),
+			strconv.FormatInt(cs.CacheMisses, 10),
+			cs.Wall.Round(10 * time.Microsecond).String(),
+			strconv.Itoa(cs.Findings),
+		})
+	}
+	b.WriteString(Table(
+		[]string{"class", "tasks", "skipped", "steps", "hits", "misses", "wall", "findings"},
+		rows))
+	return b.String()
+}

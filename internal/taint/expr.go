@@ -445,6 +445,7 @@ func (a *Analyzer) staticCall(t *ast.StaticCallExpr, e *env) Value {
 }
 
 func (a *Analyzer) resolveFunc(name string) *ast.FunctionDecl {
+	a.noteResolution(name)
 	if a.file != nil {
 		if fn, ok := a.file.Funcs[name]; ok && fn.Class == nil {
 			return fn
@@ -457,6 +458,7 @@ func (a *Analyzer) resolveFunc(name string) *ast.FunctionDecl {
 }
 
 func (a *Analyzer) resolveMethod(name string) *ast.FunctionDecl {
+	a.noteResolution(name)
 	if a.file != nil {
 		for _, cls := range a.file.Classes {
 			for _, m := range cls.Methods {
@@ -473,6 +475,12 @@ func (a *Analyzer) resolveMethod(name string) *ast.FunctionDecl {
 }
 
 func (a *Analyzer) resolveStaticMethod(class, name string) *ast.FunctionDecl {
+	if a.fill != nil {
+		// Static resolution mixes the file-local Class::name table with the
+		// project method index, so its outcome is inherently file-dependent;
+		// don't publish summaries that depend on it.
+		a.fill.impure = true
+	}
 	key := strings.ToLower(class) + "::" + strings.ToLower(name)
 	if a.file != nil {
 		if fn, ok := a.file.Funcs[key]; ok {
@@ -482,8 +490,52 @@ func (a *Analyzer) resolveStaticMethod(class, name string) *ast.FunctionDecl {
 	return a.resolveMethod(strings.ToLower(name))
 }
 
+// memoKey builds the per-task memo key for calling fn with args: function
+// identity plus the full content of every argument value. Keying on content
+// (not just taint bits) makes memoization semantically transparent — a hit
+// returns exactly what recomputing the body would — which both determinism
+// under budget pressure and the shared cross-task cache rely on.
+func memoKey(fn *ast.FunctionDecl, args []Value) string {
+	var b strings.Builder
+	b.WriteString(fn.Name)
+	fmt.Fprintf(&b, "/%p", fn)
+	allZero := true
+	for _, v := range args {
+		if !zeroValue(v) {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		// Common case: every argument is clean and carries no metadata.
+		fmt.Fprintf(&b, "/z%d", len(args))
+		return b.String()
+	}
+	for _, v := range args {
+		b.WriteByte('/')
+		if v.Tainted {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+		// Node pointers are omitted: within one task, identical positions
+		// imply identical nodes.
+		for _, s := range v.Sources {
+			fmt.Fprintf(&b, "|s%q@%s:%d:%d", s.Name, s.Pos.File, s.Pos.Line, s.Pos.Column)
+		}
+		for _, s := range v.Sanitizers {
+			fmt.Fprintf(&b, "|n%q", s)
+		}
+		for _, st := range v.Trace {
+			fmt.Fprintf(&b, "|t%q@%s:%d:%d", st.Desc, st.Pos.File, st.Pos.Line, st.Pos.Column)
+		}
+	}
+	return b.String()
+}
+
 // inlineCall analyzes a user function body with actual argument taint bound
-// to its parameters, memoizing on the taint pattern.
+// to its parameters, memoizing on the argument content and consulting the
+// shared cross-task cache when the call context is file-independent.
 func (a *Analyzer) inlineCall(fn *ast.FunctionDecl, argExprs []ast.Expr, args []Value, callPos token.Position, caller *env) Value {
 	if a.depth >= a.cfg.MaxCallDepth || a.analyzing[fn] || a.exhausted {
 		// Recursion, depth limit or exhausted step budget: the call is not
@@ -492,26 +544,40 @@ func (a *Analyzer) inlineCall(fn *ast.FunctionDecl, argExprs []ast.Expr, args []
 		return mergeAll(args)
 	}
 
-	// Memo key: function identity + which params are tainted.
-	var pat strings.Builder
-	pat.WriteString(fn.Name)
-	pat.WriteString("/")
-	fmt.Fprintf(&pat, "%p/", fn)
-	for _, v := range args {
-		if v.Tainted {
-			pat.WriteByte('1')
-		} else {
-			pat.WriteByte('0')
-		}
-	}
-	key := pat.String()
+	key := memoKey(fn, args)
 	if s, ok := a.summaries[key]; ok {
+		// A memo entry predating the active fill may stand in for body
+		// candidates this task reported earlier but a consumer analyzing
+		// the filled function fresh would still report; the fill's capture
+		// would then be incomplete, so mark it unpublishable.
+		if a.fill != nil && s.fillID != a.fill.id {
+			a.fill.impure = true
+		}
 		v := s.returnValue
 		if v.Tainted {
 			v.Trace = append(append([]Step{}, v.Trace...),
 				Step{Pos: callPos, Desc: "return from " + fn.Name + "()"})
 		}
 		return v
+	}
+
+	// Shared cross-task cache: consume a committed summary, or open a fill
+	// frame so this computation can be published for other tasks.
+	filling := false
+	if a.shareEligible(args) {
+		sk := SummaryKey{Class: a.class.ID, Fn: fn, NArgs: len(args)}
+		if e := a.sharedLookup(sk); e != nil {
+			ret := a.consumeShared(e, key, argExprs, caller)
+			if ret.Tainted {
+				ret.Trace = append(append([]Step{}, ret.Trace...),
+					Step{Pos: callPos, Desc: "return from " + fn.Name + "()"})
+			}
+			return ret
+		}
+		a.sharedMisses++
+		a.fillSeq++
+		a.fill = &fillFrame{key: sk, id: a.fillSeq, stepsStart: a.steps}
+		filling = true
 	}
 
 	a.depth++
@@ -543,7 +609,14 @@ func (a *Analyzer) inlineCall(fn *ast.FunctionDecl, argExprs []ast.Expr, args []
 	delete(a.analyzing, fn)
 	a.depth--
 
-	a.summaries[key] = &summary{returnValue: ret}
+	entry := &summary{returnValue: ret}
+	if a.fill != nil {
+		entry.fillID = a.fill.id
+	}
+	a.summaries[key] = entry
+	if filling {
+		a.finishFill(ret, fn, inner)
+	}
 	if ret.Tainted {
 		ret.Trace = append(append([]Step{}, ret.Trace...),
 			Step{Pos: callPos, Desc: "return from " + fn.Name + "()"})

@@ -151,6 +151,12 @@ type Config struct {
 	// watchdog sets it, the analyzer winds down at the next step check the
 	// same way budget exhaustion does, and Stopped reports true.
 	Stop *atomic.Bool
+	// Shared is an optional scan-scoped summary cache consulted (and filled)
+	// for calls whose context is provably file-independent; see cache.go for
+	// the sharing rules. Nil disables cross-task sharing. Entries this
+	// analyzer computes are exposed via PendingShared and only become visible
+	// to other analyzers once the owner commits them.
+	Shared *SharedSummaries
 }
 
 // Analyzer runs taint analysis for one vulnerability class over one file.
@@ -164,8 +170,16 @@ type Analyzer struct {
 	curFunc   string
 	analyzing map[*ast.FunctionDecl]bool // recursion guard
 
-	// summaries caches per-(function, taint pattern) results.
+	// summaries caches per-(function, argument content) results.
 	summaries map[string]*summary
+
+	// Shared-cache state: the active fill frame (at most one; fills start
+	// only at depth 0), entries awaiting commit, and hit/miss counters.
+	fill         *fillFrame
+	fillSeq      int
+	pending      []PendingSummary
+	sharedHits   int
+	sharedMisses int
 
 	steps     int
 	exhausted bool
@@ -205,10 +219,15 @@ func (a *Analyzer) Stopped() bool { return a.stopped }
 // Steps reports how many AST nodes the last File run visited.
 func (a *Analyzer) Steps() int { return a.steps }
 
-// summary captures the effect of calling a user function with a given taint
-// pattern on its arguments.
+// summary captures the effect of calling a user function with a given
+// argument content pattern. Keys are content-exact (see memoKey), so a memo
+// hit is indistinguishable from recomputing the body.
 type summary struct {
 	returnValue Value
+	// fillID records which shared-cache fill (if any) created the entry. A
+	// hit during a different fill makes that fill's captured candidate set
+	// task-history-dependent, so the frame is marked impure.
+	fillID int
 }
 
 // New returns an analyzer for the given configuration.
@@ -236,6 +255,10 @@ func (a *Analyzer) File(f *ast.File) []*Candidate {
 	a.steps = 0
 	a.exhausted = false
 	a.stopped = false
+	a.fill = nil
+	a.pending = nil
+	a.sharedHits = 0
+	a.sharedMisses = 0
 	env := newEnv(nil)
 	a.stmts(f.Stmts, env)
 
@@ -274,6 +297,13 @@ func (a *Analyzer) analyzeUncalled(fn *ast.FunctionDecl) {
 func (a *Analyzer) report(c *Candidate) {
 	if c.Value.Tainted == false {
 		return
+	}
+	// Tee into an active shared-cache fill before the dedup check: a
+	// consumer's fresh analysis of the same body would report the candidate
+	// regardless of what this task happened to have seen earlier.
+	if a.fill != nil {
+		cc := *c
+		a.fill.cands = append(a.fill.cands, &cc)
 	}
 	k := c.Key()
 	if a.seen[k] {
