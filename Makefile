@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline
+.PHONY: all build test race vet bench bench-baseline wapd serve fuzz-smoke
 
 all: build vet test
 
@@ -15,6 +15,19 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Build the scan-service binary.
+wapd:
+	$(GO) build -o bin/wapd ./cmd/wapd
+
+# Run the scan service with development-friendly settings.
+serve: wapd
+	./bin/wapd -addr :8387 -workers 2 -queue-depth 16 -drain-timeout 30s
+
+# Mirror of the CI fuzz smoke: 30s over each parser fuzz target.
+fuzz-smoke:
+	$(GO) test ./internal/php/parser -run '^$$' -fuzz=FuzzParse -fuzztime=30s
+	$(GO) test ./internal/php/parser -run '^$$' -fuzz=FuzzPrintRoundtrip -fuzztime=30s
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -32,6 +32,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/atomicfile"
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/vuln"
@@ -72,6 +73,7 @@ func run(args []string) (int, error) {
 		taskTO   = fs.Duration("task-timeout", 0, "per-(file, class) task deadline; a stalled task is cut off and diagnosed (0 = none)")
 		strict   = fs.Bool("strict", false, "treat any degradation (skipped files, panics, timeouts, budget exhaustion) as fatal (exit 3)")
 		maxFile  = fs.Int64("max-file-size", 0, "per-file size cap in bytes; larger files are skipped with a diagnostic (0 = default 8 MiB, -1 = unlimited)")
+		retryMax = fs.Int("retry-max", 0, "retry a faulted (file, class) task up to N times with shrinking AST-step budgets before diagnosing it (0 = off)")
 	)
 	classFlags := make(map[vuln.ClassID]*bool)
 	for _, c := range vuln.WAPe() {
@@ -86,7 +88,7 @@ func run(args []string) (int, error) {
 	}
 	dir := fs.Arg(0)
 
-	opts := core.Options{Mode: core.ModeWAPe, Seed: *seed, TaskTimeout: *taskTO}
+	opts := core.Options{Mode: core.ModeWAPe, Seed: *seed, TaskTimeout: *taskTO, RetryMax: *retryMax}
 	if *v21 {
 		opts.Mode = core.ModeOriginal
 	}
@@ -278,7 +280,9 @@ func run(args []string) (int, error) {
 			if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
 				return exitFatal, err
 			}
-			if err := os.WriteFile(out, []byte(src), 0o644); err != nil {
+			// Atomic write: corrected copies sit next to user PHP sources,
+			// and a crash mid-write must never leave a truncated file.
+			if err := atomicfile.WriteFile(out, []byte(src), 0o644); err != nil {
 				return exitFatal, err
 			}
 			fmt.Printf("fixed %s -> %s (%d corrections)\n", path, out, len(applied[path]))

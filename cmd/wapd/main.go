@@ -1,0 +1,131 @@
+// Command wapd runs WAPe as a long-running HTTP scan service: POST /scan
+// submits a job (a server-local directory or an uploaded tree), the
+// response is the JSON report with diagnostics and statistics.
+//
+// Robustness layers:
+//
+//   - admission control: a bounded queue (-queue-depth) feeding a fixed
+//     worker pool (-workers); a saturated queue answers 429 + Retry-After;
+//   - per-request deadlines (timeout_ms in the body, capped by
+//     -max-timeout) propagate into the engine, so a slow scan returns a
+//     partial report instead of hanging the connection;
+//   - the engine retry ladder (-retry-max) re-runs transiently faulting
+//     (file, class) tasks with shrinking budgets before giving up;
+//   - per-class circuit breakers (-breaker-threshold, -breaker-cooldown)
+//     trip a persistently faulting class open across jobs;
+//   - SIGTERM/SIGINT drains gracefully within -drain-timeout; /healthz and
+//     /readyz reflect queue saturation, drain state and breaker positions.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/weapon"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wapd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wapd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8387", "listen address")
+		queueDepth = fs.Int("queue-depth", server.DefaultQueueDepth, "max scan jobs waiting for a worker; beyond it requests get 429")
+		workers    = fs.Int("workers", server.DefaultWorkers, "scan jobs analyzed concurrently")
+		drainTO    = fs.Duration("drain-timeout", server.DefaultDrainTimeout, "grace for in-flight jobs on SIGTERM before they are cancelled into partial reports")
+		defaultTO  = fs.Duration("default-timeout", server.DefaultJobTimeout, "per-job deadline when the request names none")
+		maxTO      = fs.Duration("max-timeout", server.DefaultMaxTimeout, "cap on client-requested job deadlines")
+		retryMax   = fs.Int("retry-max", 2, "retries for a faulted (file, class) task, with shrinking budgets (0 = off)")
+		retryBack  = fs.Duration("retry-backoff", core.DefaultRetryBackoff, "base jittered backoff between task retries")
+		brkThresh  = fs.Int("breaker-threshold", 5, "consecutive terminal faults that trip a class's circuit breaker (0 = off)")
+		brkCool    = fs.Duration("breaker-cooldown", core.DefaultBreakerCooldown, "open-breaker cool-down before a half-open probe")
+		taskTO     = fs.Duration("task-timeout", 30*time.Second, "per-(file, class) task watchdog deadline (0 = none)")
+		seed       = fs.Int64("seed", 2016, "training seed for the false positive predictor")
+		maxFile    = fs.Int64("max-file-size", 0, "per-file size cap in bytes (0 = default 8 MiB, -1 = unlimited)")
+		reportDir  = fs.String("report-dir", "", "persist each job's JSON report here (written atomically)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: wapd [flags]")
+	}
+
+	eng, err := buildEngine(engineParams{
+		seed: *seed, taskTimeout: *taskTO,
+		retryMax: *retryMax, retryBackoff: *retryBack,
+		breakerThreshold: *brkThresh, breakerCooldown: *brkCool,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training false positive predictor (%s)...\n", core.ModeWAPe)
+	if err := eng.Train(); err != nil {
+		return err
+	}
+
+	srv, err := server.New(server.Config{
+		Engine:         eng,
+		QueueDepth:     *queueDepth,
+		Workers:        *workers,
+		DrainTimeout:   *drainTO,
+		DefaultTimeout: *defaultTO,
+		MaxTimeout:     *maxTO,
+		LoadOptions:    core.LoadOptions{MaxFileSize: *maxFile},
+		ReportDir:      *reportDir,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	context.AfterFunc(ctx, func() {
+		fmt.Printf("wapd: signal received, draining (grace %s)\n", *drainTO)
+	})
+	fmt.Printf("wapd listening on %s (queue %d, workers %d)\n", *addr, *queueDepth, *workers)
+	return srv.ListenAndServe(ctx, *addr)
+}
+
+type engineParams struct {
+	seed             int64
+	taskTimeout      time.Duration
+	retryMax         int
+	retryBackoff     time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+}
+
+// buildEngine assembles the WAPe engine the service shares across jobs:
+// every class, every built-in weapon, and the robustness knobs from flags.
+func buildEngine(p engineParams) (*core.Engine, error) {
+	opts := core.Options{
+		Mode:             core.ModeWAPe,
+		Seed:             p.seed,
+		TaskTimeout:      p.taskTimeout,
+		RetryMax:         p.retryMax,
+		RetryBackoff:     p.retryBackoff,
+		BreakerThreshold: p.breakerThreshold,
+		BreakerCooldown:  p.breakerCooldown,
+	}
+	for _, spec := range weapon.BuiltinSpecs() {
+		w, err := weapon.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		opts.Weapons = append(opts.Weapons, w)
+	}
+	return core.New(opts)
+}

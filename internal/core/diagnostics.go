@@ -30,7 +30,21 @@ const (
 	// DiagLoadSkipped: a file was skipped at load time (unreadable, over the
 	// size cap, or an unresolvable symlink).
 	DiagLoadSkipped DiagKind = "load-skipped"
+	// DiagRetried: a task faulted transiently (panic, watchdog timeout or
+	// budget exhaustion) and the retry ladder recovered it on a later
+	// attempt. Unlike every other kind this one is informational — the
+	// task's findings ARE in the report — so it does not make the report
+	// Degraded.
+	DiagRetried DiagKind = "retried"
+	// DiagBreakerOpen: the class's circuit breaker was open (the class
+	// faulted terminally in enough consecutive tasks across jobs) and the
+	// task was skipped without running.
+	DiagBreakerOpen DiagKind = "breaker-open"
 )
+
+// Informational reports whether the kind describes a recovered event rather
+// than lost coverage. Informational diagnostics never degrade a report.
+func (k DiagKind) Informational() bool { return k == DiagRetried }
 
 // Diagnostic records one failure the pipeline isolated instead of
 // propagating. Failures are data: a scan always returns partial results
@@ -50,6 +64,10 @@ type Diagnostic struct {
 	Stack string
 	// Elapsed is how long the task ran before it was cut off or failed.
 	Elapsed time.Duration
+	// Retries is how many retry-ladder attempts preceded this disposition:
+	// on a retried diagnostic, the attempts it took to recover; on a
+	// terminal fault, the retries spent before giving up.
+	Retries int
 }
 
 // String renders a one-line description.

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -92,6 +93,26 @@ type Options struct {
 	// testing): a hook that panics or stalls exercises the isolation layer
 	// exactly like a bug in the parser or taint engine would.
 	TaskHook func(file string, class vuln.ClassID)
+	// RetryMax is how many times a faulted task (panic, watchdog timeout,
+	// budget exhaustion) is retried before its fault becomes terminal. Each
+	// retry halves the AST-step budget (so a stalled walk degrades to
+	// conservative propagation instead of timing out again) and sleeps a
+	// jittered exponential backoff first. 0 disables the ladder. On a
+	// fault-free corpus findings are byte-identical at any RetryMax.
+	RetryMax int
+	// RetryBackoff is the base backoff before the first retry; it doubles
+	// per attempt (±50% jitter, capped at 2s). 0 uses DefaultRetryBackoff;
+	// negative disables the sleep.
+	RetryBackoff time.Duration
+	// BreakerThreshold arms per-class circuit breakers: a class whose tasks
+	// fault terminally this many times in a row (across every scan the
+	// engine runs) trips open, and its tasks are skipped with breaker-open
+	// diagnostics until a cool-down passes and a half-open probe succeeds.
+	// 0 disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// its half-open probe. 0 uses DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 	// DisableSummaryCache turns off the scan-scoped shared summary cache.
 	// Findings are identical either way (the cache shares only summaries
 	// whose replay is indistinguishable from recomputation); the switch
@@ -108,6 +129,18 @@ type Options struct {
 // only pathological inputs (exponential loop nesting, huge generated files)
 // come near it.
 const DefaultTaskBudget = 5 << 20
+
+// DefaultRetryBackoff is the base retry-ladder backoff applied when
+// Options.RetryBackoff is zero.
+const DefaultRetryBackoff = 50 * time.Millisecond
+
+const (
+	// minRetryBudget floors the shrinking retry budget so a retried task
+	// can still make progress before degrading conservatively.
+	minRetryBudget = 4096
+	// maxRetryBackoff caps the exponential backoff between attempts.
+	maxRetryBackoff = 2 * time.Second
+)
 
 // Finding is one analyzed candidate vulnerability.
 type Finding struct {
@@ -153,7 +186,16 @@ type Report struct {
 
 // Degraded reports whether any part of the input escaped analysis; the
 // findings are then a sound partial result rather than full coverage.
-func (r *Report) Degraded() bool { return len(r.Diagnostics) > 0 }
+// Informational diagnostics (retry-ladder recoveries) do not count: the
+// recovered task's findings are in the report.
+func (r *Report) Degraded() bool {
+	for _, d := range r.Diagnostics {
+		if !d.Kind.Informational() {
+			return true
+		}
+	}
+	return false
+}
 
 // DiagnosticsByKind tallies diagnostics per kind.
 func (r *Report) DiagnosticsByKind() map[DiagKind]int {
@@ -212,7 +254,10 @@ func (r *Report) VulnerableFiles() []string {
 	return out
 }
 
-// Engine is a configured WAP instance.
+// Engine is a configured WAP instance. After Train, every field except the
+// circuit breakers is read-only, so one engine safely serves concurrent
+// AnalyzeContext calls (the scan service relies on this); the breakers are
+// internally locked and deliberately shared across scans.
 type Engine struct {
 	opts      Options
 	classes   []*vuln.Class
@@ -221,6 +266,17 @@ type Engine struct {
 	ensemble  *ml.Ensemble
 	corrector *corrector.Corrector
 	trained   bool
+	breakers  *classBreakers
+}
+
+// BreakerSnapshot reports each class breaker's current state for health
+// endpoints. It returns nil when breakers are disabled, and only classes
+// that have executed at least one task appear.
+func (e *Engine) BreakerSnapshot() map[vuln.ClassID]BreakerStatus {
+	if e.breakers == nil {
+		return nil
+	}
+	return e.breakers.snapshot()
 }
 
 // New builds an engine. Classifiers are trained lazily on first use (or via
@@ -230,6 +286,9 @@ func New(opts Options) (*Engine, error) {
 		opts.Mode = ModeWAPe
 	}
 	e := &Engine{opts: opts, weapons: make(map[vuln.ClassID]*weapon.Weapon)}
+	if opts.BreakerThreshold > 0 {
+		e.breakers = newClassBreakers(opts.BreakerThreshold, opts.BreakerCooldown)
+	}
 
 	// Resolve the class set.
 	var classSet []*vuln.Class
@@ -373,7 +432,15 @@ type taskOutcome struct {
 //     budget-exhausted diagnostic;
 //   - ctx cancellation stops the scan between tasks (and interrupts running
 //     tasks cooperatively); AnalyzeContext then returns the partial report
-//     alongside ctx's error.
+//     alongside ctx's error;
+//   - Options.RetryMax arms the retry ladder: a faulted task is re-run with
+//     exponentially shrinking budgets and jittered backoff before any of
+//     the above becomes terminal, and a recovery is recorded as an
+//     informational retried diagnostic;
+//   - Options.BreakerThreshold arms per-class circuit breakers (engine-
+//     scoped, shared across scans): a persistently faulting class is
+//     skipped with breaker-open diagnostics until its cool-down probe
+//     succeeds, so one pathological class cannot consume the worker pool.
 //
 // The report is complete and deterministic for everything not listed in its
 // Diagnostics, regardless of Parallelism.
@@ -436,11 +503,12 @@ func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error
 		diagMu.Unlock()
 	}
 
-	// execTask runs task i in its own goroutine so a panic is contained, a
-	// watchdog can abandon it, and an abandoned task keeps no reference to
-	// shared state (it reports through a buffered channel it owns).
-	execTask := func(i int) {
-		t := tasks[i]
+	// runAttempt executes one attempt of a task in its own goroutine so a
+	// panic is contained, a watchdog can abandon it, and an abandoned
+	// attempt keeps no reference to shared state (it reports through a
+	// buffered channel it owns). timedOut means the watchdog cut it off;
+	// interrupted means the scan context died mid-attempt.
+	runAttempt := func(t task, attemptBudget int) (out taskOutcome, elapsed time.Duration, timedOut, interrupted bool) {
 		stop := new(atomic.Bool)
 		taskStart := time.Now()
 		outc := make(chan taskOutcome, 1)
@@ -450,7 +518,7 @@ func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error
 					outc <- taskOutcome{panicVal: fmt.Sprint(r), stack: string(debug.Stack())}
 				}
 			}()
-			outc <- e.runTask(t, p, stop, budget, shared)
+			outc <- e.runTask(t, p, stop, attemptBudget, shared)
 		}()
 
 		var timeoutC <-chan time.Time
@@ -460,52 +528,149 @@ func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error
 			timeoutC = timer.C
 		}
 		select {
-		case out := <-outc:
-			completed.Add(1)
-			elapsed := time.Since(taskStart)
-			stats.recordTask(t.cls.ID, out, elapsed)
-			switch {
-			case out.panicVal != "":
-				addDiag(Diagnostic{
-					File: t.file.Path, Class: t.cls.ID, Kind: DiagPanic,
-					Message: "analysis panicked: " + out.panicVal,
-					Stack:   out.stack, Elapsed: elapsed,
-				})
-			case out.stopped:
-				addDiag(Diagnostic{
-					File: t.file.Path, Class: t.cls.ID, Kind: DiagTimeout,
-					Message: "analysis interrupted by cancellation", Elapsed: elapsed,
-				})
-				results[i] = out.findings
-			case out.exhausted:
-				addDiag(Diagnostic{
-					File: t.file.Path, Class: t.cls.ID, Kind: DiagBudget,
-					Message: fmt.Sprintf("AST-step budget of %d exhausted; taint walk degraded to conservative propagation", budget),
-					Elapsed: elapsed,
-				})
-				results[i] = out.findings
-			default:
-				// Only a fully clean completion may publish its summaries:
-				// panicked, stopped and budget-exhausted tasks never touch
-				// the shared cache.
-				shared.Commit(out.pending)
-				results[i] = out.findings
-			}
+		case out = <-outc:
+			return out, time.Since(taskStart), false, false
 		case <-timeoutC:
 			// Signal the cooperative stop and abandon the goroutine; it
 			// reports into its buffered channel and exits on its own. Its
-			// findings are discarded either way. The task is dispositioned
-			// (it has a diagnostic), so it counts as completed for the
-			// cancellation account.
-			completed.Add(1)
+			// findings are discarded.
 			stop.Store(true)
-			addDiag(Diagnostic{
-				File: t.file.Path, Class: t.cls.ID, Kind: DiagTimeout,
-				Message: fmt.Sprintf("task exceeded deadline %v", e.opts.TaskTimeout),
-				Elapsed: time.Since(taskStart),
-			})
+			return taskOutcome{}, time.Since(taskStart), true, false
 		case <-ctx.Done():
 			stop.Store(true)
+			return taskOutcome{}, time.Since(taskStart), false, true
+		}
+	}
+
+	// execTask dispositions task i through the retry ladder: a faulted
+	// attempt (panic, watchdog timeout, budget exhaustion) is retried up to
+	// Options.RetryMax times with halving budgets and jittered backoff, so
+	// a transient stall costs a retry instead of the task's findings. A
+	// task that stays faulted through the ladder is terminal: it gets one
+	// diagnostic (carrying its retry count) and charges the class's circuit
+	// breaker.
+	execTask := func(i int) {
+		t := tasks[i]
+		probe := false
+		if e.breakers != nil {
+			var ok bool
+			ok, probe = e.breakers.allow(t.cls.ID)
+			if !ok {
+				// Dispositioned without running: the class is tripped open.
+				completed.Add(1)
+				stats.recordBreakerSkip(t.cls.ID)
+				addDiag(Diagnostic{
+					File: t.file.Path, Class: t.cls.ID, Kind: DiagBreakerOpen,
+					Message: fmt.Sprintf("class circuit breaker open after repeated faults; task skipped (cool-down %v)", e.breakers.cooldown),
+				})
+				return
+			}
+		}
+		var (
+			attemptBudget = budget
+			totalStart    = time.Now()
+			lastFault     DiagKind
+			// bestPartial keeps the sound-prefix findings of the deepest
+			// budget-exhausted attempt, so a terminal ladder still reports
+			// what the largest budget could prove.
+			bestPartial []*Finding
+		)
+		for attempt := 0; ; attempt++ {
+			out, elapsed, timedOut, interrupted := runAttempt(t, attemptBudget)
+			if interrupted {
+				// Scan-level cancellation: the task stays undispositioned
+				// (the scan-level diagnostic accounts for it) and an unused
+				// probe slot is handed back for the next scan.
+				if e.breakers != nil {
+					e.breakers.releaseProbe(t.cls.ID, probe)
+				}
+				return
+			}
+			if out.stopped {
+				// Cooperative stop observed inside the walker: treated as
+				// cancellation, never retried, never charged to the breaker.
+				completed.Add(1)
+				stats.recordTask(t.cls.ID, out, elapsed)
+				addDiag(Diagnostic{
+					File: t.file.Path, Class: t.cls.ID, Kind: DiagTimeout,
+					Message: "analysis interrupted by cancellation", Elapsed: elapsed,
+					Retries: attempt,
+				})
+				results[i] = out.findings
+				if e.breakers != nil {
+					e.breakers.releaseProbe(t.cls.ID, probe)
+				}
+				return
+			}
+
+			var fault DiagKind
+			var msg string
+			switch {
+			case timedOut:
+				fault = DiagTimeout
+				msg = fmt.Sprintf("task exceeded deadline %v", e.opts.TaskTimeout)
+			case out.panicVal != "":
+				fault = DiagPanic
+				msg = "analysis panicked: " + out.panicVal
+			case out.exhausted:
+				fault = DiagBudget
+				msg = fmt.Sprintf("AST-step budget of %d exhausted; taint walk degraded to conservative propagation", attemptBudget)
+				if bestPartial == nil {
+					bestPartial = out.findings // first attempt has the largest budget
+				}
+			}
+
+			if fault == "" {
+				// Clean completion: publish findings and summaries, close
+				// the breaker, and note the recovery when retries were spent.
+				completed.Add(1)
+				stats.recordTask(t.cls.ID, out, elapsed)
+				shared.Commit(out.pending)
+				results[i] = out.findings
+				if e.breakers != nil {
+					e.breakers.recordSuccess(t.cls.ID, probe)
+				}
+				if attempt > 0 {
+					stats.recordRecovered(t.cls.ID)
+					addDiag(Diagnostic{
+						File: t.file.Path, Class: t.cls.ID, Kind: DiagRetried,
+						Message: fmt.Sprintf("recovered by retry ladder after %d retr%s (last fault: %s)",
+							attempt, plural(attempt, "y", "ies"), lastFault),
+						Elapsed: time.Since(totalStart), Retries: attempt,
+					})
+				}
+				return
+			}
+
+			if attempt >= e.opts.RetryMax {
+				// Terminal fault.
+				completed.Add(1)
+				if !timedOut {
+					// An abandoned attempt has no outcome to account.
+					stats.recordTask(t.cls.ID, out, elapsed)
+				}
+				addDiag(Diagnostic{
+					File: t.file.Path, Class: t.cls.ID, Kind: fault,
+					Message: msg, Stack: out.stack, Elapsed: elapsed,
+					Retries: attempt,
+				})
+				results[i] = bestPartial
+				if e.breakers != nil {
+					e.breakers.recordFault(t.cls.ID, probe)
+				}
+				return
+			}
+
+			lastFault = fault
+			stats.recordRetry(t.cls.ID)
+			attemptBudget = shrinkBudget(attemptBudget)
+			if !sleepBackoff(ctx, e.retryBackoff(attempt)) {
+				// Cancelled during backoff: same disposition as interrupted.
+				if e.breakers != nil {
+					e.breakers.releaseProbe(t.cls.ID, probe)
+				}
+				return
+			}
 		}
 	}
 
@@ -564,6 +729,61 @@ func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error
 	rep.linkStoredXSS()
 	rep.Duration = time.Since(start)
 	return rep, nil
+}
+
+// shrinkBudget halves the AST-step budget for the next retry attempt, so a
+// retried task fails faster (and degrades to conservative propagation
+// sooner) than the attempt that faulted. An unlimited budget (0) retries
+// bounded at the default.
+func shrinkBudget(b int) int {
+	if b <= 0 {
+		return DefaultTaskBudget
+	}
+	b /= 2
+	if b < minRetryBudget {
+		b = minRetryBudget
+	}
+	return b
+}
+
+// retryBackoff computes the jittered exponential backoff before retry
+// attempt+1. The ±50% jitter keeps simultaneously faulting tasks from
+// retrying in lock-step.
+func (e *Engine) retryBackoff(attempt int) time.Duration {
+	base := e.opts.RetryBackoff
+	if base < 0 {
+		return 0
+	}
+	if base == 0 {
+		base = DefaultRetryBackoff
+	}
+	d := base << attempt
+	if d > maxRetryBackoff || d <= 0 {
+		d = maxRetryBackoff
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)+1))
+}
+
+// sleepBackoff waits d, returning false when ctx dies first.
+func sleepBackoff(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // runTask performs one (file, class) analysis. It runs inside the task's

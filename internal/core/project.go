@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io/fs"
 	"os"
@@ -146,9 +147,20 @@ func LoadDir(name, dir string) (*Project, error) {
 // original path casing) instead of aborting the whole load. Only a missing
 // or unreadable root directory is a fatal error.
 func LoadDirOptions(name, dir string, opts LoadOptions) (*Project, error) {
+	return LoadDirContext(context.Background(), name, dir, opts)
+}
+
+// LoadDirContext is LoadDirOptions under a context: cancellation is checked
+// between files, so a cancelled or timed-out request stops walking a huge
+// tree immediately instead of parsing it all before analysis ever sees the
+// deadline. On cancellation it returns ctx's error (wrapped).
+func LoadDirContext(ctx context.Context, name, dir string, opts LoadOptions) (*Project, error) {
 	p := &Project{Name: name}
 	sizeCap := opts.maxFileSize()
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		rel := relPath(dir, path)
 		if err != nil {
 			if path == dir || filepath.Clean(path) == filepath.Clean(dir) {

@@ -25,6 +25,13 @@ type ClassStats struct {
 	Wall time.Duration
 	// Findings is the number of candidates the class's tasks produced.
 	Findings int
+	// Retries counts retry-ladder attempts spent on the class's tasks;
+	// Recovered the tasks that completed cleanly after at least one retry.
+	Retries   int
+	Recovered int
+	// BreakerSkipped counts tasks skipped because the class's circuit
+	// breaker was open.
+	BreakerSkipped int
 }
 
 // ScanStats is the scan's performance account, carried on Report.Stats.
@@ -46,6 +53,13 @@ type ScanStats struct {
 	CacheHits    int64
 	CacheMisses  int64
 	CacheEntries int
+	// TaskRetries counts retry-ladder attempts across all tasks;
+	// TasksRecovered the tasks whose transient fault the ladder recovered;
+	// BreakerSkipped the tasks skipped because their class's circuit
+	// breaker was open.
+	TaskRetries    int
+	TasksRecovered int
+	BreakerSkipped int
 	// ByClass breaks the account down per vulnerability class.
 	ByClass map[vuln.ClassID]*ClassStats
 }
@@ -106,6 +120,30 @@ func (c *statsCollector) recordSkip(id vuln.ClassID) {
 	defer c.mu.Unlock()
 	c.s.TasksSkipped++
 	c.class(id).Skipped++
+}
+
+// recordRetry accounts one retry-ladder attempt.
+func (c *statsCollector) recordRetry(id vuln.ClassID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.TaskRetries++
+	c.class(id).Retries++
+}
+
+// recordRecovered accounts one task that completed cleanly after retries.
+func (c *statsCollector) recordRecovered(id vuln.ClassID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.TasksRecovered++
+	c.class(id).Recovered++
+}
+
+// recordBreakerSkip accounts one task skipped by an open circuit breaker.
+func (c *statsCollector) recordBreakerSkip(id vuln.ClassID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.BreakerSkipped++
+	c.class(id).BreakerSkipped++
 }
 
 // snapshot finalizes the stats for the report.

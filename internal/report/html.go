@@ -206,6 +206,11 @@ func WriteHTML(w io.Writer, rep *core.Report) error {
 			fmt.Sprintf("%d AST steps total, %d in the heaviest task", s.TotalSteps, s.MaxTaskSteps),
 			fmt.Sprintf("summary cache: %d hits, %d misses, %d entries committed", s.CacheHits, s.CacheMisses, s.CacheEntries),
 		}}
+		if s.TaskRetries > 0 || s.TasksRecovered > 0 || s.BreakerSkipped > 0 {
+			hs.Summary = append(hs.Summary, fmt.Sprintf(
+				"robustness: %d retries, %d tasks recovered, %d tasks skipped by open breakers",
+				s.TaskRetries, s.TasksRecovered, s.BreakerSkipped))
+		}
 		for _, id := range s.ClassIDs() {
 			cs := s.ByClass[id]
 			hs.Classes = append(hs.Classes, htmlClassStats{

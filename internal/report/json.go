@@ -30,6 +30,8 @@ type JSONDiagnostic struct {
 	Message   string `json:"message"`
 	Stack     string `json:"stack,omitempty"`
 	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
+	// Retries is the retry-ladder attempt count behind this disposition.
+	Retries int `json:"retries,omitempty"`
 }
 
 // JSONClassStats is the machine-readable per-class scan account.
@@ -42,6 +44,10 @@ type JSONClassStats struct {
 	CacheMisses int64  `json:"cache_misses,omitempty"`
 	WallMS      int64  `json:"wall_ms"`
 	Findings    int    `json:"findings"`
+	Retries     int    `json:"retries,omitempty"`
+	Recovered   int    `json:"recovered,omitempty"`
+	// BreakerSkipped counts tasks skipped by the class's open breaker.
+	BreakerSkipped int `json:"breaker_skipped,omitempty"`
 }
 
 // JSONScanStats mirrors core.ScanStats. These numbers describe the work the
@@ -55,7 +61,12 @@ type JSONScanStats struct {
 	CacheHits    int64            `json:"cache_hits"`
 	CacheMisses  int64            `json:"cache_misses"`
 	CacheEntries int              `json:"cache_entries"`
-	ByClass      []JSONClassStats `json:"by_class,omitempty"`
+	// TaskRetries / TasksRecovered / BreakerSkipped account the retry
+	// ladder and circuit breakers.
+	TaskRetries    int              `json:"task_retries,omitempty"`
+	TasksRecovered int              `json:"tasks_recovered,omitempty"`
+	BreakerSkipped int              `json:"breaker_skipped,omitempty"`
+	ByClass        []JSONClassStats `json:"by_class,omitempty"`
 }
 
 // JSONReport is the machine-readable analysis report.
@@ -131,6 +142,7 @@ func ToJSON(rep *core.Report) *JSONReport {
 			Message:   d.Message,
 			Stack:     d.Stack,
 			ElapsedMS: d.Elapsed.Milliseconds(),
+			Retries:   d.Retries,
 		})
 	}
 	if s := rep.Stats; s != nil {
@@ -139,9 +151,12 @@ func ToJSON(rep *core.Report) *JSONReport {
 			TasksSkipped: s.TasksSkipped,
 			TotalSteps:   s.TotalSteps,
 			MaxTaskSteps: s.MaxTaskSteps,
-			CacheHits:    s.CacheHits,
-			CacheMisses:  s.CacheMisses,
-			CacheEntries: s.CacheEntries,
+			CacheHits:      s.CacheHits,
+			CacheMisses:    s.CacheMisses,
+			CacheEntries:   s.CacheEntries,
+			TaskRetries:    s.TaskRetries,
+			TasksRecovered: s.TasksRecovered,
+			BreakerSkipped: s.BreakerSkipped,
 		}
 		for _, id := range s.ClassIDs() {
 			cs := s.ByClass[id]
@@ -150,10 +165,13 @@ func ToJSON(rep *core.Report) *JSONReport {
 				Tasks:       cs.Tasks,
 				Skipped:     cs.Skipped,
 				Steps:       cs.Steps,
-				CacheHits:   cs.CacheHits,
-				CacheMisses: cs.CacheMisses,
-				WallMS:      cs.Wall.Milliseconds(),
-				Findings:    cs.Findings,
+				CacheHits:      cs.CacheHits,
+				CacheMisses:    cs.CacheMisses,
+				WallMS:         cs.Wall.Milliseconds(),
+				Findings:       cs.Findings,
+				Retries:        cs.Retries,
+				Recovered:      cs.Recovered,
+				BreakerSkipped: cs.BreakerSkipped,
 			})
 		}
 		out.Stats = js

@@ -24,6 +24,10 @@ func RenderStats(s *core.ScanStats) string {
 		s.TotalSteps, s.MaxTaskSteps)
 	fmt.Fprintf(&b, "  summary cache: %d hits, %d misses, %d entries committed\n",
 		s.CacheHits, s.CacheMisses, s.CacheEntries)
+	if s.TaskRetries > 0 || s.TasksRecovered > 0 || s.BreakerSkipped > 0 {
+		fmt.Fprintf(&b, "  robustness: %d retries, %d tasks recovered, %d tasks skipped by open breakers\n",
+			s.TaskRetries, s.TasksRecovered, s.BreakerSkipped)
+	}
 	if len(s.ByClass) == 0 {
 		return b.String()
 	}

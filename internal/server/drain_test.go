@@ -1,0 +1,181 @@
+package server
+
+// Lifecycle coverage: graceful drain finishes in-flight jobs and returns
+// their complete reports, the drain deadline force-cancels stragglers into
+// partial reports, /readyz flips during drain, and a real SIGTERM through
+// Serve triggers the same path.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/vuln"
+)
+
+// TestDrainCompletesInFlightJobs gates a running job, starts a drain, and
+// asserts: /readyz flips unready, new scans get 503, and once the gate
+// opens the in-flight job still delivers its complete (undegraded) report
+// and the drain finishes clean.
+func TestDrainCompletesInFlightJobs(t *testing.T) {
+	gate := make(chan struct{})
+	var gated atomic.Bool
+	gated.Store(true)
+	eng := testEngine(t, func(string, vuln.ClassID) {
+		if gated.Load() {
+			<-gate
+		}
+	})
+	s, hs := newTestServer(t, Config{Engine: eng, Workers: 1})
+
+	results := make(chan *ScanResponse, 1)
+	go func() {
+		_, out := postScan(t, hs.URL, ScanRequest{Files: map[string]string{"a.php": xssPage}})
+		results <- out
+	}()
+	waitFor(t, func() bool { return s.active.Load() == 1 })
+
+	drainDone := make(chan error, 1)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { drainDone <- s.Drain(drainCtx) }()
+	waitFor(t, func() bool { return s.draining.Load() })
+
+	if code := getJSON(t, hs.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz = %d during drain, want 503", code)
+	}
+	body, _ := json.Marshal(ScanRequest{Files: map[string]string{"a.php": xssPage}})
+	resp, err := http.Post(hs.URL+"/scan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("scan during drain = %d, want 503", resp.StatusCode)
+	}
+
+	// Let the in-flight job finish: the drain must wait for it.
+	gated.Store(false)
+	close(gate)
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain = %v, want clean completion", err)
+	}
+	out := <-results
+	if out.Report == nil || out.Report.Vulnerabilities == 0 {
+		t.Fatalf("in-flight job lost its report across the drain: %+v", out)
+	}
+	if out.Report.Degraded {
+		t.Errorf("graceful drain degraded the in-flight report: %+v", out.Report.Diagnostics)
+	}
+}
+
+// TestDrainDeadlineForceCancelsToPartialReport blocks a job past the drain
+// deadline and asserts the drain still terminates — by cancelling the job
+// into a partial, degraded report rather than abandoning the connection.
+func TestDrainDeadlineForceCancelsToPartialReport(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate) // unblock the abandoned task goroutine at test end
+	var gated atomic.Bool
+	gated.Store(true)
+	eng := testEngine(t, func(string, vuln.ClassID) {
+		if gated.Load() {
+			<-gate
+		}
+	})
+	s, hs := newTestServer(t, Config{Engine: eng, Workers: 1})
+
+	results := make(chan *ScanResponse, 1)
+	go func() {
+		_, out := postScan(t, hs.URL, ScanRequest{Files: map[string]string{"a.php": xssPage, "b.php": xssPage}})
+		results <- out
+	}()
+	waitFor(t, func() bool { return s.active.Load() == 1 })
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(drainCtx); err == nil {
+		t.Fatal("drain with a stuck job returned nil, want deadline error")
+	}
+	select {
+	case out := <-results:
+		if out.Error == "" {
+			t.Errorf("force-cancelled job reports no error: %+v", out)
+		}
+		if out.Report == nil {
+			t.Error("force-cancelled job returned no partial report")
+		} else if !out.Report.Degraded {
+			t.Error("force-cancelled partial report not flagged degraded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("force-cancelled job never answered its connection")
+	}
+}
+
+// TestSIGTERMTriggersGracefulDrain runs the real lifecycle: Serve on a live
+// listener wired to signal.NotifyContext, a gated in-flight job, an actual
+// SIGTERM to this process — and asserts the job's complete report arrives
+// and Serve returns.
+func TestSIGTERMTriggersGracefulDrain(t *testing.T) {
+	gate := make(chan struct{})
+	var gated atomic.Bool
+	gated.Store(true)
+	eng := testEngine(t, func(string, vuln.ClassID) {
+		if gated.Load() {
+			<-gate
+		}
+	})
+	s, err := New(Config{Engine: eng, Workers: 1, DrainTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+
+	results := make(chan *ScanResponse, 1)
+	go func() {
+		_, out := postScan(t, url, ScanRequest{Files: map[string]string{"a.php": xssPage}})
+		results <- out
+	}()
+	waitFor(t, func() bool { return s.active.Load() == 1 })
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.draining.Load() })
+	gated.Store(false)
+	close(gate)
+
+	select {
+	case err := <-served:
+		if err != nil && !strings.Contains(err.Error(), "closed") {
+			t.Errorf("Serve returned %v after graceful drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after SIGTERM")
+	}
+	select {
+	case out := <-results:
+		if out.Report == nil || out.Report.Vulnerabilities == 0 || out.Report.Degraded {
+			t.Errorf("in-flight job's report across SIGTERM drain: %+v", out.Report)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight job never answered across SIGTERM drain")
+	}
+}

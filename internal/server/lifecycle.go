@@ -1,0 +1,85 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Drain performs the graceful-shutdown handoff: admission stops (new scans
+// get 503, /readyz flips unready), the queue is closed, and queued plus
+// running jobs are given until ctx's deadline to finish. When the deadline
+// passes the remaining jobs are force-cancelled — their workers return
+// partial reports (flagged degraded by the engine's cancellation
+// diagnostic) rather than vanishing. Drain returns nil when every job
+// finished in time, or ctx's error after a forced cut-over. It is
+// idempotent; later calls just wait for the first drain to complete.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		// Close the queue under the admission lock: admit() holds the same
+		// lock around its send, so a send on the closed channel is
+		// impossible.
+		s.admitMu.Lock()
+		close(s.queue)
+		s.admitMu.Unlock()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Deadline passed: cut the in-flight jobs over to partial reports.
+		// Cancellation is cooperative (the taint walker polls its stop flag)
+		// so the workers return promptly.
+		s.forceCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Serve runs the HTTP service on ln until ctx is cancelled (wapd wires ctx
+// to SIGTERM/SIGINT via signal.NotifyContext), then drains within the
+// configured DrainTimeout and shuts the listener down. In-flight requests
+// receive their (possibly partial) reports before the connections close.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	httpSrv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	derr := s.Drain(drainCtx)
+
+	// By now every job has delivered its response; give the handlers a
+	// short grace to flush it before connections are torn down.
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShut()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && derr == nil {
+		derr = err
+	}
+	if errors.Is(derr, context.DeadlineExceeded) {
+		return fmt.Errorf("drain deadline %v passed; in-flight jobs were cancelled into partial reports", s.cfg.DrainTimeout)
+	}
+	return derr
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}

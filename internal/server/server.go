@@ -1,0 +1,394 @@
+// Package server implements wapd's long-running HTTP scan service on four
+// robustness layers:
+//
+//  1. admission control — a bounded job queue and a fixed worker pool; a
+//     full queue answers 429 with Retry-After instead of accepting
+//     unbounded work, and per-request deadlines propagate into the engine
+//     context so a slow scan returns a partial report, never a hung
+//     connection;
+//  2. the engine's retry ladder — transient (file, class) task faults are
+//     retried with shrinking budgets before costing findings (configured on
+//     the engine, reported per job);
+//  3. per-class circuit breakers — engine-scoped, so a class that faults
+//     persistently across jobs trips open and stops consuming workers;
+//  4. lifecycle — SIGTERM/SIGINT drains gracefully: admission stops,
+//     in-flight jobs finish (or are force-cancelled into partial reports at
+//     the drain deadline), and /healthz + /readyz reflect queue saturation,
+//     drain state and breaker positions throughout.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/atomicfile"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// Defaults applied by New when the corresponding Config field is zero.
+const (
+	DefaultQueueDepth   = 16
+	DefaultWorkers      = 2
+	DefaultDrainTimeout = 30 * time.Second
+	DefaultJobTimeout   = 2 * time.Minute
+	DefaultMaxTimeout   = 10 * time.Minute
+	DefaultRetryAfter   = 2 * time.Second
+	// maxRequestBytes bounds an uploaded tree (64 MiB).
+	maxRequestBytes = 64 << 20
+)
+
+// Config tunes a scan server.
+type Config struct {
+	// Engine is the trained engine shared by every job. It must be safe for
+	// concurrent AnalyzeContext calls (engines are, once trained).
+	Engine *core.Engine
+	// QueueDepth bounds jobs waiting for a worker; an enqueue beyond it is
+	// rejected with 429.
+	QueueDepth int
+	// Workers is the number of jobs analyzed concurrently.
+	Workers int
+	// DrainTimeout is how long Drain lets in-flight jobs finish before
+	// force-cancelling them into partial reports.
+	DrainTimeout time.Duration
+	// DefaultTimeout bounds a job when the request names no deadline;
+	// MaxTimeout caps client-requested deadlines.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// LoadOptions tunes directory loading for dir-based jobs.
+	LoadOptions core.LoadOptions
+	// ReportDir, when set, persists every completed report atomically as
+	// <ReportDir>/<job-id>.json.
+	ReportDir string
+	// RetryAfter is the hint returned with 429 responses.
+	RetryAfter time.Duration
+}
+
+// ScanRequest is the body of POST /scan. Exactly one of Dir and Files must
+// be set.
+type ScanRequest struct {
+	// Dir is a server-local directory to scan.
+	Dir string `json:"dir,omitempty"`
+	// Files is an uploaded tree: project-relative path → PHP source.
+	Files map[string]string `json:"files,omitempty"`
+	// Name labels the project in the report; defaults to the dir basename
+	// or "upload".
+	Name string `json:"name,omitempty"`
+	// TimeoutMS bounds the whole job (load + analysis). 0 uses the server
+	// default; values above the server max are capped. On expiry the job
+	// returns the partial report analyzed so far, flagged degraded.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ScanResponse is the body of a completed scan.
+type ScanResponse struct {
+	ID string `json:"id"`
+	// QueueMS is how long the job waited for a worker.
+	QueueMS int64 `json:"queue_ms"`
+	// Report is the scan report; on a deadline it is the partial result.
+	Report *report.JSONReport `json:"report,omitempty"`
+	// Error is set when the job failed outright (bad directory) or was cut
+	// short (deadline, drain); a partial Report may accompany it.
+	Error string `json:"error,omitempty"`
+}
+
+type job struct {
+	id       string
+	req      ScanRequest
+	timeout  time.Duration
+	reqCtx   context.Context
+	enqueued time.Time
+	done     chan *ScanResponse // buffered; worker sends exactly once
+}
+
+// Server is a running scan service.
+type Server struct {
+	cfg   Config
+	queue chan *job
+	mux   *http.ServeMux
+
+	// admitMu serializes admission against Drain closing the queue, so a
+	// 503-after-drain can never race into a send on a closed channel.
+	admitMu  sync.Mutex
+	draining atomic.Bool
+
+	active    atomic.Int64 // jobs currently inside a worker
+	seq       atomic.Int64
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+
+	// forceCtx is cancelled when the drain deadline passes; every job's
+	// context derives from it so in-flight scans cut over to partial
+	// reports instead of holding the drain open.
+	forceCtx    context.Context
+	forceCancel context.CancelFunc
+	wg          sync.WaitGroup
+}
+
+// New builds a server, applies defaults, and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = DefaultJobTimeout
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	s := &Server{cfg: cfg, queue: make(chan *job, cfg.QueueDepth)}
+	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/scan", s.handleScan)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// admission outcomes.
+var (
+	errDraining  = errors.New("server draining; not accepting new scans")
+	errQueueFull = errors.New("scan queue full")
+)
+
+// admit enqueues a job or reports why it cannot. The queue send never
+// blocks: a full queue is backpressure the client must see, not buffer the
+// server must grow.
+func (s *Server) admit(j *job) error {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.draining.Load() {
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req ScanRequest
+	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if (req.Dir == "") == (len(req.Files) == 0) {
+		writeError(w, http.StatusBadRequest, "exactly one of dir and files must be set")
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	j := &job{
+		id:       fmt.Sprintf("job-%d", s.seq.Add(1)),
+		req:      req,
+		timeout:  timeout,
+		reqCtx:   r.Context(),
+		enqueued: time.Now(),
+		done:     make(chan *ScanResponse, 1),
+	}
+	switch err := s.admit(j); {
+	case errors.Is(err, errQueueFull):
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, errDraining):
+		s.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.accepted.Add(1)
+	select {
+	case resp := <-j.done:
+		writeJSON(w, http.StatusOK, resp)
+	case <-r.Context().Done():
+		// Client went away; the job's context derives from the request
+		// context, so the worker abandons the scan on its own.
+	}
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob loads and analyzes one job under a context that dies with the
+// client connection, the per-job deadline, or the drain force-cancel —
+// whichever comes first. Deadline and drain cut-offs still return the
+// partial report the engine produced.
+func (s *Server) runJob(j *job) {
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	defer s.completed.Add(1)
+
+	ctx, cancel := context.WithCancel(j.reqCtx)
+	defer cancel()
+	stopForce := context.AfterFunc(s.forceCtx, cancel)
+	defer stopForce()
+	ctx, cancelTimeout := context.WithTimeout(ctx, j.timeout)
+	defer cancelTimeout()
+
+	resp := &ScanResponse{ID: j.id, QueueMS: time.Since(j.enqueued).Milliseconds()}
+	proj, err := s.loadProject(ctx, j.req)
+	if err != nil {
+		resp.Error = err.Error()
+		j.done <- resp
+		return
+	}
+	rep, err := s.cfg.Engine.AnalyzeContext(ctx, proj)
+	if err != nil {
+		// A deadline or cancellation mid-scan still carries the partial
+		// report; anything without one is a hard failure.
+		resp.Error = err.Error()
+		if rep == nil {
+			j.done <- resp
+			return
+		}
+	}
+	resp.Report = report.ToJSON(rep)
+	s.persistReport(j.id, resp.Report)
+	j.done <- resp
+}
+
+// loadProject builds the job's project from its directory or uploaded tree.
+func (s *Server) loadProject(ctx context.Context, req ScanRequest) (*core.Project, error) {
+	if req.Dir != "" {
+		name := req.Name
+		if name == "" {
+			name = filepath.Base(req.Dir)
+		}
+		return core.LoadDirContext(ctx, name, req.Dir, s.cfg.LoadOptions)
+	}
+	name := req.Name
+	if name == "" {
+		name = "upload"
+	}
+	return core.LoadMap(name, req.Files), nil
+}
+
+// persistReport writes the report artifact atomically, so a crash or a
+// concurrent reader can never observe a truncated JSON file. Persistence is
+// best-effort: a failure never fails the job that produced the report.
+func (s *Server) persistReport(id string, rep *report.JSONReport) {
+	if s.cfg.ReportDir == "" || rep == nil {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = atomicfile.WriteFile(filepath.Join(s.cfg.ReportDir, id+".json"), data, 0o644)
+}
+
+// health is the body of /healthz and /readyz.
+type health struct {
+	Status    string `json:"status"`
+	Ready     bool   `json:"ready"`
+	Draining  bool   `json:"draining"`
+	QueueLen  int    `json:"queue_len"`
+	QueueCap  int    `json:"queue_cap"`
+	Active    int64  `json:"active"`
+	Workers   int    `json:"workers"`
+	Accepted  int64  `json:"accepted"`
+	Rejected  int64  `json:"rejected"`
+	Completed int64  `json:"completed"`
+	// Breakers maps class → breaker status for every class whose breaker
+	// has state; open entries mean that class is currently diagnostics-only.
+	Breakers map[string]core.BreakerStatus `json:"breakers,omitempty"`
+}
+
+func (s *Server) healthSnapshot() health {
+	h := health{
+		Status:    "ok",
+		Draining:  s.draining.Load(),
+		QueueLen:  len(s.queue),
+		QueueCap:  cap(s.queue),
+		Active:    s.active.Load(),
+		Workers:   s.cfg.Workers,
+		Accepted:  s.accepted.Load(),
+		Rejected:  s.rejected.Load(),
+		Completed: s.completed.Load(),
+	}
+	// Ready means an admitted scan would be queued right now: not draining
+	// and the queue has room. An open breaker does not unready the service —
+	// every other class still scans — but it is visible in the body.
+	h.Ready = !h.Draining && h.QueueLen < h.QueueCap
+	if snap := s.cfg.Engine.BreakerSnapshot(); len(snap) > 0 {
+		h.Breakers = make(map[string]core.BreakerStatus, len(snap))
+		for id, st := range snap {
+			h.Breakers[string(id)] = st
+		}
+	}
+	return h
+}
+
+// handleHealthz reports liveness: 200 whenever the process can answer.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.healthSnapshot())
+}
+
+// handleReadyz reports admission readiness: 503 while draining or while the
+// queue is saturated, 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.healthSnapshot()
+	code := http.StatusOK
+	if !h.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
