@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline wapd serve fuzz-smoke
+.PHONY: all build test race vet lint bench bench-compare wapd serve fuzz-smoke
 
 all: build vet test
 
@@ -29,10 +29,22 @@ fuzz-smoke:
 	$(GO) test ./internal/php/parser -run '^$$' -fuzz=FuzzParse -fuzztime=30s
 	$(GO) test ./internal/php/parser -run '^$$' -fuzz=FuzzPrintRoundtrip -fuzztime=30s
 
-bench:
-	$(GO) test -bench=. -benchmem .
+# gofmt (fails listing any unformatted file) + go vet. CI additionally runs
+# staticcheck; run it here too if it is on PATH.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipped (CI runs it)"; fi
 
-# Machine-readable baseline for the analysis benchmarks (cached vs
-# uncached), for before/after comparison of engine changes.
-bench-baseline:
-	$(GO) test -json -run '^$$' -bench 'BenchmarkAnalyzeApp' -benchmem . > BENCH_analyze.json
+# Run the analysis benchmarks and append one entry to the bench trajectory
+# (BENCH_analyze.json, JSON lines — appended, never overwritten).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkAnalyzeApp' -benchmem . | $(GO) run ./cmd/benchtrend -file BENCH_analyze.json
+
+# Diff the last two trajectory entries; fails on a >10% slowdown of any
+# benchmark and prints the incremental cold/warm speedup ratio.
+bench-compare:
+	$(GO) run ./cmd/benchtrend -compare -file BENCH_analyze.json

@@ -8,7 +8,9 @@
 package main_test
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
 
@@ -18,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ml"
 	"repro/internal/php/parser"
+	"repro/internal/resultstore"
 	"repro/internal/symptom"
 	"repro/internal/taint"
 	"repro/internal/vuln"
@@ -231,6 +234,81 @@ func BenchmarkAnalyzeAppUncached(b *testing.B) {
 		if _, err := eng.Analyze(proj); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// incrementalBenchApp is the corpus both incremental benchmarks share: a
+// Play_sms-scale tree (the paper's motivating case for rescans — full scans
+// of its largest packages took minutes). Incremental reuse is proportional
+// to the fraction of tasks untouched by an edit, so it is measured on a
+// realistically sized tree, not the 13-file table app.
+func incrementalBenchApp() *corpus.App { return corpus.LargeApp(1, 120, 40) }
+
+// BenchmarkAnalyzeAppIncrementalCold is the baseline for
+// BenchmarkAnalyzeAppIncremental: a cold full scan of the same corpus,
+// parsing every file and executing every task with no result store. Each
+// iteration reloads the project from source so no parse or memoized
+// file-derived state survives between iterations.
+func BenchmarkAnalyzeAppIncrementalCold(b *testing.B) {
+	app := incrementalBenchApp()
+	eng, err := core.New(core.Options{Mode: core.ModeWAPe, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Train(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proj := core.LoadMap(app.Name, app.Files)
+		if _, err := eng.Analyze(proj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeAppIncremental measures a warm rescan with one changed
+// file: the engine runs against a result store populated by a cold scan, and
+// each iteration edits the same file (fresh content hash every time) before
+// rescanning with parse reuse. Compare against
+// BenchmarkAnalyzeAppIncrementalCold — the ratio is the incremental speedup,
+// which must stay ≥5× (the bench trajectory in BENCH_analyze.json tracks it
+// run over run; `make bench-compare` flags regressions).
+func BenchmarkAnalyzeAppIncremental(b *testing.B) {
+	app := incrementalBenchApp()
+	eng, err := core.New(core.Options{Mode: core.ModeWAPe, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Train(); err != nil {
+		b.Fatal(err)
+	}
+	store, err := resultstore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	files := make(map[string]string, len(app.Files))
+	paths := make([]string, 0, len(app.Files))
+	for path, src := range app.Files {
+		files[path] = src
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	edit := paths[0]
+	proj := core.LoadMap(app.Name, files)
+	// Cold scan: populates the store so every iteration below is warm.
+	if _, err := eng.AnalyzeContextStore(ctx, proj, store); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		files[edit] = app.Files[edit] + fmt.Sprintf("\n<!-- edit %d -->\n", i)
+		next := core.LoadMapIncremental(app.Name, files, proj)
+		if _, err := eng.AnalyzeContextStore(ctx, next, store); err != nil {
+			b.Fatal(err)
+		}
+		proj = next
 	}
 }
 

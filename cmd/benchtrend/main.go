@@ -1,0 +1,191 @@
+// Command benchtrend maintains the benchmark trajectory file
+// (BENCH_analyze.json): a JSON-lines log with one entry per benchmark run,
+// appended — never overwritten — so the performance history of the analyzer
+// survives across runs and regressions are visible as a trend, not just a
+// pair of numbers.
+//
+// Append mode (the default) reads `go test -bench` output on stdin, echoes
+// it through unchanged, and appends one entry recording the ns/op of every
+// benchmark in the run:
+//
+//	go test -run '^$' -bench . -benchmem . | benchtrend -file BENCH_analyze.json
+//
+// Compare mode diffs the last two entries and exits non-zero when any
+// benchmark slowed down by more than -threshold (default 10%):
+//
+//	benchtrend -compare -file BENCH_analyze.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// entry is one line of the trajectory file.
+type entry struct {
+	// Date is RFC 3339 UTC.
+	Date string `json:"date"`
+	Go   string `json:"go"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkAnalyzeApp-8   	     142	   8441385 ns/op	 2031 B/op ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+// parseBench scans bench output from r, echoing every line to echo, and
+// returns ns/op per benchmark name. A benchmark that ran more than once
+// keeps its last result.
+func parseBench(r io.Reader, echo io.Writer) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			var ns float64
+			if _, err := fmt.Sscanf(m[2], "%g", &ns); err == nil {
+				out[m[1]] = ns
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// appendEntry appends e as one JSON line to path.
+func appendEntry(path string, e entry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(data, '\n'))
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// readTrajectory parses every valid entry line of path, silently skipping
+// lines in other formats (the file predates the trajectory schema in old
+// checkouts).
+func readTrajectory(path string) ([]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []entry
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil || len(e.Benchmarks) == 0 {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// compare prints the per-benchmark delta between the last two trajectory
+// entries and reports whether any benchmark regressed beyond threshold
+// (fractional, e.g. 0.10 = 10% slower).
+func compare(entries []entry, threshold float64, w io.Writer) (regressed bool) {
+	if len(entries) < 2 {
+		fmt.Fprintf(w, "benchtrend: need at least two trajectory entries to compare (have %d)\n", len(entries))
+		return false
+	}
+	prev, last := entries[len(entries)-2], entries[len(entries)-1]
+	fmt.Fprintf(w, "comparing %s -> %s\n", prev.Date, last.Date)
+	names := make([]string, 0, len(last.Benchmarks))
+	for name := range last.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		now := last.Benchmarks[name]
+		old, ok := prev.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "  %-44s %12.0f ns/op  (new)\n", name, now)
+			continue
+		}
+		delta := (now - old) / old
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "  %-44s %12.0f ns/op  %+6.1f%%%s\n", name, now, delta*100, mark)
+	}
+	// The incremental-scan acceptance ratio, when both sides are present.
+	cold, okc := last.Benchmarks["BenchmarkAnalyzeAppIncrementalCold"]
+	warm, okw := last.Benchmarks["BenchmarkAnalyzeAppIncremental"]
+	if okc && okw && warm > 0 {
+		fmt.Fprintf(w, "incremental speedup (cold/warm): %.1fx\n", cold/warm)
+	}
+	return regressed
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer, now func() time.Time) int {
+	fs := flag.NewFlagSet("benchtrend", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	file := fs.String("file", "BENCH_analyze.json", "trajectory file (JSON lines)")
+	doCompare := fs.Bool("compare", false, "compare the last two trajectory entries instead of appending")
+	threshold := fs.Float64("threshold", 0.10, "fractional slowdown that counts as a regression in -compare")
+	date := fs.String("date", "", "entry timestamp override (RFC 3339); defaults to now")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *doCompare {
+		entries, err := readTrajectory(*file)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtrend: %v\n", err)
+			return 2
+		}
+		if compare(entries, *threshold, stdout) {
+			return 1
+		}
+		return 0
+	}
+	benches, err := parseBench(stdin, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchtrend: read bench output: %v\n", err)
+		return 2
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(stderr, "benchtrend: no benchmark results on stdin; trajectory unchanged")
+		return 2
+	}
+	when := *date
+	if when == "" {
+		when = now().UTC().Format(time.RFC3339)
+	}
+	e := entry{Date: when, Go: runtime.Version(), Benchmarks: benches}
+	if err := appendEntry(*file, e); err != nil {
+		fmt.Fprintf(stderr, "benchtrend: append %s: %v\n", *file, err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "benchtrend: recorded %d benchmarks in %s\n", len(benches), *file)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr, time.Now))
+}

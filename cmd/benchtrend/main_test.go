@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkAnalyzeApp-8                    	     142	   8441385 ns/op	  203144 B/op	    3021 allocs/op
+BenchmarkAnalyzeAppIncrementalCold-8     	       9	 125000298 ns/op
+BenchmarkAnalyzeAppIncremental-8         	     163	   7250100 ns/op
+PASS
+ok  	repro	3.843s
+`
+
+func TestParseBenchEchoesAndExtracts(t *testing.T) {
+	var echo bytes.Buffer
+	got, err := parseBench(strings.NewReader(benchOutput), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.String() != benchOutput {
+		t.Errorf("echo mangled the stream:\n%s", echo.String())
+	}
+	want := map[string]float64{
+		"BenchmarkAnalyzeApp":                8441385,
+		"BenchmarkAnalyzeAppIncrementalCold": 125000298,
+		"BenchmarkAnalyzeAppIncremental":     7250100,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestAppendAndCompare(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "trend.json")
+	now := func() time.Time { return time.Unix(0, 0) }
+
+	runAppend := func(out string) {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-file", file}, strings.NewReader(out), &stdout, &stderr, now); code != 0 {
+			t.Fatalf("append exited %d: %s", code, stderr.String())
+		}
+	}
+	runAppend(benchOutput)
+	// Trajectory appends; a second run must not overwrite the first entry.
+	faster := strings.Replace(benchOutput, "7250100 ns/op", "7000000 ns/op", 1)
+	runAppend(faster)
+
+	entries, err := readTrajectory(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("trajectory has %d entries, want 2", len(entries))
+	}
+
+	var stdout bytes.Buffer
+	code := run([]string{"-file", file, "-compare"}, strings.NewReader(""), &stdout, os.Stderr, now)
+	if code != 0 {
+		t.Fatalf("compare of an improvement exited %d:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "incremental speedup") {
+		t.Errorf("compare output missing speedup line:\n%s", stdout.String())
+	}
+
+	// A >10%% slowdown must be flagged and fail the command.
+	slower := strings.Replace(benchOutput, "8441385 ns/op", "18441385 ns/op", 1)
+	runAppend(slower)
+	stdout.Reset()
+	code = run([]string{"-file", file, "-compare"}, strings.NewReader(""), &stdout, os.Stderr, now)
+	if code != 1 {
+		t.Fatalf("compare of a regression exited %d, want 1:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION") {
+		t.Errorf("compare output missing REGRESSION marker:\n%s", stdout.String())
+	}
+}
+
+func TestReadTrajectorySkipsForeignLines(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "trend.json")
+	legacy := `{"Time":"2026-08-05T04:06:22Z","Action":"start","Package":"repro"}
+not json at all
+{"date":"2026-08-05T00:00:00Z","go":"go1.24.0","benchmarks":{"BenchmarkAnalyzeApp":8441385}}
+`
+	if err := os.WriteFile(file, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := readTrajectory(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("trajectory has %d entries, want 1 (legacy lines skipped)", len(entries))
+	}
+	if entries[0].Benchmarks["BenchmarkAnalyzeApp"] != 8441385 {
+		t.Errorf("surviving entry mangled: %+v", entries[0])
+	}
+}

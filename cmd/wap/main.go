@@ -24,17 +24,18 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 
 	"repro/internal/atomicfile"
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/resultstore"
 	"repro/internal/vuln"
 	"repro/internal/weapon"
 )
@@ -74,6 +75,9 @@ func run(args []string) (int, error) {
 		strict   = fs.Bool("strict", false, "treat any degradation (skipped files, panics, timeouts, budget exhaustion) as fatal (exit 3)")
 		maxFile  = fs.Int64("max-file-size", 0, "per-file size cap in bytes; larger files are skipped with a diagnostic (0 = default 8 MiB, -1 = unlimited)")
 		retryMax = fs.Int("retry-max", 0, "retry a faulted (file, class) task up to N times with shrinking AST-step budgets before diagnosing it (0 = off)")
+		incr     = fs.Bool("incremental", false, "reuse per-task results from the previous scan of this tree (cached under <dir>/.wap-cache unless -cache-dir is set)")
+		cacheDir = fs.String("cache-dir", "", "result-store directory for incremental scans (implies -incremental)")
+		diffBase = fs.String("diff", "", "diff this scan against a baseline JSON report (from wap -json) and report new/fixed/persisting findings")
 	)
 	classFlags := make(map[vuln.ClassID]*bool)
 	for _, c := range vuln.WAPe() {
@@ -150,6 +154,20 @@ func run(args []string) (int, error) {
 		return exitFatal, fmt.Errorf("weapons require the new WAP version (drop -v21)")
 	}
 
+	// Incremental scans: attach a result store so this scan reuses the
+	// previous run's per-task results and persists its own.
+	if *incr || *cacheDir != "" {
+		storeDir := *cacheDir
+		if storeDir == "" {
+			storeDir = filepath.Join(dir, ".wap-cache")
+		}
+		store, err := resultstore.Open(storeDir)
+		if err != nil {
+			return exitFatal, err
+		}
+		opts.ResultStore = store
+	}
+
 	eng, err := core.New(opts)
 	if err != nil {
 		return exitFatal, err
@@ -207,67 +225,36 @@ func run(args []string) (int, error) {
 		}
 		fmt.Printf("HTML report written to %s\n", *htmlOut)
 	}
+	// Baseline diff: compare this scan's confirmed findings against an
+	// earlier JSON report of the same application.
+	var diff *report.Diff
+	if *diffBase != "" {
+		baseline, err := loadBaseline(*diffBase)
+		if err != nil {
+			return exitFatal, err
+		}
+		diff = report.DiffFindings(report.GroupedFromJSON(baseline), report.Group(rep))
+	}
 	if *jsonOut {
-		if err := report.WriteJSON(os.Stdout, rep); err != nil {
+		jr := report.ToJSON(rep)
+		if diff != nil {
+			jr.Diff = report.ToJSONDiff(diff)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jr); err != nil {
 			return exitFatal, err
 		}
 		return exitCode(rep, len(rep.Vulnerabilities()), *strict)
 	}
 
-	grouped := report.Group(rep)
-	nVuln, nFP := 0, 0
-	for _, gf := range grouped {
-		if gf.PredictedFP {
-			nFP++
-			if *showFP {
-				fmt.Printf("  [predicted FP] %-6s %s:%d\n", gf.Group, gf.File, gf.Line)
-				fmt.Printf("                 why: %s\n", eng.Justify(gf.Findings[0]))
-			}
-			continue
-		}
-		nVuln++
-		f := gf.Findings[0]
-		src := "?"
-		if len(f.Candidate.Value.Sources) > 0 {
-			src = f.Candidate.Value.Sources[0].Name
-		}
-		fmt.Printf("  [%s] %s:%d  %s -> %s\n", gf.Group, gf.File, gf.Line, src, f.Candidate.SinkName)
-	}
-	for _, l := range rep.StoredLinks {
-		fmt.Printf("  [stored-XSS chain] table %s: write %s:%d -> read %s:%d\n",
-			strings.ToLower(l.Table), l.Write.File, l.Write.SinkPos.Line,
-			l.Read.File, l.Read.SinkPos.Line)
-	}
-
-	if len(rep.Diagnostics) > 0 {
-		fmt.Printf("\ndiagnostics (%d) — not analyzed:\n", len(rep.Diagnostics))
-		for _, d := range rep.Diagnostics {
-			fmt.Printf("  %s\n", d)
-		}
-	}
-
-	fmt.Printf("\n%d vulnerabilities, %d predicted false positives (%.0f ms)\n",
-		nVuln, nFP, float64(rep.Duration.Milliseconds()))
-
-	byGroup := make(map[string]int)
-	for _, gf := range grouped {
-		if !gf.PredictedFP {
-			byGroup[string(gf.Group)]++
-		}
-	}
-	groups := make([]string, 0, len(byGroup))
-	for g := range byGroup {
-		groups = append(groups, g)
-	}
-	sort.Strings(groups)
-	for _, g := range groups {
-		fmt.Printf("  %-8s %d\n", g, byGroup[g])
-	}
-
-	if *stats {
-		if out := report.RenderStats(rep.Stats); out != "" {
-			fmt.Printf("\n%s", out)
-		}
+	nVuln, _ := report.WriteText(os.Stdout, rep, report.TextOptions{
+		ShowFP:  *showFP,
+		Justify: func(f *core.Finding) string { return eng.Justify(f).String() },
+		Stats:   *stats,
+	})
+	if diff != nil {
+		fmt.Printf("\n%s", diff.Render(*diffBase, dir))
 	}
 
 	if *fix && nVuln > 0 {
@@ -305,6 +292,19 @@ func exitCode(rep *core.Report, nVuln int, strict bool) (int, error) {
 		return exitVulns, nil
 	}
 	return exitClean, nil
+}
+
+// loadBaseline reads a JSON report written by wap -json (or wapd).
+func loadBaseline(path string) (*report.JSONReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("diff baseline: %w", err)
+	}
+	var jr report.JSONReport
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return nil, fmt.Errorf("diff baseline %s: %w", path, err)
+	}
+	return &jr, nil
 }
 
 func loadWeapon(path string) (*weapon.Weapon, error) {

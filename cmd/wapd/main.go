@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/resultstore"
 	"repro/internal/server"
 	"repro/internal/weapon"
 )
@@ -55,6 +56,7 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 2016, "training seed for the false positive predictor")
 		maxFile    = fs.Int64("max-file-size", 0, "per-file size cap in bytes (0 = default 8 MiB, -1 = unlimited)")
 		reportDir  = fs.String("report-dir", "", "persist each job's JSON report here (written atomically)")
+		cacheDir   = fs.String("cache-dir", "", "result-store directory backing incremental scan requests (empty = no per-task reuse across restarts)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +78,14 @@ func run(args []string) error {
 		return err
 	}
 
+	var store *resultstore.Store
+	if *cacheDir != "" {
+		store, err = resultstore.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+	}
+
 	srv, err := server.New(server.Config{
 		Engine:         eng,
 		QueueDepth:     *queueDepth,
@@ -85,6 +95,7 @@ func run(args []string) error {
 		MaxTimeout:     *maxTO,
 		LoadOptions:    core.LoadOptions{MaxFileSize: *maxFile},
 		ReportDir:      *reportDir,
+		Store:          store,
 	})
 	if err != nil {
 		return err

@@ -16,6 +16,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ml"
 	"repro/internal/php/ast"
+	"repro/internal/resultstore"
 	"repro/internal/symptom"
 	"repro/internal/taint"
 	"repro/internal/vuln"
@@ -122,6 +123,12 @@ type Options struct {
 	// (file, class) tasks provably unable to produce findings. Findings are
 	// identical either way.
 	DisableSinkPrefilter bool
+	// ResultStore, when set, makes every scan incremental: cleanly completed
+	// (file, class) tasks are persisted keyed by closure fingerprint, and
+	// later scans reuse stored results for tasks whose fingerprints match.
+	// Reports are byte-identical to a full scan (Stats aside, which account
+	// reuse). AnalyzeContextStore overrides it per call.
+	ResultStore *resultstore.Store
 }
 
 // DefaultTaskBudget is the per-task AST-step budget applied when
@@ -267,6 +274,19 @@ type Engine struct {
 	corrector *corrector.Corrector
 	trained   bool
 	breakers  *classBreakers
+
+	// digestOnce memoizes configDigest: the digest hashes only immutable
+	// post-New state (options, classes, weapons), so computing it once per
+	// engine is safe even across concurrent scans.
+	digestOnce sync.Once
+	digestVal  string
+
+	// reuseCache holds, per project name, the decoded findings of the last
+	// persisted snapshot, so an in-process warm rescan skips re-decoding
+	// store entries. Generations are replaced wholesale (copy-on-write):
+	// readers keep the map reference they grabbed at plan time.
+	reuseMu    sync.Mutex
+	reuseCache map[string]map[string]*decodedTask
 }
 
 // BreakerSnapshot reports each class breaker's current state for health
@@ -420,7 +440,11 @@ type taskOutcome struct {
 	pending     []taint.PendingSummary
 }
 
-// AnalyzeContext runs the full pipeline under a context. Fault isolation:
+// AnalyzeContext runs the full pipeline under a context, in three stages:
+// plan (enumerate tasks; with a result store attached, satisfy closure-
+// fingerprint hits from the previous snapshot), execute (run the misses) and
+// merge (splice results, link stored XSS, persist the new snapshot). Fault
+// isolation in the execute stage:
 //
 //   - every (file, class) task runs with panic recovery — a bug in the
 //     parser or taint engine costs that task only and is recorded as a
@@ -441,10 +465,21 @@ type taskOutcome struct {
 //     scoped, shared across scans): a persistently faulting class is
 //     skipped with breaker-open diagnostics until its cool-down probe
 //     succeeds, so one pathological class cannot consume the worker pool.
+//     Tasks satisfied from the result store never consult the breakers —
+//     nothing executes for them.
 //
 // The report is complete and deterministic for everything not listed in its
-// Diagnostics, regardless of Parallelism.
+// Diagnostics, regardless of Parallelism, and — Stats and Duration aside —
+// byte-identical whether its tasks executed or were reused.
 func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error) {
+	return e.AnalyzeContextStore(ctx, p, e.opts.ResultStore)
+}
+
+// AnalyzeContextStore is AnalyzeContext against an explicit result store;
+// nil runs a full scan with no persistence. Store faults never fail the
+// scan: an unreadable or invalidated snapshot means a full re-execute, and a
+// failed save costs only the next scan's warm start.
+func (e *Engine) AnalyzeContextStore(ctx context.Context, p *Project, store *resultstore.Store) (*Report, error) {
 	if !e.trained {
 		if err := e.Train(); err != nil {
 			return nil, err
@@ -459,37 +494,48 @@ func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error
 	rep.Diagnostics = append(rep.Diagnostics, p.Diagnostics...)
 
 	stats := newStatsCollector()
-	var shared *taint.SharedSummaries
+	plan := e.planScan(p, store, stats)
+	exec := e.executePlan(ctx, p, plan, stats)
+	return e.mergeScan(ctx, plan, exec, stats, rep, start)
+}
+
+// execState is the execute stage's output. results/clean/steps are aligned
+// with plan.tasks; slots of reused tasks stay zero (the merge stage splices
+// plan.reused over them).
+type execState struct {
+	results [][]*Finding
+	// clean marks tasks that completed cleanly on their first attempt — the
+	// only tasks persistSnapshot may store. A recovery on a later ladder
+	// attempt is deliberately excluded: a task that needed retries faulted
+	// under this exact input, so it re-executes next scan too.
+	clean []bool
+	// steps is the AST-step count of task i's clean first attempt, persisted
+	// so later scans can account the work a reuse saves.
+	steps     []int
+	taskDiags []Diagnostic
+	// executed/completed count execution-queue tasks only (reused tasks are
+	// never incomplete), for the cancellation diagnostic's accounting.
+	executed  int
+	completed int64
+	shared    *taint.SharedSummaries
+}
+
+// executePlan runs the plan's execution queue through the worker pool and
+// fault-isolation machinery.
+func (e *Engine) executePlan(ctx context.Context, p *Project, plan *scanPlan, stats *statsCollector) *execState {
+	exec := &execState{
+		results:  make([][]*Finding, len(plan.tasks)),
+		clean:    make([]bool, len(plan.tasks)),
+		steps:    make([]int, len(plan.tasks)),
+		executed: len(plan.execIdx),
+	}
 	if !e.opts.DisableSummaryCache {
-		shared = taint.NewSharedSummaries()
+		exec.shared = taint.NewSharedSummaries()
 	}
-	var pf *prefilter
-	if !e.opts.DisableSinkPrefilter {
-		pf = newPrefilter(p)
-	}
-
-	// One task per (file, class) pair; results keep task order so output is
-	// independent of scheduling. Pairs whose reachable files contain no
-	// lexical trace of the class's sinks are skipped outright — they cannot
-	// produce a finding, so the skip is statistics, not degradation.
-	tasks := make([]task, 0, len(p.Files)*len(e.classes))
-	for fi, file := range p.Files {
-		for _, cls := range e.classes {
-			if pf != nil && !pf.sinkReachable(fi, cls, e.opts.ClassSinks[cls.ID]) {
-				stats.recordSkip(cls.ID)
-				continue
-			}
-			tasks = append(tasks, task{file: file, cls: cls})
-		}
-	}
-	results := make([][]*Finding, len(tasks))
-
-	budget := e.opts.TaskBudget
-	if budget == 0 {
-		budget = DefaultTaskBudget
-	} else if budget < 0 {
-		budget = 0 // unlimited
-	}
+	shared := exec.shared
+	tasks := plan.tasks
+	results := exec.results
+	budget := e.effectiveBudget()
 
 	var (
 		diagMu    sync.Mutex
@@ -627,6 +673,12 @@ func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error
 				stats.recordTask(t.cls.ID, out, elapsed)
 				shared.Commit(out.pending)
 				results[i] = out.findings
+				if attempt == 0 {
+					// First-attempt completions are the only persistable
+					// outcome: see execState.clean.
+					exec.clean[i] = true
+					exec.steps[i] = out.steps
+				}
 				if e.breakers != nil {
 					e.breakers.recordSuccess(t.cls.ID, probe)
 				}
@@ -681,52 +733,71 @@ func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error
 			workers = 8
 		}
 	}
-	if workers > len(tasks) && len(tasks) > 0 {
-		workers = len(tasks)
+	if workers > len(plan.execIdx) && len(plan.execIdx) > 0 {
+		workers = len(plan.execIdx)
 	}
-	// Workers claim task indices from an atomic counter (not an unbuffered
-	// feed channel), so there is no send loop that cancellation could leave
-	// blocked, and task order — hence output order — stays deterministic.
+	// Workers claim execution-queue positions from an atomic counter (not an
+	// unbuffered feed channel), so there is no send loop that cancellation
+	// could leave blocked, and task order — hence output order — stays
+	// deterministic.
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for ctx.Err() == nil {
-				i := int(nextIdx.Add(1)) - 1
-				if i >= len(tasks) {
+				n := int(nextIdx.Add(1)) - 1
+				if n >= len(plan.execIdx) {
 					return
 				}
-				execTask(i)
+				execTask(plan.execIdx[n])
 			}
 		}()
 	}
 	wg.Wait()
 
-	sortDiagnostics(taskDiags)
-	rep.Diagnostics = append(rep.Diagnostics, taskDiags...)
-	rep.Stats = stats.snapshot(shared.Len())
+	exec.taskDiags = taskDiags
+	exec.completed = completed.Load()
+	return exec
+}
+
+// mergeScan assembles the report: execute-stage diagnostics and statistics,
+// reused results spliced over their grid slots, findings flattened in grid
+// order, stored-XSS links recomputed over the combined findings, and — on a
+// complete scan with a store attached — the new snapshot persisted.
+func (e *Engine) mergeScan(ctx context.Context, plan *scanPlan, exec *execState, stats *statsCollector, rep *Report, start time.Time) (*Report, error) {
+	sortDiagnostics(exec.taskDiags)
+	rep.Diagnostics = append(rep.Diagnostics, exec.taskDiags...)
+	rep.Stats = stats.snapshot(exec.shared.Len())
+	for i, ok := range plan.reusedOK {
+		if ok {
+			exec.results[i] = plan.reused[i]
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
 			Kind: DiagTimeout,
 			Message: fmt.Sprintf("scan cancelled (%v) with %d of %d tasks incomplete; findings below are the completed subset",
-				err, int64(len(tasks))-completed.Load(), len(tasks)),
+				err, int64(exec.executed)-exec.completed, exec.executed),
 			Elapsed: time.Since(start),
 		})
-		for _, fs := range results {
+		for _, fs := range exec.results {
 			rep.Findings = append(rep.Findings, fs...)
 		}
 		// The completed subset can still contain matching write/read pairs;
-		// a partial report links them like a full one would.
+		// a partial report links them like a full one would. Nothing is
+		// persisted: a snapshot from a cancelled scan would drop every
+		// unfinished task's entry, erasing a prior warm state for no gain.
 		rep.linkStoredXSS()
 		rep.Duration = time.Since(start)
 		return rep, err
 	}
 
-	for _, fs := range results {
+	for _, fs := range exec.results {
 		rep.Findings = append(rep.Findings, fs...)
 	}
 	rep.linkStoredXSS()
+	e.persistSnapshot(rep.Project, plan, exec)
 	rep.Duration = time.Since(start)
 	return rep, nil
 }

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"repro/internal/php/ast"
+	"repro/internal/php/token"
+	"repro/internal/resultstore"
+	"repro/internal/taint"
+	"repro/internal/vuln"
+)
+
+// Findings carry live AST pointers (the sink call, the tainted argument, the
+// trace nodes) that post-merge consumers — the stored-XSS linker, symptom
+// justification, the code corrector — dereference. Persisting them therefore
+// needs a serializable node address. The address used here is the node's
+// index in ast.Inspect's deterministic preorder walk of its file: a task is
+// only reused when every file in its closure is byte-identical, re-parsing
+// identical bytes yields an identical AST, so the same index resolves to the
+// same node. Both directions are conservative about failure: a finding whose
+// node cannot be indexed is simply not persisted, and a stored finding whose
+// reference cannot be resolved fails the whole task entry, which then
+// re-executes.
+
+// nodeIndexer lazily builds per-file node→index and index→node tables over a
+// project's ASTs. It is not safe for concurrent use; the engine encodes and
+// decodes only on the coordinating goroutine.
+type nodeIndexer struct {
+	p       *Project
+	byNode  map[string]map[ast.Node]int
+	byIndex map[string][]ast.Node
+}
+
+func newNodeIndexer(p *Project) *nodeIndexer {
+	return &nodeIndexer{
+		p:       p,
+		byNode:  make(map[string]map[ast.Node]int),
+		byIndex: make(map[string][]ast.Node),
+	}
+}
+
+func (ix *nodeIndexer) build(path string) bool {
+	if _, ok := ix.byIndex[path]; ok {
+		return true
+	}
+	sf := ix.p.File(path)
+	if sf == nil {
+		return false
+	}
+	nodes := []ast.Node{}
+	index := make(map[ast.Node]int)
+	ast.Inspect(sf.AST, func(n ast.Node) bool {
+		index[n] = len(nodes)
+		nodes = append(nodes, n)
+		return true
+	})
+	ix.byNode[path] = index
+	ix.byIndex[path] = nodes
+	return true
+}
+
+// ref addresses n within file. A nil node encodes as index -1.
+func (ix *nodeIndexer) ref(file string, n ast.Node) (resultstore.NodeRef, bool) {
+	if n == nil {
+		return resultstore.NodeRef{Index: -1}, true
+	}
+	if ix.build(file) {
+		if i, ok := ix.byNode[file][n]; ok {
+			return resultstore.NodeRef{File: file, Index: i}, true
+		}
+	}
+	// Trace steps can reference nodes in other files (inlined callees);
+	// fall back to the step's own file before giving up.
+	for _, sf := range ix.p.Files {
+		if sf.Path == file || !ix.build(sf.Path) {
+			continue
+		}
+		if i, ok := ix.byNode[sf.Path][n]; ok {
+			return resultstore.NodeRef{File: sf.Path, Index: i}, true
+		}
+	}
+	return resultstore.NodeRef{}, false
+}
+
+// resolve returns the node a ref addresses, or (nil, true) for the nil ref.
+func (ix *nodeIndexer) resolve(r resultstore.NodeRef) (ast.Node, bool) {
+	if r.Index < 0 {
+		return nil, true
+	}
+	if !ix.build(r.File) {
+		return nil, false
+	}
+	nodes := ix.byIndex[r.File]
+	if r.Index >= len(nodes) {
+		return nil, false
+	}
+	return nodes[r.Index], true
+}
+
+func encodePos(p token.Position) resultstore.Position {
+	return resultstore.Position{File: p.File, Offset: p.Offset, Line: p.Line, Column: p.Column}
+}
+
+func decodePos(p resultstore.Position) token.Position {
+	return token.Position{File: p.File, Offset: p.Offset, Line: p.Line, Column: p.Column}
+}
+
+// encodeTask serializes one task's findings. ok is false when any node could
+// not be addressed; the caller must then skip persisting the task.
+func (ix *nodeIndexer) encodeTask(findings []*Finding) ([]resultstore.Finding, bool) {
+	if len(findings) == 0 {
+		return nil, true
+	}
+	out := make([]resultstore.Finding, 0, len(findings))
+	for _, f := range findings {
+		c := f.Candidate
+		sinkRef, ok := ix.ref(c.File, c.SinkCall)
+		if !ok {
+			return nil, false
+		}
+		exprRef, ok := ix.ref(c.File, c.TaintedExpr)
+		if !ok {
+			return nil, false
+		}
+		val := resultstore.Value{
+			Tainted:    c.Value.Tainted,
+			Sanitizers: c.Value.Sanitizers,
+		}
+		for _, s := range c.Value.Sources {
+			val.Sources = append(val.Sources, resultstore.Source{Name: s.Name, Pos: encodePos(s.Pos)})
+		}
+		for _, st := range c.Value.Trace {
+			nodeRef, ok := ix.ref(st.Pos.File, st.Node)
+			if !ok {
+				return nil, false
+			}
+			val.Trace = append(val.Trace, resultstore.Step{
+				Pos: encodePos(st.Pos), Desc: st.Desc, Node: nodeRef,
+			})
+		}
+		out = append(out, resultstore.Finding{
+			Class:         string(c.Class),
+			SinkName:      c.SinkName,
+			SinkPos:       encodePos(c.SinkPos),
+			SinkCall:      sinkRef,
+			ArgIndex:      c.ArgIndex,
+			TaintedExpr:   exprRef,
+			Value:         val,
+			EnclosingFunc: c.EnclosingFunc,
+			File:          c.File,
+			Symptoms:      f.Symptoms,
+			PredictedFP:   f.PredictedFP,
+			Votes:         f.Votes,
+			Weapon:        f.Weapon,
+		})
+	}
+	return out, true
+}
+
+// decodeTask rebinds one stored task entry against the current project's
+// ASTs. ok is false when any reference fails to resolve (the entry is then
+// treated as a fingerprint miss and the task re-executes).
+func (ix *nodeIndexer) decodeTask(entry *resultstore.TaskEntry) ([]*Finding, bool) {
+	var out []*Finding
+	for i := range entry.Findings {
+		sf := &entry.Findings[i]
+		sinkNode, ok := ix.resolve(sf.SinkCall)
+		if !ok {
+			return nil, false
+		}
+		exprNode, ok := ix.resolve(sf.TaintedExpr)
+		if !ok {
+			return nil, false
+		}
+		expr, _ := exprNode.(ast.Expr)
+		if exprNode != nil && expr == nil {
+			return nil, false
+		}
+		c := &taint.Candidate{
+			Class:         vuln.ClassID(sf.Class),
+			SinkName:      sf.SinkName,
+			SinkPos:       decodePos(sf.SinkPos),
+			SinkCall:      sinkNode,
+			ArgIndex:      sf.ArgIndex,
+			TaintedExpr:   expr,
+			EnclosingFunc: sf.EnclosingFunc,
+			File:          sf.File,
+		}
+		c.Value = taint.Value{
+			Tainted:    sf.Value.Tainted,
+			Sanitizers: sf.Value.Sanitizers,
+		}
+		for _, s := range sf.Value.Sources {
+			c.Value.Sources = append(c.Value.Sources, taint.Source{Name: s.Name, Pos: decodePos(s.Pos)})
+		}
+		for _, st := range sf.Value.Trace {
+			n, ok := ix.resolve(st.Node)
+			if !ok {
+				return nil, false
+			}
+			c.Value.Trace = append(c.Value.Trace, taint.Step{
+				Pos: decodePos(st.Pos), Desc: st.Desc, Node: n,
+			})
+		}
+		out = append(out, &Finding{
+			Candidate:   c,
+			Symptoms:    sf.Symptoms,
+			PredictedFP: sf.PredictedFP,
+			Votes:       sf.Votes,
+			Weapon:      sf.Weapon,
+		})
+	}
+	return out, true
+}

@@ -94,35 +94,40 @@ func declaredNames(f *SourceFile) []string {
 }
 
 // prefilter precomputes, per file, the set of files reachable through the
-// static call-name graph (including the file itself) and each file's
-// lower-cased source, so sinkReachable answers in O(closure size) substring
-// scans.
+// static call-name graph (including the file itself), so sinkReachable
+// answers in O(closure size) memoized token lookups.
 type prefilter struct {
 	files    []*SourceFile
-	lowered  []string
 	reach    [][]int // per file index: reachable file indices (self included)
 	tokCache map[vuln.ClassID][]string
 }
 
 // newPrefilter builds the reachability closure for p's files.
 func newPrefilter(p *Project) *prefilter {
-	pf := &prefilter{
+	return &prefilter{
 		files:    p.Files,
-		lowered:  make([]string, len(p.Files)),
-		reach:    make([][]int, len(p.Files)),
+		reach:    fileClosures(p),
 		tokCache: make(map[vuln.ClassID][]string),
 	}
-	idx := make(map[*SourceFile]int, len(p.Files))
+}
+
+// fileClosures computes, per file index, the set of files reachable through
+// the static call-name graph (self included): every file declaring a
+// callable name that the closure's files mention. This is exactly the file
+// set whose contents can influence a task on the root file — taint analysis
+// resolves calls by name project-wide, so any file declaring a called name
+// is reachable through inlining. Both the sink pre-filter and the
+// incremental planner's closure fingerprints are built on it.
+func fileClosures(p *Project) [][]int {
 	declIn := make(map[string][]int) // callable name -> declaring file indices
 	called := make([]map[string]bool, len(p.Files))
 	for i, f := range p.Files {
-		idx[f] = i
-		pf.lowered[i] = strings.ToLower(f.Src)
-		called[i] = calledNames(f.AST)
+		called[i] = f.calledNames()
 		for _, name := range declaredNames(f) {
 			declIn[name] = append(declIn[name], i)
 		}
 	}
+	reach := make([][]int, len(p.Files))
 	for i := range p.Files {
 		visited := make([]bool, len(p.Files))
 		visited[i] = true
@@ -141,9 +146,9 @@ func newPrefilter(p *Project) *prefilter {
 				}
 			}
 		}
-		pf.reach[i] = closure
+		reach[i] = closure
 	}
-	return pf
+	return reach
 }
 
 // sinkReachable reports whether any file in fileIdx's reachable closure
@@ -156,9 +161,9 @@ func (pf *prefilter) sinkReachable(fileIdx int, cls *vuln.Class, extra []vuln.Si
 		pf.tokCache[cls.ID] = toks
 	}
 	for _, j := range pf.reach[fileIdx] {
-		src := pf.lowered[j]
+		f := pf.files[j]
 		for _, tok := range toks {
-			if strings.Contains(src, tok) {
+			if f.hasToken(tok) {
 				return true
 			}
 		}

@@ -7,12 +7,14 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/php/ast"
 	"repro/internal/php/parser"
@@ -24,6 +26,10 @@ type SourceFile struct {
 	Path string
 	// Src is the raw source text.
 	Src string
+	// Hash is the SHA-256 of Src. It identifies the file's content for
+	// incremental scans: a task may only reuse a stored result when every
+	// file in its reachable closure hashes identically.
+	Hash [sha256.Size]byte
 	// AST is the parsed file.
 	AST *ast.File
 	// ParseErrs records recoverable syntax errors.
@@ -33,6 +39,67 @@ type SourceFile struct {
 	Degraded bool
 	// Lines is the line count of Src.
 	Lines int
+
+	// memo lazily caches artifacts derived purely from Src/AST (which never
+	// change after load), so scans that share a SourceFile through parse
+	// reuse pay for them once, not per scan.
+	memo fileMemo
+}
+
+// fileMemo is SourceFile's content-derived cache. Guarded by its mutex: one
+// SourceFile can serve concurrent scans (wapd jobs sharing a baseline).
+type fileMemo struct {
+	mu sync.Mutex
+	// lowered is the lower-cased source (sink pre-filter input).
+	lowered   string
+	loweredOK bool
+	// called is the set of statically named callables the file mentions.
+	called map[string]bool
+	// tokens memoizes sink-token lexical presence in the lowered source.
+	tokens map[string]bool
+}
+
+// loweredSrc returns strings.ToLower(Src), computed once.
+func (f *SourceFile) loweredSrc() string {
+	f.memo.mu.Lock()
+	defer f.memo.mu.Unlock()
+	if !f.memo.loweredOK {
+		f.memo.lowered = strings.ToLower(f.Src)
+		f.memo.loweredOK = true
+	}
+	return f.memo.lowered
+}
+
+// hasToken reports whether the lowered source contains tok, memoized per
+// token. Callers must not pass attacker-controlled token sets: the memo
+// grows by one entry per distinct token ever asked (sink names, in practice).
+func (f *SourceFile) hasToken(tok string) bool {
+	f.memo.mu.Lock()
+	defer f.memo.mu.Unlock()
+	if !f.memo.loweredOK {
+		f.memo.lowered = strings.ToLower(f.Src)
+		f.memo.loweredOK = true
+	}
+	present, ok := f.memo.tokens[tok]
+	if !ok {
+		present = strings.Contains(f.memo.lowered, tok)
+		if f.memo.tokens == nil {
+			f.memo.tokens = make(map[string]bool)
+		}
+		f.memo.tokens[tok] = present
+	}
+	return present
+}
+
+// calledNames returns the file's statically named callables, computed once.
+// The returned map is shared: callers must treat it as read-only.
+func (f *SourceFile) calledNames() map[string]bool {
+	f.memo.mu.Lock()
+	defer f.memo.mu.Unlock()
+	if f.memo.called == nil {
+		f.memo.called = calledNames(f.AST)
+	}
+	return f.memo.called
 }
 
 // Project is a parsed web application (or plugin): all files plus a
@@ -98,6 +165,15 @@ func (p *Project) File(path string) *SourceFile {
 // LoadMap builds a project from an in-memory path→source map (used by the
 // synthetic corpus and tests).
 func LoadMap(name string, files map[string]string) *Project {
+	return LoadMapIncremental(name, files, nil)
+}
+
+// LoadMapIncremental is LoadMap with parse reuse: files whose content hashes
+// identically to the same path in prev adopt prev's parsed SourceFile
+// (ASTs are immutable after parse, so sharing them across projects is safe)
+// instead of re-parsing. The project-wide indexes are rebuilt either way.
+// prev may be nil.
+func LoadMapIncremental(name string, files map[string]string, prev *Project) *Project {
 	p := &Project{Name: name}
 	paths := make([]string, 0, len(files))
 	for path := range files {
@@ -105,10 +181,38 @@ func LoadMap(name string, files map[string]string) *Project {
 	}
 	sort.Strings(paths)
 	for _, path := range paths {
-		p.addFile(path, files[path])
+		if !p.reuseFile(prev, path, files[path]) {
+			p.addFile(path, files[path])
+		}
 	}
 	p.index()
 	return p
+}
+
+// reuseFile adopts prev's parsed SourceFile for path when the content is
+// byte-identical, re-emitting its parse-degradation diagnostic. Returns
+// false when the file must be parsed fresh.
+func (p *Project) reuseFile(prev *Project, path, src string) bool {
+	if prev == nil {
+		return false
+	}
+	sf := prev.File(path)
+	if sf == nil || sf.Hash != sha256.Sum256([]byte(src)) {
+		return false
+	}
+	if sf.Degraded {
+		for _, e := range sf.ParseErrs {
+			if e.Degraded {
+				p.Diagnostics = append(p.Diagnostics, Diagnostic{
+					File: path, Kind: DiagParseDegraded,
+					Message: e.Msg,
+				})
+				break
+			}
+		}
+	}
+	p.Files = append(p.Files, sf)
+	return true
 }
 
 // DefaultMaxFileSize is the load-time size cap (bytes) applied when
@@ -122,6 +226,10 @@ type LoadOptions struct {
 	// MaxFileSize is the per-file size cap in bytes; 0 means
 	// DefaultMaxFileSize, negative means unlimited.
 	MaxFileSize int64
+	// Prev, when set, enables parse reuse: a file whose bytes hash
+	// identically to the same path in Prev adopts Prev's parsed SourceFile
+	// instead of re-parsing. Used by incremental rescans of the same tree.
+	Prev *Project
 }
 
 func (o LoadOptions) maxFileSize() int64 {
@@ -179,8 +287,23 @@ func LoadDirContext(ctx context.Context, name, dir string, opts LoadOptions) (*P
 			return nil
 		}
 		// WalkDir never descends into directory symlinks, so symlink cycles
-		// cannot recurse; file symlinks are read through os.ReadFile below
-		// and skipped with a diagnostic when broken or self-referential.
+		// cannot recurse. File symlinks are followed through os.Stat /
+		// os.ReadFile below; a symlink pointing at a directory is skipped
+		// silently (it is not a PHP file, and descending would reopen the
+		// cycle risk), and a broken one is diagnosed explicitly.
+		if d.Type()&fs.ModeSymlink != 0 {
+			info, serr := os.Stat(path)
+			if serr != nil {
+				p.Diagnostics = append(p.Diagnostics, Diagnostic{
+					File: rel, Kind: DiagLoadSkipped,
+					Message: fmt.Sprintf("broken symlink: %v", serr),
+				})
+				return nil
+			}
+			if info.IsDir() {
+				return nil
+			}
+		}
 		if sizeCap > 0 {
 			if info, ierr := os.Stat(path); ierr == nil && info.Size() > sizeCap {
 				p.Diagnostics = append(p.Diagnostics, Diagnostic{
@@ -198,7 +321,9 @@ func LoadDirContext(ctx context.Context, name, dir string, opts LoadOptions) (*P
 			})
 			return nil
 		}
-		p.addFile(rel, string(data))
+		if !p.reuseFile(opts.Prev, rel, string(data)) {
+			p.addFile(rel, string(data))
+		}
 		return nil
 	})
 	if err != nil {
@@ -222,6 +347,7 @@ func (p *Project) addFile(path, src string) {
 	sf := &SourceFile{
 		Path:      path,
 		Src:       src,
+		Hash:      sha256.Sum256([]byte(src)),
 		AST:       f,
 		ParseErrs: errs,
 		Lines:     strings.Count(src, "\n") + 1,

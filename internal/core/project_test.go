@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -200,5 +201,98 @@ func TestParseErrorsRecorded(t *testing.T) {
 	}
 	if _, err := eng.Analyze(p); err != nil {
 		t.Errorf("analysis must tolerate parse errors: %v", err)
+	}
+}
+
+// TestLoadDirSymlinks pins the symlink contract of LoadDirContext: a symlink
+// to a regular PHP file is followed and loaded under the symlink's own path,
+// a symlink to a directory is skipped without descending (whether or not its
+// name ends in .php), and a broken symlink becomes a load-skipped diagnostic
+// instead of failing the load.
+func TestLoadDirSymlinks(t *testing.T) {
+	// The symlink targets live outside the scanned root so any file found
+	// under a directory symlink could only have come from descending into it.
+	outside := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(outside, "shared"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for path, src := range map[string]string{
+		"real.php":          `<?php echo $_GET["a"];`,
+		"shared/inner.php":  `<?php echo 1;`,
+		"shared/inner2.php": `<?php echo 2;`,
+	} {
+		if err := os.WriteFile(filepath.Join(outside, filepath.FromSlash(path)), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "plain.php"), []byte(`<?php echo 3;`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	link := func(target, name string) {
+		t.Helper()
+		if err := os.Symlink(target, filepath.Join(dir, name)); err != nil {
+			t.Skipf("symlinks unavailable here: %v", err)
+		}
+	}
+	link(filepath.Join(outside, "real.php"), "alias.php")       // file symlink: followed
+	link(filepath.Join(outside, "shared"), "vendor")            // dir symlink: not descended
+	link(filepath.Join(outside, "shared"), "fake.php")          // dir symlink with a .php name: skipped silently
+	link(filepath.Join(outside, "missing.php"), "dangling.php") // broken: diagnosed
+	link(filepath.Join(dir, "loop"), "loop")                    // self-referential: broken, diagnosed
+
+	p, err := LoadDirContext(context.Background(), "symlinks", dir, LoadOptions{})
+	if err != nil {
+		t.Fatalf("symlinks must never abort the load: %v", err)
+	}
+
+	if p.File("plain.php") == nil {
+		t.Error("regular file missing")
+	}
+	// File symlink: loaded under the symlink's path, with the target's bytes.
+	alias := p.File("alias.php")
+	if alias == nil {
+		t.Fatalf("file symlink not followed; loaded %d files", len(p.Files))
+	}
+	if !strings.Contains(alias.Src, `$_GET["a"]`) {
+		t.Errorf("file symlink loaded wrong content: %q", alias.Src)
+	}
+	// Directory symlinks: nothing under them is loaded, by either name.
+	for _, f := range p.Files {
+		if strings.Contains(f.Path, "inner") {
+			t.Errorf("descended into a directory symlink: loaded %q", f.Path)
+		}
+	}
+	if p.File("fake.php") != nil {
+		t.Error(".php-named directory symlink loaded as a file")
+	}
+	diagFor := func(path string) *Diagnostic {
+		for i := range p.Diagnostics {
+			if p.Diagnostics[i].File == path {
+				return &p.Diagnostics[i]
+			}
+		}
+		return nil
+	}
+	// The .php-named directory symlink resolves fine — it is skipped as a
+	// non-file, not diagnosed as broken.
+	if d := diagFor("fake.php"); d != nil {
+		t.Errorf("resolvable directory symlink should be skipped silently, got %+v", *d)
+	}
+	for _, name := range []string{"dangling.php", "loop"} {
+		d := diagFor(name)
+		if name == "loop" && d == nil {
+			// Only .php entries are examined at all; a non-.php broken
+			// symlink is invisible to the loader, which is fine too.
+			continue
+		}
+		if d == nil || d.Kind != DiagLoadSkipped {
+			t.Errorf("broken symlink %s not diagnosed: %v", name, p.Diagnostics)
+			continue
+		}
+		if !strings.Contains(d.Message, "broken symlink") {
+			t.Errorf("broken symlink %s diagnostic message = %q", name, d.Message)
+		}
 	}
 }

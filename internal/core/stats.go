@@ -32,6 +32,8 @@ type ClassStats struct {
 	// BreakerSkipped counts tasks skipped because the class's circuit
 	// breaker was open.
 	BreakerSkipped int
+	// Reused counts the class's tasks satisfied from the result store.
+	Reused int
 }
 
 // ScanStats is the scan's performance account, carried on Report.Stats.
@@ -60,6 +62,17 @@ type ScanStats struct {
 	TaskRetries    int
 	TasksRecovered int
 	BreakerSkipped int
+	// Incremental-scan account (all zero when no result store is attached).
+	// FingerprintHits counts planned tasks whose fingerprint was present in
+	// the previous snapshot; TasksReused those the hit actually satisfied
+	// (a hit whose entry fails to rebind re-executes, so hits ≥ reused);
+	// FingerprintMisses the planned store lookups that found nothing;
+	// StepsSaved the AST steps the reused entries spent when they originally
+	// executed.
+	TasksReused       int
+	FingerprintHits   int
+	FingerprintMisses int
+	StepsSaved        int64
 	// ByClass breaks the account down per vulnerability class.
 	ByClass map[vuln.ClassID]*ClassStats
 }
@@ -136,6 +149,36 @@ func (c *statsCollector) recordRecovered(id vuln.ClassID) {
 	defer c.mu.Unlock()
 	c.s.TasksRecovered++
 	c.class(id).Recovered++
+}
+
+// recordFingerprintHit accounts one planned task whose fingerprint was found
+// in the previous snapshot.
+func (c *statsCollector) recordFingerprintHit() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.FingerprintHits++
+}
+
+// recordFingerprintMiss accounts one planned task that must execute despite
+// an attached store (no snapshot entry, or one that failed to rebind).
+func (c *statsCollector) recordFingerprintMiss() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.FingerprintMisses++
+}
+
+// recordReused accounts one task satisfied from the result store: steps is
+// the AST-step count the stored execution spent, findings the entry's
+// finding count (folded into the class account exactly as an execution
+// would).
+func (c *statsCollector) recordReused(id vuln.ClassID, steps, findings int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.TasksReused++
+	c.s.StepsSaved += int64(steps)
+	cs := c.class(id)
+	cs.Reused++
+	cs.Findings += findings
 }
 
 // recordBreakerSkip accounts one task skipped by an open circuit breaker.

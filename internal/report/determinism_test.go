@@ -2,12 +2,15 @@ package report
 
 import (
 	"bytes"
+	"context"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/resultstore"
 	"repro/internal/vuln"
 )
 
@@ -112,5 +115,94 @@ func TestStatsInRenderers(t *testing.T) {
 	}
 	if strings.Contains(buf.String(), "Scan statistics") {
 		t.Error("HTML report rendered a statistics section without stats")
+	}
+}
+
+// TestIncrementalByteIdentical pins the merge correctness bar of the
+// incremental planner: a warm store-backed rescan must render byte-identical
+// text, JSON and HTML reports to a cold scan of the same sources — both when
+// nothing changed (every task reused) and after a single-file edit (reused
+// and fresh results spliced together) — at sequential and parallel
+// schedules. Duration and Stats are schedule- and reuse-dependent by design
+// and are normalized away.
+func TestIncrementalByteIdentical(t *testing.T) {
+	app := corpus.WebAppSuite(1)[2]
+	paths := make([]string, 0, len(app.Files))
+	for path := range app.Files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	edited := make(map[string]string, len(app.Files))
+	for path, src := range app.Files {
+		edited[path] = src
+	}
+	// The edit introduces a fresh vulnerability, so the spliced report must
+	// interleave new findings with reused ones, not just echo the baseline.
+	edited[paths[0]] += "\n<?php echo $_GET[\"injected_edit\"]; ?>\n"
+
+	renderAll := func(rep *core.Report) string {
+		rep.Duration = 0
+		rep.Stats = nil
+		var text, html, js bytes.Buffer
+		WriteText(&text, rep, TextOptions{ShowFP: true})
+		if err := WriteJSON(&js, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteHTML(&html, rep); err != nil {
+			t.Fatal(err)
+		}
+		return text.String() + "\n=====\n" + js.String() + "\n=====\n" + html.String()
+	}
+
+	for _, par := range []int{1, 8} {
+		newEngine := func() *core.Engine {
+			e, err := core.New(core.Options{Mode: core.ModeWAPe, Seed: 1, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}
+		cold := func(files map[string]string) string {
+			rep, err := newEngine().Analyze(core.LoadMap(app.Name, files))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return renderAll(rep)
+		}
+
+		store, err := resultstore.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := newEngine()
+		ctx := context.Background()
+		proj := core.LoadMap(app.Name, app.Files)
+		if _, err := eng.AnalyzeContextStore(ctx, proj, store); err != nil {
+			t.Fatal(err)
+		}
+		// Warm, unchanged: every task comes back from the store.
+		warmProj := core.LoadMapIncremental(app.Name, app.Files, proj)
+		warmRep, err := eng.AnalyzeContextStore(ctx, warmProj, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warmRep.Stats == nil || warmRep.Stats.TasksReused == 0 {
+			t.Fatalf("parallelism %d: warm rescan reused nothing; comparison is vacuous", par)
+		}
+		if got, want := renderAll(warmRep), cold(app.Files); got != want {
+			t.Errorf("parallelism %d: warm unchanged rescan differs from cold scan", par)
+		}
+		// Warm, one file edited: reused and fresh results spliced.
+		editProj := core.LoadMapIncremental(app.Name, edited, warmProj)
+		editRep, err := eng.AnalyzeContextStore(ctx, editProj, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if editRep.Stats == nil || editRep.Stats.TasksReused == 0 || editRep.Stats.Tasks == 0 {
+			t.Fatalf("parallelism %d: edited rescan did not mix reuse and execution (stats: %+v)", par, editRep.Stats)
+		}
+		if got, want := renderAll(editRep), cold(edited); got != want {
+			t.Errorf("parallelism %d: warm edited rescan differs from cold scan of edited sources", par)
+		}
 	}
 }

@@ -5,7 +5,9 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/taint"
 )
 
 // Diff compares the confirmed vulnerabilities of two analysis runs —
@@ -78,6 +80,71 @@ func DiffFindings(old, new []GroupedFinding) *Diff {
 		}
 	}
 	return d
+}
+
+// GroupedFromJSON reconstructs grouped findings from a serialized report, so
+// a live scan can be diffed against a JSON baseline (wap -diff, the wapd
+// per-project baseline). Only the fields DiffFindings keys on — group, file,
+// line, sink, FP prediction — are rebuilt; the fabricated findings carry no
+// AST state.
+func GroupedFromJSON(jr *JSONReport) []GroupedFinding {
+	out := make([]GroupedFinding, 0, len(jr.Findings))
+	for _, jf := range jr.Findings {
+		gf := GroupedFinding{
+			Group:       corpus.Group(jf.Group),
+			File:        jf.File,
+			Line:        jf.Line,
+			PredictedFP: jf.PredictedFP,
+		}
+		cand := &taint.Candidate{SinkName: jf.Sink, File: jf.File}
+		gf.Findings = []*core.Finding{{Candidate: cand, PredictedFP: jf.PredictedFP, Weapon: jf.Weapon}}
+		out = append(out, gf)
+	}
+	return out
+}
+
+// JSONDiffEntry is one added or removed finding in a serialized diff.
+type JSONDiffEntry struct {
+	Group string `json:"group"`
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Sink  string `json:"sink,omitempty"`
+}
+
+// JSONDiff is the machine-readable form of a Diff, carried in wapd scan
+// responses when a baseline exists: findings new since the baseline, findings
+// the baseline had that are now gone (fixed), and the persisting count.
+type JSONDiff struct {
+	New        []JSONDiffEntry `json:"new,omitempty"`
+	Fixed      []JSONDiffEntry `json:"fixed,omitempty"`
+	Persisting int             `json:"persisting"`
+	// PerGroup is the per-group count delta (new minus old).
+	PerGroup map[string]int `json:"per_group,omitempty"`
+}
+
+// ToJSONDiff converts a Diff into its machine-readable form.
+func ToJSONDiff(d *Diff) *JSONDiff {
+	entry := func(gf GroupedFinding) JSONDiffEntry {
+		e := JSONDiffEntry{Group: string(gf.Group), File: gf.File, Line: gf.Line}
+		if len(gf.Findings) > 0 {
+			e.Sink = gf.Findings[0].Candidate.SinkName
+		}
+		return e
+	}
+	out := &JSONDiff{Persisting: d.Common}
+	for _, gf := range d.Added {
+		out.New = append(out.New, entry(gf))
+	}
+	for _, gf := range d.Removed {
+		out.Fixed = append(out.Fixed, entry(gf))
+	}
+	if len(d.PerGroup) > 0 {
+		out.PerGroup = make(map[string]int, len(d.PerGroup))
+		for g, n := range d.PerGroup {
+			out.PerGroup[string(g)] = n
+		}
+	}
+	return out
 }
 
 // Render prints the diff in a compact report.

@@ -211,6 +211,11 @@ func WriteHTML(w io.Writer, rep *core.Report) error {
 				"robustness: %d retries, %d tasks recovered, %d tasks skipped by open breakers",
 				s.TaskRetries, s.TasksRecovered, s.BreakerSkipped))
 		}
+		if s.TasksReused > 0 || s.FingerprintHits > 0 || s.FingerprintMisses > 0 {
+			hs.Summary = append(hs.Summary, fmt.Sprintf(
+				"incremental: %d tasks reused, %d fingerprint hits, %d misses, %d AST steps saved",
+				s.TasksReused, s.FingerprintHits, s.FingerprintMisses, s.StepsSaved))
+		}
 		for _, id := range s.ClassIDs() {
 			cs := s.ByClass[id]
 			hs.Classes = append(hs.Classes, htmlClassStats{

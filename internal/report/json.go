@@ -48,25 +48,33 @@ type JSONClassStats struct {
 	Recovered   int    `json:"recovered,omitempty"`
 	// BreakerSkipped counts tasks skipped by the class's open breaker.
 	BreakerSkipped int `json:"breaker_skipped,omitempty"`
+	// Reused counts the class's tasks satisfied from the result store.
+	Reused int `json:"reused,omitempty"`
 }
 
 // JSONScanStats mirrors core.ScanStats. These numbers describe the work the
 // scan performed — they vary with scheduling and caching even though the
 // findings do not, so consumers diffing reports should exclude this object.
 type JSONScanStats struct {
-	Tasks        int              `json:"tasks"`
-	TasksSkipped int              `json:"tasks_skipped"`
-	TotalSteps   int64            `json:"total_steps"`
-	MaxTaskSteps int64            `json:"max_task_steps"`
-	CacheHits    int64            `json:"cache_hits"`
-	CacheMisses  int64            `json:"cache_misses"`
-	CacheEntries int              `json:"cache_entries"`
+	Tasks        int   `json:"tasks"`
+	TasksSkipped int   `json:"tasks_skipped"`
+	TotalSteps   int64 `json:"total_steps"`
+	MaxTaskSteps int64 `json:"max_task_steps"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
 	// TaskRetries / TasksRecovered / BreakerSkipped account the retry
 	// ladder and circuit breakers.
-	TaskRetries    int              `json:"task_retries,omitempty"`
-	TasksRecovered int              `json:"tasks_recovered,omitempty"`
-	BreakerSkipped int              `json:"breaker_skipped,omitempty"`
-	ByClass        []JSONClassStats `json:"by_class,omitempty"`
+	TaskRetries    int `json:"task_retries,omitempty"`
+	TasksRecovered int `json:"tasks_recovered,omitempty"`
+	BreakerSkipped int `json:"breaker_skipped,omitempty"`
+	// Incremental-scan account: tasks satisfied from the result store,
+	// fingerprint lookup traffic, and the AST steps reuse saved.
+	TasksReused       int              `json:"tasks_reused,omitempty"`
+	FingerprintHits   int              `json:"fingerprint_hits,omitempty"`
+	FingerprintMisses int              `json:"fingerprint_misses,omitempty"`
+	StepsSaved        int64            `json:"steps_saved,omitempty"`
+	ByClass           []JSONClassStats `json:"by_class,omitempty"`
 }
 
 // JSONReport is the machine-readable analysis report.
@@ -85,6 +93,10 @@ type JSONReport struct {
 	Degraded    bool             `json:"degraded"`
 	Diagnostics []JSONDiagnostic `json:"diagnostics,omitempty"`
 	Stats       *JSONScanStats   `json:"stats,omitempty"`
+	// Diff compares this scan against a baseline report when one was given
+	// (wap -diff, or a wapd project with an earlier scan). ToJSON leaves it
+	// nil; callers holding a baseline attach it.
+	Diff *JSONDiff `json:"diff,omitempty"`
 }
 
 // ToJSON converts an analysis report into its machine-readable form.
@@ -147,24 +159,28 @@ func ToJSON(rep *core.Report) *JSONReport {
 	}
 	if s := rep.Stats; s != nil {
 		js := &JSONScanStats{
-			Tasks:        s.Tasks,
-			TasksSkipped: s.TasksSkipped,
-			TotalSteps:   s.TotalSteps,
-			MaxTaskSteps: s.MaxTaskSteps,
-			CacheHits:      s.CacheHits,
-			CacheMisses:    s.CacheMisses,
-			CacheEntries:   s.CacheEntries,
-			TaskRetries:    s.TaskRetries,
-			TasksRecovered: s.TasksRecovered,
-			BreakerSkipped: s.BreakerSkipped,
+			Tasks:             s.Tasks,
+			TasksSkipped:      s.TasksSkipped,
+			TotalSteps:        s.TotalSteps,
+			MaxTaskSteps:      s.MaxTaskSteps,
+			CacheHits:         s.CacheHits,
+			CacheMisses:       s.CacheMisses,
+			CacheEntries:      s.CacheEntries,
+			TaskRetries:       s.TaskRetries,
+			TasksRecovered:    s.TasksRecovered,
+			BreakerSkipped:    s.BreakerSkipped,
+			TasksReused:       s.TasksReused,
+			FingerprintHits:   s.FingerprintHits,
+			FingerprintMisses: s.FingerprintMisses,
+			StepsSaved:        s.StepsSaved,
 		}
 		for _, id := range s.ClassIDs() {
 			cs := s.ByClass[id]
 			js.ByClass = append(js.ByClass, JSONClassStats{
-				Class:       string(id),
-				Tasks:       cs.Tasks,
-				Skipped:     cs.Skipped,
-				Steps:       cs.Steps,
+				Class:          string(id),
+				Tasks:          cs.Tasks,
+				Skipped:        cs.Skipped,
+				Steps:          cs.Steps,
 				CacheHits:      cs.CacheHits,
 				CacheMisses:    cs.CacheMisses,
 				WallMS:         cs.Wall.Milliseconds(),
@@ -172,6 +188,7 @@ func ToJSON(rep *core.Report) *JSONReport {
 				Retries:        cs.Retries,
 				Recovered:      cs.Recovered,
 				BreakerSkipped: cs.BreakerSkipped,
+				Reused:         cs.Reused,
 			})
 		}
 		out.Stats = js

@@ -28,6 +28,10 @@ func RenderStats(s *core.ScanStats) string {
 		fmt.Fprintf(&b, "  robustness: %d retries, %d tasks recovered, %d tasks skipped by open breakers\n",
 			s.TaskRetries, s.TasksRecovered, s.BreakerSkipped)
 	}
+	if s.TasksReused > 0 || s.FingerprintHits > 0 || s.FingerprintMisses > 0 {
+		fmt.Fprintf(&b, "  incremental: %d tasks reused, %d fingerprint hits, %d misses, %d AST steps saved\n",
+			s.TasksReused, s.FingerprintHits, s.FingerprintMisses, s.StepsSaved)
+	}
 	if len(s.ByClass) == 0 {
 		return b.String()
 	}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// TextOptions tunes WriteText.
+type TextOptions struct {
+	// ShowFP also lists candidates predicted to be false positives.
+	ShowFP bool
+	// Justify, when set, renders the predictor's reasoning next to each
+	// listed false positive (typically core.Engine.Justify).
+	Justify func(*core.Finding) string
+	// Stats appends the scan-statistics block.
+	Stats bool
+}
+
+// WriteText renders the report as the human-readable terminal listing used
+// by cmd/wap: grouped findings, stored-XSS chains, diagnostics, the summary
+// line and per-group counts. It returns the deduplicated vulnerability and
+// false positive counts so callers can derive exit codes without re-grouping.
+func WriteText(w io.Writer, rep *core.Report, opts TextOptions) (nVuln, nFP int) {
+	grouped := Group(rep)
+	for _, gf := range grouped {
+		if gf.PredictedFP {
+			nFP++
+			if opts.ShowFP {
+				fmt.Fprintf(w, "  [predicted FP] %-6s %s:%d\n", gf.Group, gf.File, gf.Line)
+				if opts.Justify != nil {
+					fmt.Fprintf(w, "                 why: %s\n", opts.Justify(gf.Findings[0]))
+				}
+			}
+			continue
+		}
+		nVuln++
+		f := gf.Findings[0]
+		src := "?"
+		if len(f.Candidate.Value.Sources) > 0 {
+			src = f.Candidate.Value.Sources[0].Name
+		}
+		fmt.Fprintf(w, "  [%s] %s:%d  %s -> %s\n", gf.Group, gf.File, gf.Line, src, f.Candidate.SinkName)
+	}
+	for _, l := range rep.StoredLinks {
+		fmt.Fprintf(w, "  [stored-XSS chain] table %s: write %s:%d -> read %s:%d\n",
+			strings.ToLower(l.Table), l.Write.File, l.Write.SinkPos.Line,
+			l.Read.File, l.Read.SinkPos.Line)
+	}
+
+	if len(rep.Diagnostics) > 0 {
+		fmt.Fprintf(w, "\ndiagnostics (%d) — not analyzed:\n", len(rep.Diagnostics))
+		for _, d := range rep.Diagnostics {
+			fmt.Fprintf(w, "  %s\n", d)
+		}
+	}
+
+	fmt.Fprintf(w, "\n%d vulnerabilities, %d predicted false positives (%.0f ms)\n",
+		nVuln, nFP, float64(rep.Duration.Milliseconds()))
+
+	byGroup := make(map[string]int)
+	for _, gf := range grouped {
+		if !gf.PredictedFP {
+			byGroup[string(gf.Group)]++
+		}
+	}
+	groups := make([]string, 0, len(byGroup))
+	for g := range byGroup {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		fmt.Fprintf(w, "  %-8s %d\n", g, byGroup[g])
+	}
+
+	if opts.Stats {
+		if out := RenderStats(rep.Stats); out != "" {
+			fmt.Fprintf(w, "\n%s", out)
+		}
+	}
+	return nVuln, nFP
+}

@@ -1,0 +1,318 @@
+// Package resultstore persists per-task scan results between runs, keyed by
+// closure fingerprints, so an incremental rescan can reuse the findings of
+// every (file, class) task whose inputs did not change.
+//
+// The store is deliberately dumb: it knows nothing about the engine beyond
+// the serialized schema below. The engine computes the fingerprints (file
+// content hash + reachable-closure hashes + config digest) and decides what
+// is safe to persist; the store only guarantees
+//
+//   - atomicity: snapshots are written via internal/atomicfile, so a crash
+//     mid-save can never leave a truncated store that a later scan would
+//     misread;
+//   - self-invalidation: a snapshot whose format version or config digest
+//     does not match the reader's, or that fails to parse at all, is
+//     discarded wholesale — the caller falls back to a full re-execute,
+//     never a wrong reuse.
+//
+// One snapshot file per project lives under the store directory, named by a
+// hash of the project name so arbitrary names stay filesystem-safe.
+package resultstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/atomicfile"
+)
+
+// FormatVersion is the on-disk schema version. Any change to the types below
+// that is not strictly additive must bump it; readers discard snapshots
+// written under a different version.
+const FormatVersion = 1
+
+// LoadStatus reports how a Load call was satisfied. Anything but LoadHit
+// means the caller starts from an empty snapshot (full re-execute).
+type LoadStatus string
+
+// Load outcomes.
+const (
+	LoadHit             LoadStatus = "hit"
+	LoadMiss            LoadStatus = "miss"
+	LoadCorrupt         LoadStatus = "corrupt"
+	LoadVersionMismatch LoadStatus = "version-mismatch"
+	LoadDigestMismatch  LoadStatus = "digest-mismatch"
+)
+
+// Position is a serialized token.Position.
+type Position struct {
+	File   string `json:"file,omitempty"`
+	Offset int    `json:"offset"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+}
+
+// NodeRef addresses one AST node of the scanned project: the path of the
+// file whose AST contains it plus the node's index in a deterministic
+// preorder walk of that file. Because a task is only reused when every file
+// in its closure is byte-identical, the re-parsed AST is identical and the
+// index resolves to the same node. Index -1 encodes a nil node.
+type NodeRef struct {
+	File  string `json:"file,omitempty"`
+	Index int    `json:"index"`
+}
+
+// Source is a serialized taint.Source.
+type Source struct {
+	Name string   `json:"name"`
+	Pos  Position `json:"pos"`
+}
+
+// Step is a serialized taint.Step.
+type Step struct {
+	Pos  Position `json:"pos"`
+	Desc string   `json:"desc"`
+	Node NodeRef  `json:"node"`
+}
+
+// Value is a serialized taint.Value.
+type Value struct {
+	Tainted    bool     `json:"tainted"`
+	Sources    []Source `json:"sources,omitempty"`
+	Sanitizers []string `json:"sanitizers,omitempty"`
+	Trace      []Step   `json:"trace,omitempty"`
+}
+
+// Finding is one serialized engine finding: the candidate, its symptom set
+// and the predictor's verdict.
+type Finding struct {
+	Class         string          `json:"class"`
+	SinkName      string          `json:"sink"`
+	SinkPos       Position        `json:"sink_pos"`
+	SinkCall      NodeRef         `json:"sink_call"`
+	ArgIndex      int             `json:"arg_index"`
+	TaintedExpr   NodeRef         `json:"tainted_expr"`
+	Value         Value           `json:"value"`
+	EnclosingFunc string          `json:"enclosing_func,omitempty"`
+	File          string          `json:"file"`
+	Symptoms      map[string]bool `json:"symptoms,omitempty"`
+	PredictedFP   bool            `json:"predicted_fp"`
+	Votes         []bool          `json:"votes,omitempty"`
+	Weapon        string          `json:"weapon,omitempty"`
+}
+
+// TaskEntry is the persisted result of one cleanly completed (file, class)
+// task. Faulted, retried and breaker-skipped tasks are never persisted (the
+// engine enforces that before Save), so an entry always represents a full,
+// un-degraded analysis of its inputs.
+type TaskEntry struct {
+	File  string `json:"file"`
+	Class string `json:"class"`
+	// Steps is the AST-step count the task spent when it was executed,
+	// carried so reuse can account the work it saved.
+	Steps    int       `json:"steps"`
+	Findings []Finding `json:"findings,omitempty"`
+}
+
+// Snapshot is one project's persisted scan state: every reusable task entry
+// keyed by its closure fingerprint, under the config digest the entries were
+// produced with.
+type Snapshot struct {
+	Version      int    `json:"version"`
+	Project      string `json:"project"`
+	ConfigDigest string `json:"config_digest"`
+	// Tasks maps fingerprint (hex) to the persisted task result.
+	Tasks map[string]*TaskEntry `json:"tasks"`
+}
+
+// NewSnapshot returns an empty snapshot for the project/digest pair.
+func NewSnapshot(project, configDigest string) *Snapshot {
+	return &Snapshot{
+		Version:      FormatVersion,
+		Project:      project,
+		ConfigDigest: configDigest,
+		Tasks:        make(map[string]*TaskEntry),
+	}
+}
+
+// Store is a directory of per-project snapshots. A Store is safe for
+// concurrent use; concurrent saves of the same project serialize and the
+// last writer wins (each save rewrites the whole snapshot).
+//
+// Snapshots handed to Save or returned by Load must be treated as immutable
+// afterwards: the store keeps the last snapshot it read or wrote per project
+// and hands it back from Load while the file on disk is unchanged, so a
+// long-lived process rescanning the same project skips the JSON decode.
+type Store struct {
+	dir   string
+	mu    sync.Mutex
+	cache map[string]*cachedSnapshot
+	// encCache holds, per project, the serialized bytes of each task entry
+	// written by the last Save, keyed by entry pointer. Incremental saves
+	// re-persist most entries verbatim (the engine shares the pointers), so
+	// their bytes are spliced instead of re-marshaled. Replaced wholesale
+	// each Save, so dropped entries don't accumulate.
+	encCache map[string]map[*TaskEntry]json.RawMessage
+}
+
+// cachedSnapshot pairs an in-memory snapshot with the file stat observed
+// when it last matched disk; a stat change (out-of-process write) drops it.
+type cachedSnapshot struct {
+	snap  *Snapshot
+	size  int64
+	mtime time.Time
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: open %s: %w", dir, err)
+	}
+	return &Store{
+		dir:      dir,
+		cache:    make(map[string]*cachedSnapshot),
+		encCache: make(map[string]map[*TaskEntry]json.RawMessage),
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a project name to its snapshot file. The name is hashed so
+// project names with separators or other hostile characters cannot escape
+// the store directory.
+func (s *Store) path(project string) string {
+	sum := sha256.Sum256([]byte(project))
+	return filepath.Join(s.dir, fmt.Sprintf("%x.json", sum[:16]))
+}
+
+// Load reads the project's snapshot. It never fails the scan: a missing,
+// unreadable, corrupt, wrong-version or wrong-digest snapshot returns a nil
+// snapshot with the reason, and the caller re-executes everything.
+func (s *Store) Load(project, configDigest string) (*Snapshot, LoadStatus) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.path(project)
+	fi, err := os.Stat(path)
+	if err != nil {
+		delete(s.cache, project)
+		return nil, LoadMiss
+	}
+	if c := s.cache[project]; c != nil && c.size == fi.Size() && c.mtime.Equal(fi.ModTime()) {
+		if c.snap.Version != FormatVersion {
+			return nil, LoadVersionMismatch
+		}
+		if c.snap.ConfigDigest != configDigest {
+			return nil, LoadDigestMismatch
+		}
+		return c.snap, LoadHit
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, LoadMiss
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, LoadCorrupt
+	}
+	if snap.Version != FormatVersion {
+		return nil, LoadVersionMismatch
+	}
+	if snap.Tasks == nil {
+		snap.Tasks = make(map[string]*TaskEntry)
+	}
+	// Cache on the stat taken before the read: if a concurrent writer
+	// replaced the file in between, the recorded stat will not match the
+	// new file and the next Load re-reads.
+	s.cache[project] = &cachedSnapshot{snap: &snap, size: fi.Size(), mtime: fi.ModTime()}
+	if snap.ConfigDigest != configDigest {
+		return nil, LoadDigestMismatch
+	}
+	return &snap, LoadHit
+}
+
+// Save atomically replaces the project's snapshot. The write is whole-file:
+// entries for fingerprints not in snap (stale file versions, removed files)
+// are dropped, so the store self-prunes as the project evolves.
+func (s *Store) Save(snap *Snapshot) error {
+	if snap.Version == 0 {
+		snap.Version = FormatVersion
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := s.encode(snap)
+	if err != nil {
+		return fmt.Errorf("resultstore: encode %s: %w", snap.Project, err)
+	}
+	path := s.path(snap.Project)
+	// No fsync: the store is a cache. A crash that loses or tears the
+	// snapshot costs the next scan its warm start (torn reads parse as
+	// corrupt and fall back to a full re-execute), never correctness.
+	if err := atomicfile.WriteFileNoSync(path, data, 0o644); err != nil {
+		return fmt.Errorf("resultstore: save %s: %w", snap.Project, err)
+	}
+	if fi, err := os.Stat(path); err == nil {
+		s.cache[snap.Project] = &cachedSnapshot{snap: snap, size: fi.Size(), mtime: fi.ModTime()}
+	} else {
+		delete(s.cache, snap.Project)
+	}
+	return nil
+}
+
+// encode serializes the snapshot, splicing the bytes of entries unchanged
+// since the last Save (pointer-identical) instead of re-marshaling them. The
+// assembled document is byte-compatible with json.Marshal of Snapshot:
+// fingerprint keys are hex (no escaping concerns) and emitted sorted, as
+// encoding/json sorts map keys. Caller holds s.mu.
+func (s *Store) encode(snap *Snapshot) ([]byte, error) {
+	prev := s.encCache[snap.Project]
+	next := make(map[*TaskEntry]json.RawMessage, len(snap.Tasks))
+	fps := make([]string, 0, len(snap.Tasks))
+	for fp := range snap.Tasks {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+
+	var buf bytes.Buffer
+	head, err := json.Marshal(struct {
+		Version      int    `json:"version"`
+		Project      string `json:"project"`
+		ConfigDigest string `json:"config_digest"`
+	}{snap.Version, snap.Project, snap.ConfigDigest})
+	if err != nil {
+		return nil, err
+	}
+	buf.Write(head[:len(head)-1]) // drop the closing brace; tasks follow
+	buf.WriteString(`,"tasks":{`)
+	for i, fp := range fps {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		key, err := json.Marshal(fp)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(key)
+		buf.WriteByte(':')
+		entry := snap.Tasks[fp]
+		raw, ok := prev[entry]
+		if !ok {
+			raw, err = json.Marshal(entry)
+			if err != nil {
+				return nil, err
+			}
+		}
+		buf.Write(raw)
+		next[entry] = raw
+	}
+	buf.WriteString("}}")
+	s.encCache[snap.Project] = next
+	return buf.Bytes(), nil
+}

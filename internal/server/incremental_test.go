@@ -1,0 +1,146 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/resultstore"
+	"repro/internal/vuln"
+)
+
+// taskLog records every (file, class) task the engine actually executes, so
+// tests can tell reuse (no execution) from re-analysis.
+type taskLog struct {
+	mu    sync.Mutex
+	tasks []string
+}
+
+func (l *taskLog) hook(file string, class vuln.ClassID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tasks = append(l.tasks, file+"|"+string(class))
+}
+
+func (l *taskLog) reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tasks = nil
+}
+
+func (l *taskLog) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.tasks)
+}
+
+// TestIncrementalScanReuseAndDiff drives the wapd incremental flow end to
+// end: the first incremental scan of a project is a cold full scan with no
+// diff, a repeat scan reuses every task from the store and diffs clean
+// against the baseline, and a scan after an edit re-executes only what
+// changed and reports the fix in the diff block.
+func TestIncrementalScanReuseAndDiff(t *testing.T) {
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &taskLog{}
+	_, hs := newTestServer(t, Config{Engine: testEngine(t, log.hook), Store: store})
+
+	files := map[string]string{
+		"page.php":  xssPage,
+		"clean.php": `<?php echo "static";`,
+	}
+	req := ScanRequest{Name: "incr-test", Files: files, Incremental: true}
+
+	// Cold scan: everything executes, no baseline yet means no diff.
+	resp, out := postScan(t, hs.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if out.Report == nil || out.Report.Vulnerabilities != 1 {
+		t.Fatalf("cold scan report = %+v, want 1 vulnerability", out.Report)
+	}
+	if out.Diff != nil {
+		t.Errorf("cold scan carried a diff: %+v", out.Diff)
+	}
+	if log.count() == 0 {
+		t.Fatal("cold scan executed no tasks")
+	}
+
+	// Warm repeat: every task comes from the store, findings are unchanged,
+	// and the diff against the baseline is all-persisting.
+	log.reset()
+	resp, warm := postScan(t, hs.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if warm.Report == nil || warm.Report.Vulnerabilities != 1 {
+		t.Fatalf("warm scan report = %+v, want 1 vulnerability", warm.Report)
+	}
+	if n := log.count(); n != 0 {
+		t.Errorf("warm scan executed %d tasks, want 0", n)
+	}
+	if warm.Report.Stats == nil || warm.Report.Stats.TasksReused == 0 {
+		t.Errorf("warm scan stats carry no reuse: %+v", warm.Report.Stats)
+	}
+	if warm.Diff == nil {
+		t.Fatal("warm scan carried no diff despite a baseline")
+	}
+	if len(warm.Diff.New) != 0 || len(warm.Diff.Fixed) != 0 || warm.Diff.Persisting != 1 {
+		t.Errorf("warm diff = %+v, want 1 persisting, nothing new or fixed", warm.Diff)
+	}
+
+	// Fix the vulnerable page: only its tasks re-execute, and the diff
+	// reports the finding as fixed.
+	log.reset()
+	fixed := ScanRequest{
+		Name:        "incr-test",
+		Files:       map[string]string{"page.php": `<?php echo "safe";`, "clean.php": files["clean.php"]},
+		Incremental: true,
+	}
+	resp, after := postScan(t, hs.URL, fixed)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if after.Report == nil || after.Report.Vulnerabilities != 0 {
+		t.Fatalf("post-fix report = %+v, want 0 vulnerabilities", after.Report)
+	}
+	if n := log.count(); n != 1 {
+		t.Errorf("post-fix scan executed %d tasks, want 1 (page.php only)", n)
+	}
+	if after.Diff == nil {
+		t.Fatal("post-fix scan carried no diff")
+	}
+	if len(after.Diff.Fixed) != 1 || len(after.Diff.New) != 0 {
+		t.Errorf("post-fix diff = %+v, want exactly 1 fixed", after.Diff)
+	}
+}
+
+// TestNonIncrementalScanCarriesNoDiff checks that plain requests neither
+// read the store nor pick up another project's baseline machinery.
+func TestNonIncrementalScanCarriesNoDiff(t *testing.T) {
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &taskLog{}
+	_, hs := newTestServer(t, Config{Engine: testEngine(t, log.hook), Store: store})
+	req := ScanRequest{Name: "plain", Files: map[string]string{"a.php": xssPage}}
+
+	_, first := postScan(t, hs.URL, req)
+	if first.Diff != nil {
+		t.Errorf("non-incremental scan carried a diff: %+v", first.Diff)
+	}
+	log.reset()
+	_, second := postScan(t, hs.URL, req)
+	if second.Diff != nil {
+		t.Errorf("repeat non-incremental scan carried a diff: %+v", second.Diff)
+	}
+	if log.count() == 0 {
+		t.Error("non-incremental repeat reused tasks; it must re-execute")
+	}
+	if second.Report.Stats != nil && second.Report.Stats.TasksReused != 0 {
+		t.Errorf("non-incremental scan reused %d tasks", second.Report.Stats.TasksReused)
+	}
+}

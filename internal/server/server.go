@@ -32,6 +32,7 @@ import (
 	"repro/internal/atomicfile"
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/resultstore"
 )
 
 // Defaults applied by New when the corresponding Config field is zero.
@@ -70,6 +71,10 @@ type Config struct {
 	ReportDir string
 	// RetryAfter is the hint returned with 429 responses.
 	RetryAfter time.Duration
+	// Store, when set, backs incremental scan requests: jobs with
+	// "incremental": true reuse the store's per-task results and persist
+	// their own. Requests without the field never touch the store.
+	Store *resultstore.Store
 }
 
 // ScanRequest is the body of POST /scan. Exactly one of Dir and Files must
@@ -86,6 +91,12 @@ type ScanRequest struct {
 	// default; values above the server max are capped. On expiry the job
 	// returns the partial report analyzed so far, flagged degraded.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Incremental opts the job into per-project reuse: parsed files and
+	// per-task results from this project's previous complete scan are reused
+	// where fingerprints match (via Config.Store when set), and the response
+	// carries a diff against that baseline. Findings are byte-identical to a
+	// full scan either way.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // ScanResponse is the body of a completed scan.
@@ -98,6 +109,9 @@ type ScanResponse struct {
 	// Error is set when the job failed outright (bad directory) or was cut
 	// short (deadline, drain); a partial Report may accompany it.
 	Error string `json:"error,omitempty"`
+	// Diff compares this scan to the project's previous complete scan. Only
+	// incremental jobs of a project with an existing baseline carry it.
+	Diff *report.JSONDiff `json:"diff,omitempty"`
 }
 
 type job struct {
@@ -132,6 +146,20 @@ type Server struct {
 	forceCtx    context.Context
 	forceCancel context.CancelFunc
 	wg          sync.WaitGroup
+
+	// baselines holds, per project name, the last complete scan of an
+	// incremental job: its report (for the response diff) and its parsed
+	// project (so the next scan reuses ASTs of unchanged files). Only
+	// error-free, non-degraded scans become baselines — a partial report
+	// would make every missing finding look "fixed" in the next diff.
+	baseMu    sync.Mutex
+	baselines map[string]*baseline
+}
+
+// baseline is one project's previous complete scan.
+type baseline struct {
+	rep  *report.JSONReport
+	proj *core.Project
 }
 
 // New builds a server, applies defaults, and starts its worker pool.
@@ -157,7 +185,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
-	s := &Server{cfg: cfg, queue: make(chan *job, cfg.QueueDepth)}
+	s := &Server{cfg: cfg, queue: make(chan *job, cfg.QueueDepth), baselines: make(map[string]*baseline)}
 	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/scan", s.handleScan)
@@ -272,13 +300,30 @@ func (s *Server) runJob(j *job) {
 	defer cancelTimeout()
 
 	resp := &ScanResponse{ID: j.id, QueueMS: time.Since(j.enqueued).Milliseconds()}
-	proj, err := s.loadProject(ctx, j.req)
+
+	// Incremental jobs pick up the project's previous scan: its parsed files
+	// feed parse reuse, its report feeds the response diff, and the result
+	// store (when configured) feeds per-task reuse.
+	var prev *baseline
+	var store *resultstore.Store
+	if j.req.Incremental {
+		s.baseMu.Lock()
+		prev = s.baselines[projName(j.req)]
+		s.baseMu.Unlock()
+		store = s.cfg.Store
+	}
+	var prevProj *core.Project
+	if prev != nil {
+		prevProj = prev.proj
+	}
+
+	proj, err := s.loadProject(ctx, j.req, prevProj)
 	if err != nil {
 		resp.Error = err.Error()
 		j.done <- resp
 		return
 	}
-	rep, err := s.cfg.Engine.AnalyzeContext(ctx, proj)
+	rep, err := s.cfg.Engine.AnalyzeContextStore(ctx, proj, store)
 	if err != nil {
 		// A deadline or cancellation mid-scan still carries the partial
 		// report; anything without one is a hard failure.
@@ -289,24 +334,41 @@ func (s *Server) runJob(j *job) {
 		}
 	}
 	resp.Report = report.ToJSON(rep)
+	if prev != nil {
+		d := report.DiffFindings(report.GroupedFromJSON(prev.rep), report.Group(rep))
+		resp.Diff = report.ToJSONDiff(d)
+	}
+	if j.req.Incremental && err == nil && !rep.Degraded() {
+		s.baseMu.Lock()
+		s.baselines[projName(j.req)] = &baseline{rep: resp.Report, proj: proj}
+		s.baseMu.Unlock()
+	}
 	s.persistReport(j.id, resp.Report)
 	j.done <- resp
 }
 
-// loadProject builds the job's project from its directory or uploaded tree.
-func (s *Server) loadProject(ctx context.Context, req ScanRequest) (*core.Project, error) {
+// projName is the baseline key: the report label the job will carry.
+func projName(req ScanRequest) string {
+	if req.Name != "" {
+		return req.Name
+	}
 	if req.Dir != "" {
-		name := req.Name
-		if name == "" {
-			name = filepath.Base(req.Dir)
-		}
-		return core.LoadDirContext(ctx, name, req.Dir, s.cfg.LoadOptions)
+		return filepath.Base(req.Dir)
 	}
-	name := req.Name
-	if name == "" {
-		name = "upload"
+	return "upload"
+}
+
+// loadProject builds the job's project from its directory or uploaded tree.
+// prev, when non-nil, is the project of the previous scan under the same
+// name: files whose content hash is unchanged adopt its parsed ASTs.
+func (s *Server) loadProject(ctx context.Context, req ScanRequest, prev *core.Project) (*core.Project, error) {
+	name := projName(req)
+	if req.Dir != "" {
+		lo := s.cfg.LoadOptions
+		lo.Prev = prev
+		return core.LoadDirContext(ctx, name, req.Dir, lo)
 	}
-	return core.LoadMap(name, req.Files), nil
+	return core.LoadMapIncremental(name, req.Files, prev), nil
 }
 
 // persistReport writes the report artifact atomically, so a crash or a
