@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-compare wapd serve fuzz-smoke
+.PHONY: all build test race vet lint bench bench-compare bench-smoke wapd serve fuzz-smoke
 
 all: build vet test
 
@@ -39,12 +39,19 @@ lint:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipped (CI runs it)"; fi
 
-# Run the analysis benchmarks and append one entry to the bench trajectory
-# (BENCH_analyze.json, JSON lines — appended, never overwritten).
+# Run the analysis + front-end benchmarks and append one entry to the bench
+# trajectory (BENCH_analyze.json, JSON lines — appended, never overwritten).
+# -benchmem makes benchtrend record B/op and allocs/op alongside ns/op.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkAnalyzeApp' -benchmem . | $(GO) run ./cmd/benchtrend -file BENCH_analyze.json
+	$(GO) test -run '^$$' -bench 'BenchmarkAnalyzeApp|BenchmarkLoadDir|BenchmarkLexFile|BenchmarkParseFile' -benchmem . | $(GO) run ./cmd/benchtrend -file BENCH_analyze.json
 
-# Diff the last two trajectory entries; fails on a >10% slowdown of any
-# benchmark and prints the incremental cold/warm speedup ratio.
+# Diff the last two trajectory entries; fails on a >10% regression of any
+# benchmark in any recorded dimension (ns/op, B/op, allocs/op) and prints the
+# incremental cold/warm speedup ratio.
 bench-compare:
 	$(GO) run ./cmd/benchtrend -compare -file BENCH_analyze.json
+
+# One-iteration smoke over every benchmark: catches benchmark code rot
+# without holding the pipeline (mirrored in CI).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x .

@@ -10,6 +10,8 @@ package main_test
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/ml"
+	"repro/internal/php/lexer"
 	"repro/internal/php/parser"
 	"repro/internal/resultstore"
 	"repro/internal/symptom"
@@ -160,6 +163,76 @@ func BenchmarkFig5VulnsByClass(b *testing.B) {
 // benchApp is a mid-sized generated application reused across benches.
 func benchApp() *corpus.App {
 	return corpus.WebAppSuite(experiments.DefaultSeed)[16] // vfront, the largest
+}
+
+// benchFile returns the largest source file of the benchmark app — the
+// shared input of the single-file front-end benchmarks.
+func benchFile() (path, src string) {
+	for p, s := range benchApp().Files {
+		if len(s) > len(src) || (len(s) == len(src) && p < path) {
+			path, src = p, s
+		}
+	}
+	return path, src
+}
+
+// BenchmarkLexFile isolates the lexer: one file scanned to EOF per iteration.
+// Allocation figures are the front end's diet account — `make bench-compare`
+// gates on allocs/op and B/op as well as time.
+func BenchmarkLexFile(b *testing.B) {
+	path, src := benchFile()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		toks, _ := lexer.Tokens(path, src)
+		if len(toks) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}
+
+// BenchmarkParseFile isolates lex+parse of a single file: the unit of work
+// the parallel loader distributes across its worker pool.
+func BenchmarkParseFile(b *testing.B) {
+	path, src := benchFile()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, _ := parser.Parse(path, src)
+		if f == nil {
+			b.Fatal("nil ast")
+		}
+	}
+}
+
+// BenchmarkLoadDir measures the full directory front end — walk, read, hash,
+// lex, parse, index — over an on-disk Play_sms-scale tree with default
+// loader parallelism.
+func BenchmarkLoadDir(b *testing.B) {
+	app := incrementalBenchApp()
+	dir := b.TempDir()
+	for path, src := range app.Files {
+		full := filepath.Join(dir, path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proj, err := core.LoadDir(app.Name, dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(proj.Files) != len(app.Files) {
+			b.Fatalf("loaded %d files, want %d", len(proj.Files), len(app.Files))
+		}
+	}
 }
 
 func BenchmarkParser(b *testing.B) {

@@ -5,13 +5,15 @@
 // pair of numbers.
 //
 // Append mode (the default) reads `go test -bench` output on stdin, echoes
-// it through unchanged, and appends one entry recording the ns/op of every
-// benchmark in the run:
+// it through unchanged, and appends one entry recording the ns/op — and, when
+// the run used -benchmem, the B/op and allocs/op — of every benchmark in the
+// run:
 //
 //	go test -run '^$' -bench . -benchmem . | benchtrend -file BENCH_analyze.json
 //
 // Compare mode diffs the last two entries and exits non-zero when any
-// benchmark slowed down by more than -threshold (default 10%):
+// benchmark got slower — or allocation-heavier — by more than -threshold
+// (default 10%):
 //
 //	benchtrend -compare -file BENCH_analyze.json
 package main
@@ -37,27 +39,65 @@ type entry struct {
 	Go   string `json:"go"`
 	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to ns/op.
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	// BytesPerOp / AllocsPerOp record the -benchmem memory dimensions for
+	// benchmarks that reported them. Absent on entries predating the schema.
+	BytesPerOp  map[string]float64 `json:"bytes_op,omitempty"`
+	AllocsPerOp map[string]float64 `json:"allocs_op,omitempty"`
 }
 
 // benchLine matches one result line of `go test -bench` output, e.g.
 //
-//	BenchmarkAnalyzeApp-8   	     142	   8441385 ns/op	 2031 B/op ...
+//	BenchmarkAnalyzeApp-8   	     142	   8441385 ns/op	 2031 B/op	 12 allocs/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
 
+// memLine extracts the -benchmem columns wherever they appear in the line
+// (custom metrics such as MB/s or lines may sit between ns/op and B/op).
+var (
+	bytesCol  = regexp.MustCompile(`\s([\d.]+) B/op`)
+	allocsCol = regexp.MustCompile(`\s([\d.]+) allocs/op`)
+)
+
+// benchRun holds every dimension parsed from one bench invocation.
+type benchRun struct {
+	ns     map[string]float64
+	bytes  map[string]float64
+	allocs map[string]float64
+}
+
 // parseBench scans bench output from r, echoing every line to echo, and
-// returns ns/op per benchmark name. A benchmark that ran more than once
-// keeps its last result.
-func parseBench(r io.Reader, echo io.Writer) (map[string]float64, error) {
-	out := make(map[string]float64)
+// returns the ns/op (plus B/op and allocs/op when present) per benchmark
+// name. A benchmark that ran more than once keeps its last result.
+func parseBench(r io.Reader, echo io.Writer) (benchRun, error) {
+	out := benchRun{
+		ns:     make(map[string]float64),
+		bytes:  make(map[string]float64),
+		allocs: make(map[string]float64),
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Fprintln(echo, line)
-		if m := benchLine.FindStringSubmatch(line); m != nil {
-			var ns float64
-			if _, err := fmt.Sscanf(m[2], "%g", &ns); err == nil {
-				out[m[1]] = ns
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		var ns float64
+		if _, err := fmt.Sscanf(m[2], "%g", &ns); err != nil {
+			continue
+		}
+		out.ns[name] = ns
+		if bm := bytesCol.FindStringSubmatch(line); bm != nil {
+			var v float64
+			if _, err := fmt.Sscanf(bm[1], "%g", &v); err == nil {
+				out.bytes[name] = v
+			}
+		}
+		if am := allocsCol.FindStringSubmatch(line); am != nil {
+			var v float64
+			if _, err := fmt.Sscanf(am[1], "%g", &v); err == nil {
+				out.allocs[name] = v
 			}
 		}
 	}
@@ -104,9 +144,41 @@ func readTrajectory(path string) ([]entry, error) {
 	return out, nil
 }
 
+// compareDim diffs one dimension (ns/op, B/op or allocs/op) of the last two
+// entries, printing a delta line per benchmark and reporting whether any
+// regressed beyond threshold (fractional, e.g. 0.10 = 10% worse). Benchmarks
+// absent from the previous entry — new benchmarks, or entries predating the
+// memory-dimension schema — are reported but never count as regressions.
+func compareDim(unit string, prev, last map[string]float64, threshold float64, w io.Writer) (regressed bool) {
+	names := make([]string, 0, len(last))
+	for name := range last {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		now := last[name]
+		old, ok := prev[name]
+		if !ok {
+			fmt.Fprintf(w, "  %-44s %12.0f %s  (new)\n", name, now, unit)
+			continue
+		}
+		delta := 0.0
+		if old > 0 {
+			delta = (now - old) / old
+		}
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "  %-44s %12.0f %s  %+6.1f%%%s\n", name, now, unit, delta*100, mark)
+	}
+	return regressed
+}
+
 // compare prints the per-benchmark delta between the last two trajectory
-// entries and reports whether any benchmark regressed beyond threshold
-// (fractional, e.g. 0.10 = 10% slower).
+// entries — time and, when recorded, memory dimensions — and reports whether
+// any benchmark regressed beyond threshold.
 func compare(entries []entry, threshold float64, w io.Writer) (regressed bool) {
 	if len(entries) < 2 {
 		fmt.Fprintf(w, "benchtrend: need at least two trajectory entries to compare (have %d)\n", len(entries))
@@ -114,25 +186,14 @@ func compare(entries []entry, threshold float64, w io.Writer) (regressed bool) {
 	}
 	prev, last := entries[len(entries)-2], entries[len(entries)-1]
 	fmt.Fprintf(w, "comparing %s -> %s\n", prev.Date, last.Date)
-	names := make([]string, 0, len(last.Benchmarks))
-	for name := range last.Benchmarks {
-		names = append(names, name)
+	regressed = compareDim("ns/op", prev.Benchmarks, last.Benchmarks, threshold, w)
+	if len(last.BytesPerOp) > 0 {
+		fmt.Fprintln(w, "memory (B/op):")
+		regressed = compareDim("B/op", prev.BytesPerOp, last.BytesPerOp, threshold, w) || regressed
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		now := last.Benchmarks[name]
-		old, ok := prev.Benchmarks[name]
-		if !ok {
-			fmt.Fprintf(w, "  %-44s %12.0f ns/op  (new)\n", name, now)
-			continue
-		}
-		delta := (now - old) / old
-		mark := ""
-		if delta > threshold {
-			mark = "  REGRESSION"
-			regressed = true
-		}
-		fmt.Fprintf(w, "  %-44s %12.0f ns/op  %+6.1f%%%s\n", name, now, delta*100, mark)
+	if len(last.AllocsPerOp) > 0 {
+		fmt.Fprintln(w, "allocations (allocs/op):")
+		regressed = compareDim("allocs/op", prev.AllocsPerOp, last.AllocsPerOp, threshold, w) || regressed
 	}
 	// The incremental-scan acceptance ratio, when both sides are present.
 	cold, okc := last.Benchmarks["BenchmarkAnalyzeAppIncrementalCold"]
@@ -164,12 +225,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer, now func() ti
 		}
 		return 0
 	}
-	benches, err := parseBench(stdin, stdout)
+	res, err := parseBench(stdin, stdout)
 	if err != nil {
 		fmt.Fprintf(stderr, "benchtrend: read bench output: %v\n", err)
 		return 2
 	}
-	if len(benches) == 0 {
+	if len(res.ns) == 0 {
 		fmt.Fprintln(stderr, "benchtrend: no benchmark results on stdin; trajectory unchanged")
 		return 2
 	}
@@ -177,12 +238,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer, now func() ti
 	if when == "" {
 		when = now().UTC().Format(time.RFC3339)
 	}
-	e := entry{Date: when, Go: runtime.Version(), Benchmarks: benches}
+	e := entry{Date: when, Go: runtime.Version(), Benchmarks: res.ns}
+	if len(res.bytes) > 0 {
+		e.BytesPerOp = res.bytes
+	}
+	if len(res.allocs) > 0 {
+		e.AllocsPerOp = res.allocs
+	}
 	if err := appendEntry(*file, e); err != nil {
 		fmt.Fprintf(stderr, "benchtrend: append %s: %v\n", *file, err)
 		return 2
 	}
-	fmt.Fprintf(stderr, "benchtrend: recorded %d benchmarks in %s\n", len(benches), *file)
+	fmt.Fprintf(stderr, "benchtrend: recorded %d benchmarks in %s\n", len(res.ns), *file)
 	return 0
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,13 +34,70 @@ func TestParseBenchEchoesAndExtracts(t *testing.T) {
 		"BenchmarkAnalyzeAppIncrementalCold": 125000298,
 		"BenchmarkAnalyzeAppIncremental":     7250100,
 	}
-	if len(got) != len(want) {
-		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	if len(got.ns) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got.ns), len(want), got.ns)
 	}
 	for name, ns := range want {
-		if got[name] != ns {
-			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		if got.ns[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got.ns[name], ns)
 		}
+	}
+	// Memory dimensions: only BenchmarkAnalyzeApp reported them.
+	if got.bytes["BenchmarkAnalyzeApp"] != 203144 {
+		t.Errorf("B/op = %v, want 203144", got.bytes["BenchmarkAnalyzeApp"])
+	}
+	if got.allocs["BenchmarkAnalyzeApp"] != 3021 {
+		t.Errorf("allocs/op = %v, want 3021", got.allocs["BenchmarkAnalyzeApp"])
+	}
+	if len(got.bytes) != 1 || len(got.allocs) != 1 {
+		t.Errorf("memory dimensions parsed for %d/%d benchmarks, want 1/1", len(got.bytes), len(got.allocs))
+	}
+}
+
+// TestParseBenchCustomMetrics pins the column extraction against lines where
+// MB/s or custom b.ReportMetric units sit between ns/op and the -benchmem
+// columns.
+func TestParseBenchCustomMetrics(t *testing.T) {
+	const out = `BenchmarkLargeAppThroughput-8   5   200000 ns/op   55.2 MB/s   12000 lines   8832 B/op   77 allocs/op
+`
+	got, err := parseBench(strings.NewReader(out), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ns["BenchmarkLargeAppThroughput"] != 200000 {
+		t.Errorf("ns/op = %v, want 200000", got.ns["BenchmarkLargeAppThroughput"])
+	}
+	if got.bytes["BenchmarkLargeAppThroughput"] != 8832 {
+		t.Errorf("B/op = %v, want 8832", got.bytes["BenchmarkLargeAppThroughput"])
+	}
+	if got.allocs["BenchmarkLargeAppThroughput"] != 77 {
+		t.Errorf("allocs/op = %v, want 77", got.allocs["BenchmarkLargeAppThroughput"])
+	}
+}
+
+// TestCompareFlagsAllocRegression proves the memory dimensions gate: a run
+// whose allocs/op grew >threshold fails -compare even when ns/op improved.
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "trend.json")
+	now := func() time.Time { return time.Unix(0, 0) }
+	appendRun := func(out string) {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-file", file}, strings.NewReader(out), &stdout, &stderr, now); code != 0 {
+			t.Fatalf("append exited %d: %s", code, stderr.String())
+		}
+	}
+	appendRun(benchOutput)
+	worse := strings.Replace(benchOutput, "8441385 ns/op	  203144 B/op	    3021 allocs/op",
+		"8000000 ns/op	  203144 B/op	    9021 allocs/op", 1)
+	appendRun(worse)
+	var stdout bytes.Buffer
+	code := run([]string{"-file", file, "-compare"}, strings.NewReader(""), &stdout, os.Stderr, now)
+	if code != 1 {
+		t.Fatalf("compare of an alloc regression exited %d, want 1:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "allocs/op") || !strings.Contains(stdout.String(), "REGRESSION") {
+		t.Errorf("compare output missing alloc regression marker:\n%s", stdout.String())
 	}
 }
 

@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/atomicfile"
@@ -78,6 +80,9 @@ func run(args []string) (int, error) {
 		incr     = fs.Bool("incremental", false, "reuse per-task results from the previous scan of this tree (cached under <dir>/.wap-cache unless -cache-dir is set)")
 		cacheDir = fs.String("cache-dir", "", "result-store directory for incremental scans (implies -incremental)")
 		diffBase = fs.String("diff", "", "diff this scan against a baseline JSON report (from wap -json) and report new/fixed/persisting findings")
+		par      = fs.Int("parallelism", 0, "worker count for both the parse front end and the scan (0 = GOMAXPROCS capped at 8)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	classFlags := make(map[vuln.ClassID]*bool)
 	for _, c := range vuln.WAPe() {
@@ -92,7 +97,33 @@ func run(args []string) (int, error) {
 	}
 	dir := fs.Arg(0)
 
-	opts := core.Options{Mode: core.ModeWAPe, Seed: *seed, TaskTimeout: *taskTO, RetryMax: *retryMax}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return exitFatal, err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return exitFatal, err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wap: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects for an accurate live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "wap: memprofile:", err)
+			}
+		}()
+	}
+
+	opts := core.Options{Mode: core.ModeWAPe, Seed: *seed, TaskTimeout: *taskTO, RetryMax: *retryMax, Parallelism: *par}
 	if *v21 {
 		opts.Mode = core.ModeOriginal
 	}
@@ -179,7 +210,7 @@ func run(args []string) (int, error) {
 		return exitFatal, err
 	}
 
-	loadOpts := core.LoadOptions{MaxFileSize: *maxFile}
+	loadOpts := core.LoadOptions{MaxFileSize: *maxFile, Parallelism: *par}
 	proj, err := core.LoadDirOptions(filepath.Base(dir), dir, loadOpts)
 	if err != nil {
 		return exitFatal, err

@@ -21,6 +21,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +59,8 @@ func run(args []string) error {
 		maxFile    = fs.Int64("max-file-size", 0, "per-file size cap in bytes (0 = default 8 MiB, -1 = unlimited)")
 		reportDir  = fs.String("report-dir", "", "persist each job's JSON report here (written atomically)")
 		cacheDir   = fs.String("cache-dir", "", "result-store directory backing incremental scan requests (empty = no per-task reuse across restarts)")
+		par        = fs.Int("parallelism", 0, "loader worker count per scan job (0 = GOMAXPROCS capped at 8)")
+		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,12 +97,23 @@ func run(args []string) error {
 		DrainTimeout:   *drainTO,
 		DefaultTimeout: *defaultTO,
 		MaxTimeout:     *maxTO,
-		LoadOptions:    core.LoadOptions{MaxFileSize: *maxFile},
+		LoadOptions:    core.LoadOptions{MaxFileSize: *maxFile, Parallelism: *par},
 		ReportDir:      *reportDir,
 		Store:          store,
 	})
 	if err != nil {
 		return err
+	}
+
+	// Opt-in pprof endpoint on its own listener, so profiling traffic never
+	// shares the scan port (or its admission control).
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Printf("wapd: pprof listening on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "wapd: pprof server:", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

@@ -769,6 +769,10 @@ func (e *Engine) mergeScan(ctx context.Context, plan *scanPlan, exec *execState,
 	sortDiagnostics(exec.taskDiags)
 	rep.Diagnostics = append(rep.Diagnostics, exec.taskDiags...)
 	rep.Stats = stats.snapshot(exec.shared.Len())
+	if rep.Project != nil {
+		rep.Stats.ParseWall = rep.Project.LoadStats.ParseWall
+		rep.Stats.LoadWorkers = rep.Project.LoadStats.Workers
+	}
 	for i, ok := range plan.reusedOK {
 		if ok {
 			exec.results[i] = plan.reused[i]

@@ -12,10 +12,14 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/intern"
 	"repro/internal/php/ast"
 	"repro/internal/php/parser"
 )
@@ -102,6 +106,15 @@ func (f *SourceFile) calledNames() map[string]bool {
 	return f.memo.called
 }
 
+// LoadStats describes how the parse front end ran for one project load.
+type LoadStats struct {
+	// ParseWall is the wall-clock time of the read+hash+parse phase,
+	// excluding the directory walk and the index build.
+	ParseWall time.Duration
+	// Workers is the number of load workers that executed the phase.
+	Workers int
+}
+
 // Project is a parsed web application (or plugin): all files plus a
 // project-wide function index so taint analysis crosses include boundaries.
 type Project struct {
@@ -112,6 +125,10 @@ type Project struct {
 	// Diagnostics records files skipped at load time and degraded parses.
 	// Analysis copies them into the report so no loss of coverage is silent.
 	Diagnostics []Diagnostic
+
+	// LoadStats records parse-phase wall time and worker count. Purely
+	// informational: it never influences analysis output.
+	LoadStats LoadStats
 
 	funcs   map[string]*ast.FunctionDecl
 	methods map[string]*ast.FunctionDecl
@@ -165,7 +182,7 @@ func (p *Project) File(path string) *SourceFile {
 // LoadMap builds a project from an in-memory path→source map (used by the
 // synthetic corpus and tests).
 func LoadMap(name string, files map[string]string) *Project {
-	return LoadMapIncremental(name, files, nil)
+	return LoadMapOptions(name, files, LoadOptions{})
 }
 
 // LoadMapIncremental is LoadMap with parse reuse: files whose content hashes
@@ -174,45 +191,27 @@ func LoadMap(name string, files map[string]string) *Project {
 // instead of re-parsing. The project-wide indexes are rebuilt either way.
 // prev may be nil.
 func LoadMapIncremental(name string, files map[string]string, prev *Project) *Project {
-	p := &Project{Name: name}
+	return LoadMapOptions(name, files, LoadOptions{Prev: prev})
+}
+
+// LoadMapOptions is LoadMap with full load options (parse reuse and
+// parallelism). The resulting project is byte-identical at any parallelism:
+// files are ordered by sorted path regardless of parse completion order.
+func LoadMapOptions(name string, files map[string]string, opts LoadOptions) *Project {
 	paths := make([]string, 0, len(files))
 	for path := range files {
 		paths = append(paths, path)
 	}
 	sort.Strings(paths)
-	for _, path := range paths {
-		if !p.reuseFile(prev, path, files[path]) {
-			p.addFile(path, files[path])
-		}
+	slots := make([]loadSlot, len(paths))
+	for i, path := range paths {
+		slots[i] = loadSlot{job: true, rel: path, src: files[path]}
 	}
+	p := &Project{Name: name}
+	// In-memory loads perform no IO and take no context, so they cannot fail.
+	_ = p.runSlots(context.Background(), slots, opts)
 	p.index()
 	return p
-}
-
-// reuseFile adopts prev's parsed SourceFile for path when the content is
-// byte-identical, re-emitting its parse-degradation diagnostic. Returns
-// false when the file must be parsed fresh.
-func (p *Project) reuseFile(prev *Project, path, src string) bool {
-	if prev == nil {
-		return false
-	}
-	sf := prev.File(path)
-	if sf == nil || sf.Hash != sha256.Sum256([]byte(src)) {
-		return false
-	}
-	if sf.Degraded {
-		for _, e := range sf.ParseErrs {
-			if e.Degraded {
-				p.Diagnostics = append(p.Diagnostics, Diagnostic{
-					File: path, Kind: DiagParseDegraded,
-					Message: e.Msg,
-				})
-				break
-			}
-		}
-	}
-	p.Files = append(p.Files, sf)
-	return true
 }
 
 // DefaultMaxFileSize is the load-time size cap (bytes) applied when
@@ -230,6 +229,11 @@ type LoadOptions struct {
 	// identically to the same path in Prev adopts Prev's parsed SourceFile
 	// instead of re-parsing. Used by incremental rescans of the same tree.
 	Prev *Project
+	// Parallelism bounds concurrent read+parse workers; 0 uses GOMAXPROCS
+	// capped at 8 (matching Options.Parallelism), 1 forces a sequential
+	// load. The loaded project is byte-identical at any setting: files and
+	// diagnostics are assembled in walk order regardless of completion order.
+	Parallelism int
 }
 
 func (o LoadOptions) maxFileSize() int64 {
@@ -241,6 +245,17 @@ func (o LoadOptions) maxFileSize() int64 {
 	default:
 		return o.MaxFileSize
 	}
+}
+
+func (o LoadOptions) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	return n
 }
 
 // LoadDir builds a project from every .php file under dir (matched by
@@ -262,9 +277,23 @@ func LoadDirOptions(name, dir string, opts LoadOptions) (*Project, error) {
 // between files, so a cancelled or timed-out request stops walking a huge
 // tree immediately instead of parsing it all before analysis ever sees the
 // deadline. On cancellation it returns ctx's error (wrapped).
+//
+// The load runs in two phases. The walk phase visits the tree sequentially,
+// resolving every per-entry decision that depends on walk order (skip
+// diagnostics, symlink and size-cap handling) into an ordered slot list. The
+// parse phase then executes the file slots — read, hash, parse-or-reuse — on
+// a bounded worker pool and assembles Files and Diagnostics in slot order,
+// so the project is byte-identical to a sequential load at any parallelism.
 func LoadDirContext(ctx context.Context, name, dir string, opts LoadOptions) (*Project, error) {
 	p := &Project{Name: name}
 	sizeCap := opts.maxFileSize()
+	var slots []loadSlot
+	skip := func(rel, format string, args ...any) {
+		slots = append(slots, loadSlot{diag: &Diagnostic{
+			File: rel, Kind: DiagLoadSkipped,
+			Message: fmt.Sprintf(format, args...),
+		}})
+	}
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr
@@ -274,10 +303,7 @@ func LoadDirContext(ctx context.Context, name, dir string, opts LoadOptions) (*P
 			if path == dir || filepath.Clean(path) == filepath.Clean(dir) {
 				return err // unreadable root: fatal
 			}
-			p.Diagnostics = append(p.Diagnostics, Diagnostic{
-				File: rel, Kind: DiagLoadSkipped,
-				Message: fmt.Sprintf("unreadable: %v", err),
-			})
+			skip(rel, "unreadable: %v", err)
 			if d != nil && d.IsDir() {
 				return fs.SkipDir
 			}
@@ -294,10 +320,7 @@ func LoadDirContext(ctx context.Context, name, dir string, opts LoadOptions) (*P
 		if d.Type()&fs.ModeSymlink != 0 {
 			info, serr := os.Stat(path)
 			if serr != nil {
-				p.Diagnostics = append(p.Diagnostics, Diagnostic{
-					File: rel, Kind: DiagLoadSkipped,
-					Message: fmt.Sprintf("broken symlink: %v", serr),
-				})
+				skip(rel, "broken symlink: %v", serr)
 				return nil
 			}
 			if info.IsDir() {
@@ -306,31 +329,173 @@ func LoadDirContext(ctx context.Context, name, dir string, opts LoadOptions) (*P
 		}
 		if sizeCap > 0 {
 			if info, ierr := os.Stat(path); ierr == nil && info.Size() > sizeCap {
-				p.Diagnostics = append(p.Diagnostics, Diagnostic{
-					File: rel, Kind: DiagLoadSkipped,
-					Message: fmt.Sprintf("file size %d exceeds cap %d bytes", info.Size(), sizeCap),
-				})
+				skip(rel, "file size %d exceeds cap %d bytes", info.Size(), sizeCap)
 				return nil
 			}
 		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			p.Diagnostics = append(p.Diagnostics, Diagnostic{
-				File: rel, Kind: DiagLoadSkipped,
-				Message: fmt.Sprintf("unreadable: %v", err),
-			})
-			return nil
-		}
-		if !p.reuseFile(opts.Prev, rel, string(data)) {
-			p.addFile(rel, string(data))
-		}
+		slots = append(slots, loadSlot{job: true, rel: rel, abs: path, read: true})
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: load %s: %w", dir, err)
 	}
+	if err := p.runSlots(ctx, slots, opts); err != nil {
+		return nil, fmt.Errorf("core: load %s: %w", dir, err)
+	}
 	p.index()
 	return p, nil
+}
+
+// loadSlot is one ordered unit of load work produced by the walk phase:
+// either a pre-resolved skip diagnostic or a file job to read and parse.
+// Workers may execute jobs in any order; assembly consumes slots in order.
+type loadSlot struct {
+	diag *Diagnostic // skip diagnostic resolved during the walk (non-job)
+	job  bool        // this slot is a file to load
+	rel  string      // project-relative path
+	abs  string      // on-disk path to read (dir loads)
+	src  string      // in-memory source (map loads)
+	read bool        // read src from abs instead of using src
+}
+
+// loadResult is the outcome of one job slot.
+type loadResult struct {
+	sf       *SourceFile // loaded or reused file; nil when skipped
+	skipDiag *Diagnostic // read failure discovered by the worker
+	degraded *Diagnostic // parse-degradation diagnostic (fresh or reused)
+}
+
+// runSlots executes every job slot on a bounded worker pool and assembles
+// Files and Diagnostics in slot order, recording LoadStats. Workers claim
+// slots through an atomic cursor; results land in a per-slot array, so the
+// assembled project is independent of execution order. Cancellation is
+// checked between files and surfaces as ctx's error with no partial project.
+func (p *Project) runSlots(ctx context.Context, slots []loadSlot, opts LoadOptions) error {
+	jobs := 0
+	for i := range slots {
+		if slots[i].job {
+			jobs++
+		}
+	}
+	workers := opts.parallelism()
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tab := intern.NewTable()
+	start := time.Now()
+	results := make([]loadResult, len(slots))
+	var cursor atomic.Int64
+	var firstErr error
+	var once sync.Once
+	work := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(slots) {
+				return
+			}
+			if !slots[i].job {
+				continue
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				once.Do(func() { firstErr = cerr })
+				return
+			}
+			results[i] = executeSlot(&slots[i], opts.Prev, tab)
+		}
+	}
+	if workers == 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	for i := range slots {
+		if !slots[i].job {
+			p.Diagnostics = append(p.Diagnostics, *slots[i].diag)
+			continue
+		}
+		r := &results[i]
+		if r.skipDiag != nil {
+			p.Diagnostics = append(p.Diagnostics, *r.skipDiag)
+			continue
+		}
+		if r.degraded != nil {
+			p.Diagnostics = append(p.Diagnostics, *r.degraded)
+		}
+		p.Files = append(p.Files, r.sf)
+	}
+	p.LoadStats = LoadStats{ParseWall: time.Since(start), Workers: workers}
+	return nil
+}
+
+// executeSlot loads one file: read (for dir loads), hash, then either adopt
+// prev's byte-identical parse — memoized artifacts (lowered source, called
+// names) travel with the reused SourceFile — or parse fresh through the
+// shared intern table.
+func executeSlot(s *loadSlot, prev *Project, tab *intern.Table) loadResult {
+	src := s.src
+	if s.read {
+		data, err := os.ReadFile(s.abs)
+		if err != nil {
+			return loadResult{skipDiag: &Diagnostic{
+				File: s.rel, Kind: DiagLoadSkipped,
+				Message: fmt.Sprintf("unreadable: %v", err),
+			}}
+		}
+		src = string(data)
+	}
+	sum := sha256.Sum256([]byte(src))
+	if prev != nil {
+		if old := prev.File(s.rel); old != nil && old.Hash == sum {
+			res := loadResult{sf: old}
+			if old.Degraded {
+				for _, e := range old.ParseErrs {
+					if e.Degraded {
+						res.degraded = &Diagnostic{
+							File: s.rel, Kind: DiagParseDegraded,
+							Message: e.Msg,
+						}
+						break
+					}
+				}
+			}
+			return res
+		}
+	}
+	f, errs := parser.ParseInterned(s.rel, src, tab)
+	sf := &SourceFile{
+		Path:      s.rel,
+		Src:       src,
+		Hash:      sum,
+		AST:       f,
+		ParseErrs: errs,
+		Lines:     strings.Count(src, "\n") + 1,
+	}
+	res := loadResult{sf: sf}
+	for _, e := range errs {
+		if e.Degraded {
+			sf.Degraded = true
+			res.degraded = &Diagnostic{
+				File: s.rel, Kind: DiagParseDegraded,
+				Message: e.Msg,
+			}
+			break
+		}
+	}
+	return res
 }
 
 // relPath makes path relative to dir, preserving the original casing.
@@ -340,29 +505,6 @@ func relPath(dir, path string) string {
 		return path
 	}
 	return rel
-}
-
-func (p *Project) addFile(path, src string) {
-	f, errs := parser.Parse(path, src)
-	sf := &SourceFile{
-		Path:      path,
-		Src:       src,
-		Hash:      sha256.Sum256([]byte(src)),
-		AST:       f,
-		ParseErrs: errs,
-		Lines:     strings.Count(src, "\n") + 1,
-	}
-	for _, e := range errs {
-		if e.Degraded {
-			sf.Degraded = true
-			p.Diagnostics = append(p.Diagnostics, Diagnostic{
-				File: path, Kind: DiagParseDegraded,
-				Message: e.Msg,
-			})
-			break
-		}
-	}
-	p.Files = append(p.Files, sf)
 }
 
 // index builds the project-wide function, method, path and ambiguity tables.

@@ -73,6 +73,12 @@ type ScanStats struct {
 	FingerprintHits   int
 	FingerprintMisses int
 	StepsSaved        int64
+	// ParseWall / LoadWorkers mirror the project's LoadStats: wall time of
+	// the load-phase read+hash+parse work and the worker count that ran it.
+	// Both are zero for hand-assembled projects, and omitted from renderers
+	// when zero.
+	ParseWall   time.Duration
+	LoadWorkers int
 	// ByClass breaks the account down per vulnerability class.
 	ByClass map[vuln.ClassID]*ClassStats
 }

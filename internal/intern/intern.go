@@ -1,0 +1,153 @@
+// Package intern provides project-scoped string interning for the parse
+// front end.
+//
+// A Table canonicalizes strings that repeat heavily across the files of one
+// project — identifier spellings, lowered callable names, class names — so
+// that (a) repeated lowering of the same mixed-case spelling allocates once
+// per project instead of once per occurrence, and (b) the project's index
+// maps key into shared canonical strings instead of thousands of private
+// copies.
+//
+// Invariants:
+//
+//   - A Table is safe for concurrent use: the parallel loader hands one
+//     table to every parse worker. Sharded locking keeps contention low.
+//   - Interned strings are canonical copies with project lifetime: a table
+//     must not outlive the project it was built for (it pins every string
+//     ever interned), and strings sliced from file sources may be interned
+//     freely — the table stores the slice, which pins the source, which the
+//     project's SourceFile pins anyway.
+//   - Interning never changes bytes: Intern(s) == s and Lower(s) ==
+//     strings.ToLower(s) for every input, so reports are byte-identical with
+//     or without a table.
+//
+// The zero value of *Table (nil) is valid and disables interning: every
+// method falls back to the allocation-per-call behaviour.
+package intern
+
+import (
+	"strings"
+	"sync"
+)
+
+// shardCount spreads lock contention across the table; must be a power of
+// two. 16 shards keep a default 8-worker parse pool essentially uncontended.
+const shardCount = 16
+
+// Table is a concurrency-safe string interner. Create one per project load
+// with NewTable; the nil table is valid and interns nothing.
+type Table struct {
+	shards [shardCount]shard
+}
+
+type shard struct {
+	mu sync.Mutex
+	// canon maps a string to its canonical copy.
+	canon map[string]string
+	// lowered maps an original spelling to the canonical copy of its
+	// lower-case form, so Lower("MyClass") stops allocating after the first
+	// occurrence of that exact spelling.
+	lowered map[string]string
+}
+
+// NewTable returns an empty interner.
+func NewTable() *Table {
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].canon = make(map[string]string)
+		t.shards[i].lowered = make(map[string]string)
+	}
+	return t
+}
+
+// fnv1a hashes s without allocating (inlined FNV-1a, the stdlib's
+// hash/fnv only takes []byte).
+func fnv1a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (t *Table) shard(s string) *shard {
+	return &t.shards[fnv1a(s)&(shardCount-1)]
+}
+
+// Intern returns the canonical copy of s, storing s as that copy on first
+// sight. Safe for concurrent use; nil tables return s unchanged.
+func (t *Table) Intern(s string) string {
+	if t == nil || s == "" {
+		return s
+	}
+	sh := t.shard(s)
+	sh.mu.Lock()
+	c, ok := sh.canon[s]
+	if !ok {
+		c = s
+		sh.canon[s] = s
+	}
+	sh.mu.Unlock()
+	return c
+}
+
+// Lower returns the canonical lower-case form of s, memoized by original
+// spelling: the first Lower("MyClass") pays one strings.ToLower, every later
+// one is a map hit. Already-lower ASCII strings intern directly. Safe for
+// concurrent use; nil tables behave like strings.ToLower.
+func (t *Table) Lower(s string) string {
+	if t == nil {
+		return strings.ToLower(s)
+	}
+	if isLowerASCII(s) {
+		return t.Intern(s)
+	}
+	sh := t.shard(s)
+	sh.mu.Lock()
+	if c, ok := sh.lowered[s]; ok {
+		sh.mu.Unlock()
+		return c
+	}
+	sh.mu.Unlock()
+	// ToLower outside the lock: it allocates, and another goroutine lowering
+	// the same spelling concurrently just produces an equal string that
+	// Intern canonicalizes.
+	low := t.Intern(strings.ToLower(s))
+	sh.mu.Lock()
+	sh.lowered[s] = low
+	sh.mu.Unlock()
+	return low
+}
+
+// Len reports the number of canonical strings stored (diagnostic; consistent
+// only when no concurrent writers are active).
+func (t *Table) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.canon)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// isLowerASCII reports whether s contains no upper-case ASCII and no
+// non-ASCII bytes — i.e. strings.ToLower(s) == s without allocating.
+func isLowerASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' || c >= 0x80 {
+			return false
+		}
+	}
+	return true
+}

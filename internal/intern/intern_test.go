@@ -1,0 +1,119 @@
+package intern
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// sameBacking reports whether two equal strings share a backing array — the
+// observable effect of interning.
+func sameBacking(a, b string) bool {
+	return unsafe.StringData(a) == unsafe.StringData(b)
+}
+
+func TestInternCanonicalizes(t *testing.T) {
+	tab := NewTable()
+	a := tab.Intern("mysql_query")
+	b := tab.Intern(strings.Clone("mysql_query"))
+	if a != b {
+		t.Fatalf("interned values differ: %q vs %q", a, b)
+	}
+	if !sameBacking(a, b) {
+		t.Error("second Intern of an equal string did not return the canonical copy")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestLowerMatchesToLower(t *testing.T) {
+	tab := NewTable()
+	inputs := []string{"", "abc", "MyClass", "MYSQL_Query", "åÄ", "mixed_Case_123", "ALL_UPPER"}
+	for _, in := range inputs {
+		if got, want := tab.Lower(in), strings.ToLower(in); got != want {
+			t.Errorf("Lower(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// Memoized by spelling: the second call returns the same canonical copy.
+	first := tab.Lower("MyClass")
+	second := tab.Lower("MyClass")
+	if !sameBacking(first, second) {
+		t.Error("repeated Lower of the same spelling did not reuse the canonical copy")
+	}
+}
+
+func TestNilTableFallsBack(t *testing.T) {
+	var tab *Table
+	if got := tab.Intern("x"); got != "x" {
+		t.Errorf("nil Intern = %q", got)
+	}
+	if got := tab.Lower("ABC"); got != "abc" {
+		t.Errorf("nil Lower = %q", got)
+	}
+	if tab.Len() != 0 {
+		t.Errorf("nil Len = %d", tab.Len())
+	}
+}
+
+// TestConcurrentIntern exercises the sharded locking under the race detector:
+// many goroutines interning and lowering an overlapping working set must
+// agree on canonical copies and never duplicate entries.
+func TestConcurrentIntern(t *testing.T) {
+	tab := NewTable()
+	const (
+		goroutines = 8
+		names      = 200
+	)
+	var wg sync.WaitGroup
+	results := make([][]string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]string, 0, names*2)
+			for i := 0; i < names; i++ {
+				// Fresh copies per goroutine so canonicalization is observable.
+				out = append(out, tab.Intern(fmt.Sprintf("name_%d", i)))
+				out = append(out, tab.Lower(fmt.Sprintf("Name_%d", i)))
+			}
+			for i := 0; i < names; i++ {
+				if want := fmt.Sprintf("name_%d", i); out[2*i] != want || out[2*i+1] != want {
+					t.Errorf("goroutine %d: got (%q, %q), want %q", g, out[2*i], out[2*i+1], want)
+					return
+				}
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	// All goroutines must hold the same canonical copies.
+	for g := 1; g < goroutines; g++ {
+		for i := range results[0] {
+			if !sameBacking(results[0][i], results[g][i]) {
+				t.Fatalf("goroutine %d holds a non-canonical copy of %q", g, results[0][i])
+			}
+		}
+	}
+	if tab.Len() != names {
+		t.Errorf("Len = %d, want %d (lowered forms must dedupe into the same canon)", tab.Len(), names)
+	}
+}
+
+// TestLowerHitDoesNotAllocate pins the hot-path contract: lowering a spelling
+// the table has seen before performs no allocation.
+func TestLowerHitDoesNotAllocate(t *testing.T) {
+	tab := NewTable()
+	tab.Lower("MyClass")
+	tab.Intern("plainname")
+	allocs := testing.AllocsPerRun(100, func() {
+		tab.Lower("MyClass")
+		tab.Intern("plainname")
+		tab.Lower("plainname")
+	})
+	if allocs != 0 {
+		t.Errorf("warm Lower/Intern allocated %v times per run, want 0", allocs)
+	}
+}

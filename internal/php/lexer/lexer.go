@@ -10,6 +10,7 @@ package lexer
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/php/token"
 )
@@ -41,22 +42,53 @@ func New(file, src string) *Lexer {
 	return &Lexer{src: src, file: file, line: 1, col: 1}
 }
 
+// pool recycles Lexer structs across files. A pooled lexer is fully zeroed on
+// release so no source text, tokens, or errors can leak into the next file.
+var pool = sync.Pool{New: func() any { return new(Lexer) }}
+
+// newPooled returns a recycled lexer initialised for src. Pair with release.
+func newPooled(file, src string) *Lexer {
+	l := pool.Get().(*Lexer)
+	*l = Lexer{src: src, file: file, line: 1, col: 1}
+	return l
+}
+
+// release scrubs every reference held by the lexer (source, errors, pending
+// tokens) and returns it to the pool. The caller must copy out l.errs first.
+func (l *Lexer) release() {
+	*l = Lexer{}
+	pool.Put(l)
+}
+
 // Errors returns the lexical errors encountered so far.
 func (l *Lexer) Errors() []*Error { return l.errs }
+
+// TokenCapHint sizes a token buffer from the source length: PHP averages
+// roughly one token per six bytes, and the constant floor absorbs tiny files.
+func TokenCapHint(srcLen int) int { return srcLen/6 + 16 }
 
 // Tokens scans the whole input and returns every token including the final
 // EOF token.
 func Tokens(file, src string) ([]token.Token, []*Error) {
-	l := New(file, src)
-	var toks []token.Token
+	return TokensAppend(file, src, make([]token.Token, 0, TokenCapHint(len(src))))
+}
+
+// TokensAppend scans the whole input, appending every token including the
+// final EOF token to buf, and returns the extended slice. The lexer itself is
+// recycled through an internal pool; ownership of buf stays with the caller,
+// which lets callers reuse token buffers across files.
+func TokensAppend(file, src string, buf []token.Token) ([]token.Token, []*Error) {
+	l := newPooled(file, src)
 	for {
 		t := l.Next()
-		toks = append(toks, t)
+		buf = append(buf, t)
 		if t.Kind == token.EOF {
 			break
 		}
 	}
-	return toks, l.Errors()
+	errs := l.errs
+	l.release()
+	return buf, errs
 }
 
 func (l *Lexer) pos() token.Position {
@@ -89,6 +121,13 @@ func (l *Lexer) advance(n int) {
 }
 
 func (l *Lexer) eof() bool { return l.off >= len(l.src) }
+
+// prefixAt reports whether prefix begins at byte offset off. Index-based so
+// hot paths compare in place instead of materialising l.src[l.off:] slice
+// headers for strings.HasPrefix.
+func (l *Lexer) prefixAt(off int, prefix string) bool {
+	return off+len(prefix) <= len(l.src) && l.src[off:off+len(prefix)] == prefix
+}
 
 // Next returns the next token.
 func (l *Lexer) Next() token.Token {
@@ -131,9 +170,9 @@ func (l *Lexer) scanHTML() token.Token {
 	// Determine tag form.
 	var echoTag bool
 	switch {
-	case strings.HasPrefix(l.src[l.off:], "<?php"):
+	case l.prefixAt(l.off, "<?php"):
 		l.advance(5)
-	case strings.HasPrefix(l.src[l.off:], "<?="):
+	case l.prefixAt(l.off, "<?="):
 		l.advance(3)
 		echoTag = true
 	default:
@@ -249,7 +288,7 @@ func (l *Lexer) scanPHP() token.Token {
 		return token.Token{Kind: token.Dollar, Value: "$", Pos: start, End: l.pos()}
 	case isIdentStart(c):
 		name := l.scanIdentText()
-		kind := token.Lookup(strings.ToLower(name))
+		kind := token.LookupFold(name)
 		return token.Token{Kind: kind, Value: name, Pos: start, End: l.pos()}
 	case isDigit(c), c == '.' && isDigit(l.peek(1)):
 		return l.scanNumber(start)
@@ -324,7 +363,21 @@ func isHexLetter(c byte) bool {
 
 func (l *Lexer) scanSingleQuoted(start token.Position) token.Token {
 	l.advance(1)
+	// Fast path: no escapes before the closing quote, so the value is a slice
+	// of the source and the token allocates nothing.
+	s := l.off
+	i := s
+	for i < len(l.src) && l.src[i] != '\'' && l.src[i] != '\\' {
+		i++
+	}
+	if i < len(l.src) && l.src[i] == '\'' {
+		l.advance(i - s + 1)
+		return token.Token{Kind: token.StringLit, Value: l.src[s:i], Pos: start, End: l.pos()}
+	}
+	// Slow path: escape processing (or unterminated literal).
 	var b strings.Builder
+	b.WriteString(l.src[s:i])
+	l.advance(i - s)
 	for !l.eof() {
 		c := l.src[l.off]
 		if c == '\\' {
@@ -388,6 +441,14 @@ func (l *Lexer) templateToken(start token.Position, parts []token.TemplatePart) 
 		}
 	}
 	if !interp {
+		// Interpolation-free strings flush at most one literal part, which is
+		// already a single string — no rejoin needed.
+		switch len(parts) {
+		case 0:
+			return token.Token{Kind: token.StringLit, Value: "", Pos: start, End: l.pos()}
+		case 1:
+			return token.Token{Kind: token.StringLit, Value: parts[0].Literal, Pos: start, End: l.pos()}
+		}
 		var b strings.Builder
 		for _, p := range parts {
 			b.WriteString(p.Literal)
@@ -403,9 +464,38 @@ func (l *Lexer) templateToken(start token.Position, parts []token.TemplatePart) 
 func (l *Lexer) scanInterpolated(term byte) ([]token.TemplatePart, bool) {
 	var parts []token.TemplatePart
 	var lit strings.Builder
+	// pending holds the current literal run as a slice of the source; the
+	// builder is only engaged once a second run or an escape forces a join,
+	// so escape-free literals never copy their bytes.
+	pending := ""
+	write := func(s string) {
+		if s == "" {
+			return
+		}
+		if lit.Len() == 0 && pending == "" {
+			pending = s
+			return
+		}
+		if pending != "" {
+			lit.WriteString(pending)
+			pending = ""
+		}
+		lit.WriteString(s)
+	}
+	// add presizes on first append: interpolated strings typically hold a few
+	// alternating literal/var parts, so one allocation covers the common case.
+	add := func(tp token.TemplatePart) {
+		if parts == nil {
+			parts = make([]token.TemplatePart, 0, 4)
+		}
+		parts = append(parts, tp)
+	}
 	flush := func() {
-		if lit.Len() > 0 {
-			parts = append(parts, token.TemplatePart{Literal: lit.String()})
+		if pending != "" {
+			add(token.TemplatePart{Literal: pending})
+			pending = ""
+		} else if lit.Len() > 0 {
+			add(token.TemplatePart{Literal: lit.String()})
 			lit.Reset()
 		}
 	}
@@ -417,7 +507,7 @@ func (l *Lexer) scanInterpolated(term byte) ([]token.TemplatePart, bool) {
 			flush()
 			return parts, true
 		case c == '\\':
-			lit.WriteString(decodeEscape(l.peek(1)))
+			write(decodeEscape(l.peek(1)))
 			l.advance(2)
 		case c == '$' && isIdentStart(l.peek(1)):
 			flush()
@@ -438,12 +528,12 @@ func (l *Lexer) scanInterpolated(term byte) ([]token.TemplatePart, bool) {
 				l.advance(2)
 				p.Prop = l.scanIdentText()
 			}
-			parts = append(parts, p)
+			add(p)
 		case c == '{' && l.peek(1) == '$':
 			flush()
 			l.advance(1)
 			expr := l.scanBracedExpr()
-			parts = append(parts, token.TemplatePart{IsVar: true, Expr: expr, Var: leadingVarName(expr)})
+			add(token.TemplatePart{IsVar: true, Expr: expr, Var: leadingVarName(expr)})
 		case c == '$' && l.peek(1) == '{':
 			flush()
 			l.advance(2)
@@ -464,10 +554,21 @@ func (l *Lexer) scanInterpolated(term byte) ([]token.TemplatePart, bool) {
 			if !l.eof() {
 				l.advance(1)
 			}
-			parts = append(parts, token.TemplatePart{IsVar: true, Expr: "$" + expr, Var: leadingBareName(expr)})
+			add(token.TemplatePart{IsVar: true, Expr: "$" + expr, Var: leadingBareName(expr)})
 		default:
-			lit.WriteByte(c)
-			l.advance(1)
+			// Consume a run of plain bytes in one go; the run is written as a
+			// single source slice.
+			s := l.off
+			for !l.eof() {
+				c := l.src[l.off]
+				if c == term || c == '\\' ||
+					(c == '$' && (isIdentStart(l.peek(1)) || l.peek(1) == '{')) ||
+					(c == '{' && l.peek(1) == '$') {
+					break
+				}
+				l.advance(1)
+			}
+			write(l.src[s:l.off])
 		}
 	}
 	flush()
@@ -575,7 +676,7 @@ func (l *Lexer) scanHeredoc(start token.Position) token.Token {
 		for !l.eof() && (l.src[l.off] == ' ' || l.src[l.off] == '\t') {
 			l.advance(1)
 		}
-		if strings.HasPrefix(l.src[l.off:], label) {
+		if l.prefixAt(l.off, label) {
 			after := l.off + len(label)
 			if after >= len(l.src) || !isIdentPart(l.src[after]) {
 				body := l.src[bodyStart:lineStart]
@@ -583,10 +684,13 @@ func (l *Lexer) scanHeredoc(start token.Position) token.Token {
 				if nowdoc {
 					return token.Token{Kind: token.StringLit, Value: body, Pos: start, End: l.pos()}
 				}
-				// Re-scan body for interpolation using a sub-lexer.
-				sub := New(l.file, body+"\x00")
+				// Re-scan body for interpolation using a pooled sub-lexer.
+				// scanInterpolated(0) terminates at end of input, so the body
+				// needs no sentinel byte appended.
+				sub := newPooled(l.file, body)
 				sub.line, sub.inPHP = start.Line, true
 				parts, _ := sub.scanInterpolated(0)
+				sub.release()
 				return l.templateToken(start, parts)
 			}
 		}
@@ -783,7 +887,7 @@ func (l *Lexer) tryCast() (token.Kind, int) {
 	for i < len(l.src) && isIdentPart(l.src[i]) {
 		i++
 	}
-	name := strings.ToLower(l.src[s:i])
+	name := l.src[s:i]
 	for i < len(l.src) && (l.src[i] == ' ' || l.src[i] == '\t') {
 		i++
 	}
@@ -791,18 +895,20 @@ func (l *Lexer) tryCast() (token.Kind, int) {
 		return token.Invalid, 0
 	}
 	n := i - l.off + 1
-	switch name {
-	case "int", "integer":
+	// Case-insensitive match without lowering: EqualFold on ASCII names does
+	// not allocate, and this path runs on every '(' sighting.
+	switch {
+	case strings.EqualFold(name, "int"), strings.EqualFold(name, "integer"):
 		return token.CastIntKw, n
-	case "float", "double", "real":
+	case strings.EqualFold(name, "float"), strings.EqualFold(name, "double"), strings.EqualFold(name, "real"):
 		return token.CastFloatKw, n
-	case "string", "binary":
+	case strings.EqualFold(name, "string"), strings.EqualFold(name, "binary"):
 		return token.CastStringKw, n
-	case "bool", "boolean":
+	case strings.EqualFold(name, "bool"), strings.EqualFold(name, "boolean"):
 		return token.CastBoolKw, n
-	case "array":
+	case strings.EqualFold(name, "array"):
 		return token.CastArrayKw, n
-	case "object":
+	case strings.EqualFold(name, "object"):
 		return token.CastObjectKw, n
 	}
 	return token.Invalid, 0

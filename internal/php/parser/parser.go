@@ -7,7 +7,9 @@ package parser
 import (
 	"fmt"
 	"strings"
+	"sync"
 
+	"repro/internal/intern"
 	"repro/internal/php/ast"
 	"repro/internal/php/lexer"
 	"repro/internal/php/token"
@@ -36,18 +38,59 @@ func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
 // roughly maxNestingDepth/5 nested expressions — far beyond real code.
 const maxNestingDepth = 512
 
+// arena chunk-allocates AST nodes of one type. Returned nodes are interior
+// pointers into fixed-capacity chunks, so parsing a file performs roughly
+// n/arenaChunk allocations for its hottest node kinds instead of n. Chunks
+// are never reallocated (append stays within capacity), which keeps earlier
+// node pointers valid; each chunk is retained by the AST that points into it,
+// so its lifetime matches the nodes exactly.
+type arena[T any] struct{ chunk []T }
+
+// arenaChunk balances allocation count against the tail waste of the last,
+// partially-used chunk that the AST keeps alive.
+const arenaChunk = 16
+
+func (a *arena[T]) new(v T) *T {
+	if len(a.chunk) == cap(a.chunk) {
+		a.chunk = make([]T, 0, arenaChunk)
+	}
+	a.chunk = append(a.chunk, v)
+	return &a.chunk[len(a.chunk)-1]
+}
+
 // Parser holds parsing state for a single file.
 type Parser struct {
 	toks []token.Token
 	pos  int
 	errs []*Error
 	file string
+	tab  *intern.Table
 
 	depth    int
 	degraded bool
 
 	curClass *ast.ClassDecl
+
+	// Node arenas for the leaf and spine expression kinds that dominate
+	// allocation counts. Reset with the parser; the chunks live on with the
+	// returned AST.
+	vars      arena[ast.Variable]
+	idents    arena[ast.Ident]
+	strs      arena[ast.StringLit]
+	ints      arena[ast.IntLit]
+	exprStmts arena[ast.ExprStmt]
+	bins      arena[ast.BinaryExpr]
+	assigns   arena[ast.AssignExpr]
 }
+
+// tokBufPool recycles token buffers across files; buffers are cleared before
+// re-pooling so no token (or the strings it references) survives a file.
+// parserPool recycles the Parser scratch state itself. Both are reentrant:
+// buildInterp re-parses braced interpolations through Parse recursively.
+var (
+	tokBufPool = sync.Pool{New: func() any { return new([]token.Token) }}
+	parserPool = sync.Pool{New: func() any { return new(Parser) }}
+)
 
 // enter counts one level of parse nesting; it reports false — after
 // recording a single Degraded error — once the bound is exceeded. Callers
@@ -83,8 +126,23 @@ func (p *Parser) bailExpr() ast.Expr {
 // Parse lexes and parses src, returning the file AST and any errors. The AST
 // is always non-nil; with errors it contains the recoverable prefix.
 func Parse(file, src string) (*ast.File, []*Error) {
-	toks, lexErrs := lexer.Tokens(file, src)
-	p := &Parser{toks: toks, file: file}
+	return ParseInterned(file, src, nil)
+}
+
+// ParseInterned is Parse with a project-scoped intern table: declaration map
+// keys are canonicalized through tab so a loader sharing one table across
+// files deduplicates repeated lowered names. A nil table is valid and interns
+// nothing; the resulting AST is identical either way.
+func ParseInterned(file, src string, tab *intern.Table) (*ast.File, []*Error) {
+	bufp := tokBufPool.Get().(*[]token.Token)
+	buf := *bufp
+	if cap(buf) == 0 {
+		buf = make([]token.Token, 0, lexer.TokenCapHint(len(src)))
+	}
+	toks, lexErrs := lexer.TokensAppend(file, src, buf[:0])
+
+	p := parserPool.Get().(*Parser)
+	*p = Parser{toks: toks, file: file, tab: tab}
 	for _, le := range lexErrs {
 		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
 	}
@@ -92,6 +150,11 @@ func Parse(file, src string) (*ast.File, []*Error) {
 		Name:    file,
 		Funcs:   make(map[string]*ast.FunctionDecl),
 		Classes: make(map[string]*ast.ClassDecl),
+	}
+	if n := len(toks); n > 16 {
+		// Modest hint: top-level statements are sparse relative to tokens, and
+		// the slice is retained with the AST, so cap the speculative capacity.
+		f.Stmts = make([]ast.Stmt, 0, min(32, n/8+2))
 	}
 	for !p.at(token.EOF) {
 		before := p.pos
@@ -104,44 +167,56 @@ func Parse(file, src string) (*ast.File, []*Error) {
 			p.next()
 		}
 	}
-	indexDecls(f, f.Stmts)
-	return f, p.errs
+	indexDecls(f, f.Stmts, tab)
+	errs := p.errs
+
+	// Recycle the scratch state. The AST copies every string and position it
+	// needs out of the token stream, so the buffer is scrubbed (dropping Parts
+	// slices and string references) and reused by the next file.
+	clear(toks)
+	*bufp = toks[:0]
+	tokBufPool.Put(bufp)
+	*p = Parser{}
+	parserPool.Put(p)
+	return f, errs
 }
 
 // indexDecls records function and class declarations (recursively through
-// blocks and control flow) in the file's lookup maps.
-func indexDecls(f *ast.File, stmts []ast.Stmt) {
+// blocks and control flow) in the file's lookup maps. Map keys are lowered
+// through tab (nil behaves like strings.ToLower) so repeated names across a
+// project share one canonical string.
+func indexDecls(f *ast.File, stmts []ast.Stmt, tab *intern.Table) {
 	for _, s := range stmts {
 		switch d := s.(type) {
 		case *ast.FunctionDecl:
-			f.Funcs[strings.ToLower(d.Name)] = d
+			f.Funcs[tab.Lower(d.Name)] = d
 			if d.Body != nil {
-				indexDecls(f, d.Body.Stmts) // nested declarations
+				indexDecls(f, d.Body.Stmts, tab) // nested declarations
 			}
 		case *ast.ClassDecl:
-			f.Classes[strings.ToLower(d.Name)] = d
+			f.Classes[tab.Lower(d.Name)] = d
 			for _, m := range d.Methods {
-				f.Funcs[strings.ToLower(d.Name)+"::"+strings.ToLower(m.Name)] = m
+				f.Funcs[tab.Intern(tab.Lower(d.Name)+"::"+tab.Lower(m.Name))] = m
 			}
 		case *ast.BlockStmt:
-			indexDecls(f, d.Stmts)
+			indexDecls(f, d.Stmts, tab)
 		case *ast.IfStmt:
 			if d.Then != nil {
-				indexDecls(f, d.Then.Stmts)
+				indexDecls(f, d.Then.Stmts, tab)
 			}
 			if d.Else != nil {
-				indexDecls(f, []ast.Stmt{d.Else})
+				indexDecls(f, []ast.Stmt{d.Else}, tab)
 			}
 		case *ast.WhileStmt:
-			indexDecls(f, d.Body.Stmts)
+			indexDecls(f, d.Body.Stmts, tab)
 		case *ast.ForStmt:
-			indexDecls(f, d.Body.Stmts)
+			indexDecls(f, d.Body.Stmts, tab)
 		case *ast.ForeachStmt:
-			indexDecls(f, d.Body.Stmts)
+			indexDecls(f, d.Body.Stmts, tab)
 		case *ast.TryStmt:
-			indexDecls(f, d.Body.Stmts)
+			indexDecls(f, d.Body.Stmts, tab)
 			for _, c := range d.Catches {
-				indexDecls(f, c.Body.Stmts)
+				indexDecls(f, c.Body.Stmts, tab)
 			}
 		}
 	}
@@ -395,12 +470,15 @@ func (p *Parser) parseExprStmt() ast.Stmt {
 	if _, bad := x.(*ast.BadExpr); bad {
 		return nil
 	}
-	return &ast.ExprStmt{X: x}
+	return p.exprStmts.new(ast.ExprStmt{X: x})
 }
 
 func (p *Parser) parseBlock() *ast.BlockStmt {
 	lb := p.expect(token.LBrace)
 	b := &ast.BlockStmt{Position: lb.Pos}
+	if !p.at(token.RBrace) && !p.at(token.EOF) {
+		b.Stmts = make([]ast.Stmt, 0, 4)
+	}
 	for !p.at(token.RBrace) && !p.at(token.EOF) {
 		before := p.pos
 		if s := p.parseStmt(); s != nil {
@@ -1004,7 +1082,7 @@ func (p *Parser) parseAssign() ast.Expr {
 		byRef = true
 	}
 	rhs := p.parseAssign() // right associative
-	return &ast.AssignExpr{Lhs: lhs, Op: t.Kind, Rhs: rhs, ByRef: byRef, Position: lhs.Pos()}
+	return p.assigns.new(ast.AssignExpr{Lhs: lhs, Op: t.Kind, Rhs: rhs, ByRef: byRef, Position: lhs.Pos()})
 }
 
 func (p *Parser) parseTernary() ast.Expr {
@@ -1095,7 +1173,7 @@ func (p *Parser) parseBinary(minPrec int) ast.Expr {
 			nextMin = prec
 		}
 		y := p.parseBinary(nextMin)
-		x = &ast.BinaryExpr{X: x, Op: t.Kind, Y: y, Position: x.Pos()}
+		x = p.bins.new(ast.BinaryExpr{X: x, Op: t.Kind, Y: y, Position: x.Pos()})
 	}
 }
 
@@ -1166,7 +1244,7 @@ func (p *Parser) parseNew() ast.Expr {
 		e.Class = p.expect(token.Ident).Value
 	case p.at(token.Variable):
 		v := p.next()
-		e.ClassExpr = &ast.Variable{Name: v.Value, Position: v.Pos, EndPos: v.End}
+		e.ClassExpr = p.vars.new(ast.Variable{Name: v.Value, Position: v.Pos, EndPos: v.End})
 	case p.at(token.KwClass):
 		// Anonymous class: new class [(args)] [extends/implements] { ... }.
 		p.next()
@@ -1286,7 +1364,7 @@ func (p *Parser) parseMemberAccess(recv ast.Expr) ast.Expr {
 		return &ast.PropExpr{X: recv, Name: t.Value, Position: recv.Pos(), EndPos: t.End}
 	case t.Kind == token.Variable:
 		p.next()
-		dyn := &ast.Variable{Name: t.Value, Position: t.Pos, EndPos: t.End}
+		dyn := p.vars.new(ast.Variable{Name: t.Value, Position: t.Pos, EndPos: t.End})
 		if p.at(token.LParen) {
 			args, _ := p.parseArgs()
 			return &ast.MethodCallExpr{Recv: recv, DynName: dyn, Args: args, Position: recv.Pos(), EndPos: p.prevEnd()}
@@ -1337,6 +1415,12 @@ func (p *Parser) parseArgs() ([]ast.Expr, []bool) {
 	p.expect(token.LParen)
 	var args []ast.Expr
 	var byRef []bool
+	if !p.at(token.RParen) && !p.at(token.EOF) {
+		// Non-empty argument list: presize for the common few-argument call so
+		// append does not reallocate per element.
+		args = make([]ast.Expr, 0, 4)
+		byRef = make([]bool, 0, 4)
+	}
 	for !p.at(token.RParen) && !p.at(token.EOF) {
 		ref := p.accept(token.Amp)
 		p.accept(token.Ellipsis) // spread
@@ -1360,7 +1444,7 @@ func (p *Parser) parsePrimary() ast.Expr {
 	switch t.Kind {
 	case token.Variable:
 		p.next()
-		return &ast.Variable{Name: t.Value, Position: t.Pos, EndPos: t.End}
+		return p.vars.new(ast.Variable{Name: t.Value, Position: t.Pos, EndPos: t.End})
 	case token.Dollar:
 		p.next()
 		if p.at(token.LBrace) {
@@ -1392,7 +1476,7 @@ func (p *Parser) parsePrimary() ast.Expr {
 			name = sub.Value // keep last segment; namespaces are flattened
 			endPos = sub.End
 		}
-		return &ast.Ident{Name: name, Position: t.Pos, EndPos: endPos}
+		return p.idents.new(ast.Ident{Name: name, Position: t.Pos, EndPos: endPos})
 	case token.Backslash:
 		// Fully-qualified name: \App\Db\query — keep the last segment.
 		p.next()
@@ -1405,16 +1489,16 @@ func (p *Parser) parsePrimary() ast.Expr {
 			name = sub.Value
 			endPos = sub.End
 		}
-		return &ast.Ident{Name: name, Position: t.Pos, EndPos: endPos}
+		return p.idents.new(ast.Ident{Name: name, Position: t.Pos, EndPos: endPos})
 	case token.IntLit:
 		p.next()
-		return &ast.IntLit{Text: t.Value, Position: t.Pos, EndPos: t.End}
+		return p.ints.new(ast.IntLit{Text: t.Value, Position: t.Pos, EndPos: t.End})
 	case token.FloatLit:
 		p.next()
 		return &ast.FloatLit{Text: t.Value, Position: t.Pos, EndPos: t.End}
 	case token.StringLit:
 		p.next()
-		return &ast.StringLit{Value: t.Value, Position: t.Pos, EndPos: t.End}
+		return p.strs.new(ast.StringLit{Value: t.Value, Position: t.Pos, EndPos: t.End})
 	case token.TemplateString:
 		p.next()
 		return p.buildInterp(t)
@@ -1432,7 +1516,7 @@ func (p *Parser) parsePrimary() ast.Expr {
 		if p.at(token.LParen) {
 			return p.parseArrayLit(t.Pos, token.RParen)
 		}
-		return &ast.Ident{Name: "array", Position: t.Pos, EndPos: t.End}
+		return p.idents.new(ast.Ident{Name: "array", Position: t.Pos, EndPos: t.End})
 	case token.LBracket:
 		return p.parseArrayLit(t.Pos, token.RBracket)
 	case token.KwList:
@@ -1479,13 +1563,13 @@ func (p *Parser) parsePrimary() ast.Expr {
 		case p.at(token.KwFn):
 			return p.parseClosure(true)
 		case p.at(token.DoubleColon):
-			return p.parseStaticAccess(&ast.Ident{Name: "static", Position: t.Pos, EndPos: t.End})
+			return p.parseStaticAccess(p.idents.new(ast.Ident{Name: "static", Position: t.Pos, EndPos: t.End}))
 		}
-		return &ast.Ident{Name: "static", Position: t.Pos, EndPos: t.End}
+		return p.idents.new(ast.Ident{Name: "static", Position: t.Pos, EndPos: t.End})
 	case token.KwClass:
 		// `::class` handled in parseStaticAccess; bare `class` here is an error.
 		p.next()
-		return &ast.Ident{Name: "class", Position: t.Pos, EndPos: t.End}
+		return p.idents.new(ast.Ident{Name: "class", Position: t.Pos, EndPos: t.End})
 	}
 	p.errorf("unexpected token %s in expression", t.Kind)
 	// Leave statement terminators for stmtEnd so recovery does not swallow
@@ -1547,22 +1631,22 @@ func (p *Parser) buildInterp(t token.Token) ast.Expr {
 	is := &ast.InterpString{Position: t.Pos, EndPos: t.End}
 	for _, part := range t.Parts {
 		if !part.IsVar {
-			is.Parts = append(is.Parts, &ast.StringLit{Value: part.Literal, Position: t.Pos, EndPos: t.End})
+			is.Parts = append(is.Parts, p.strs.new(ast.StringLit{Value: part.Literal, Position: t.Pos, EndPos: t.End}))
 			continue
 		}
-		var e ast.Expr = &ast.Variable{Name: part.Var, Position: t.Pos, EndPos: t.End}
+		var e ast.Expr = p.vars.new(ast.Variable{Name: part.Var, Position: t.Pos, EndPos: t.End})
 		switch {
 		case part.Index != "":
 			e = &ast.IndexExpr{
 				X:        e,
-				Index:    &ast.StringLit{Value: part.Index, Position: t.Pos, EndPos: t.End},
+				Index:    p.strs.new(ast.StringLit{Value: part.Index, Position: t.Pos, EndPos: t.End}),
 				Position: t.Pos, EndPos: t.End,
 			}
 		case part.Prop != "":
 			e = &ast.PropExpr{X: e, Name: part.Prop, Position: t.Pos, EndPos: t.End}
 		case part.Expr != "":
 			// Re-parse the braced expression.
-			sub, errs := Parse(p.file, "<?php "+part.Expr+";")
+			sub, errs := ParseInterned(p.file, "<?php "+part.Expr+";", p.tab)
 			if len(errs) == 0 && len(sub.Stmts) == 1 {
 				if es, ok := sub.Stmts[0].(*ast.ExprStmt); ok {
 					e = es.X
@@ -1573,7 +1657,7 @@ func (p *Parser) buildInterp(t token.Token) ast.Expr {
 	}
 	if t.Value == "`shell`" {
 		return &ast.CallExpr{
-			Fn:       &ast.Ident{Name: "shell_exec", Position: t.Pos, EndPos: t.End},
+			Fn:       p.idents.new(ast.Ident{Name: "shell_exec", Position: t.Pos, EndPos: t.End}),
 			Args:     []ast.Expr{is},
 			ArgByRef: []bool{false},
 			Position: t.Pos, EndPos: t.End,

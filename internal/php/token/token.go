@@ -390,6 +390,44 @@ func Lookup(lower string) Kind {
 	return Ident
 }
 
+// maxKeywordLen is the length of the longest keyword ("include_once"); any
+// longer name cannot be a keyword regardless of case.
+const maxKeywordLen = 12
+
+// LookupFold is Lookup for identifiers in their original spelling: PHP
+// keywords are case-insensitive, and LookupFold folds ASCII case without
+// allocating. Non-ASCII bytes can never match the all-ASCII keyword set, so
+// they pass through unfolded.
+func LookupFold(name string) Kind {
+	needFold := false
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; c >= 'A' && c <= 'Z' {
+			needFold = true
+			break
+		}
+	}
+	if !needFold {
+		return Lookup(name)
+	}
+	if len(name) > maxKeywordLen {
+		return Ident
+	}
+	var buf [maxKeywordLen]byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	// map[string([]byte)] lookups do not allocate; the compiler keeps the
+	// conversion on the stack.
+	if k, ok := keywords[string(buf[:len(name)])]; ok {
+		return k
+	}
+	return Ident
+}
+
 // IsKeyword reports whether k is a keyword kind.
 func (k Kind) IsKeyword() bool { return k >= KwAbstract && k <= KwXorKw }
 

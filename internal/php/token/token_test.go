@@ -1,6 +1,9 @@
 package token
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestLookupKeywords(t *testing.T) {
 	cases := map[string]Kind{
@@ -16,6 +19,55 @@ func TestLookupKeywords(t *testing.T) {
 		if got := Lookup(name); got != want {
 			t.Errorf("Lookup(%q) = %v, want %v", name, got, want)
 		}
+	}
+}
+
+// TestLookupFoldAgreesWithLookup checks LookupFold against the reference
+// Lookup(strings.ToLower(...)) over every keyword in several casings plus
+// boundary non-keywords.
+func TestLookupFoldAgreesWithLookup(t *testing.T) {
+	titleCase := func(s string) string {
+		if s == "" {
+			return s
+		}
+		return strings.ToUpper(s[:1]) + s[1:]
+	}
+	names := make([]string, 0, len(keywords)*3+10)
+	for kw := range keywords {
+		names = append(names, kw, strings.ToUpper(kw), titleCase(kw))
+	}
+	names = append(names,
+		"not_keyword", "NOT_KEYWORD", "MyClass",
+		"include_oncex", "INCLUDE_ONCEX", // longer than any keyword
+		"Überklasse", "ÜBER", // non-ASCII can never be a keyword
+		"", "e", "E",
+	)
+	for _, name := range names {
+		if got, want := LookupFold(name), Lookup(strings.ToLower(name)); got != want {
+			t.Errorf("LookupFold(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if len("include_once") != maxKeywordLen {
+		t.Errorf("maxKeywordLen = %d, but include_once is %d bytes", maxKeywordLen, len("include_once"))
+	}
+	for kw := range keywords {
+		if len(kw) > maxKeywordLen {
+			t.Errorf("keyword %q longer than maxKeywordLen=%d", kw, maxKeywordLen)
+		}
+	}
+}
+
+// TestLookupFoldDoesNotAllocate pins the point of LookupFold: folding
+// mixed-case identifiers on the stack.
+func TestLookupFoldDoesNotAllocate(t *testing.T) {
+	inputs := []string{"ECHO", "MyClass", "include_ONCE", "while", "AVeryLongIdentifierName"}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, in := range inputs {
+			LookupFold(in)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("LookupFold allocated %v times per run, want 0", allocs)
 	}
 }
 

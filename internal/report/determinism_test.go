@@ -3,6 +3,8 @@ package report
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
@@ -54,6 +56,7 @@ func sampleStats() *core.ScanStats {
 		Tasks: 7, TasksSkipped: 3,
 		TotalSteps: 1234, MaxTaskSteps: 600,
 		CacheHits: 5, CacheMisses: 2, CacheEntries: 2,
+		ParseWall: 3 * time.Millisecond, LoadWorkers: 4,
 		ByClass: map[vuln.ClassID]*core.ClassStats{
 			vuln.SQLI: {Tasks: 4, Skipped: 1, Steps: 1000, CacheHits: 3, CacheMisses: 1, Wall: 2 * time.Millisecond, Findings: 2},
 			vuln.XSSR: {Tasks: 3, Skipped: 2, Steps: 234, CacheHits: 2, CacheMisses: 1, Wall: time.Millisecond, Findings: 1},
@@ -70,6 +73,7 @@ func TestRenderStats(t *testing.T) {
 		"7 executed, 3 skipped by the sink pre-filter",
 		"1234 total, 600 in the heaviest task",
 		"5 hits, 2 misses, 2 entries committed",
+		"3ms wall across 4 loader worker(s)",
 		string(vuln.SQLI),
 		string(vuln.XSSR),
 	} {
@@ -92,6 +96,9 @@ func TestStatsInRenderers(t *testing.T) {
 	if js.Stats.Tasks != 7 || js.Stats.CacheEntries != 2 {
 		t.Errorf("JSON stats totals = %+v", js.Stats)
 	}
+	if js.Stats.ParseWallMS != 3 || js.Stats.LoadWorkers != 4 {
+		t.Errorf("JSON parse account = %v ms / %d workers, want 3 / 4", js.Stats.ParseWallMS, js.Stats.LoadWorkers)
+	}
 	if len(js.Stats.ByClass) != 2 || js.Stats.ByClass[0].Class > js.Stats.ByClass[1].Class {
 		t.Errorf("JSON per-class stats not in sorted order: %+v", js.Stats.ByClass)
 	}
@@ -103,6 +110,9 @@ func TestStatsInRenderers(t *testing.T) {
 	html := buf.String()
 	if !strings.Contains(html, "Scan statistics") || !strings.Contains(html, "7 tasks executed") {
 		t.Error("HTML report missing the statistics section")
+	}
+	if !strings.Contains(html, "4 loader worker(s)") {
+		t.Error("HTML report missing the parse-phase account")
 	}
 
 	rep.Stats = nil
@@ -204,5 +214,58 @@ func TestIncrementalByteIdentical(t *testing.T) {
 		if got, want := renderAll(editRep), cold(edited); got != want {
 			t.Errorf("parallelism %d: warm edited rescan differs from cold scan of edited sources", par)
 		}
+	}
+}
+
+// TestReportByteIdenticalAcrossLoaderParallelism pins the parallel-loader
+// determinism bar end to end: a project loaded from disk with one worker and
+// with eight must render byte-identical text, JSON and HTML reports.
+// Duration and Stats carry schedule-dependent wall times (including
+// LoadStats-derived parse wall) and are normalized away.
+func TestReportByteIdenticalAcrossLoaderParallelism(t *testing.T) {
+	app := corpus.WebAppSuite(1)[2]
+	dir := t.TempDir()
+	for path, src := range app.Files {
+		abs := filepath.Join(dir, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(abs), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(abs, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	render := func(loadPar int) string {
+		proj, err := core.LoadDirContext(context.Background(), app.Name, dir,
+			core.LoadOptions{Parallelism: loadPar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.New(core.Options{Mode: core.ModeWAPe, Seed: 1, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Analyze(proj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Duration = 0
+		rep.Stats = nil
+		var text, js, html bytes.Buffer
+		WriteText(&text, rep, TextOptions{ShowFP: true})
+		if err := WriteJSON(&js, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteHTML(&html, rep); err != nil {
+			t.Fatal(err)
+		}
+		return text.String() + "\n=====\n" + js.String() + "\n=====\n" + html.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Error("rendered report differs between loader parallelism 1 and 8")
+	}
+	if !strings.Contains(seq, "findings") {
+		t.Fatal("report rendered no findings; determinism check is vacuous")
 	}
 }

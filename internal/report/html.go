@@ -206,6 +206,11 @@ func WriteHTML(w io.Writer, rep *core.Report) error {
 			fmt.Sprintf("%d AST steps total, %d in the heaviest task", s.TotalSteps, s.MaxTaskSteps),
 			fmt.Sprintf("summary cache: %d hits, %d misses, %d entries committed", s.CacheHits, s.CacheMisses, s.CacheEntries),
 		}}
+		if s.ParseWall > 0 || s.LoadWorkers > 0 {
+			hs.Summary = append(hs.Summary, fmt.Sprintf(
+				"parse: %s wall across %d loader worker(s)",
+				s.ParseWall.Round(10*time.Microsecond), s.LoadWorkers))
+		}
 		if s.TaskRetries > 0 || s.TasksRecovered > 0 || s.BreakerSkipped > 0 {
 			hs.Summary = append(hs.Summary, fmt.Sprintf(
 				"robustness: %d retries, %d tasks recovered, %d tasks skipped by open breakers",

@@ -70,11 +70,15 @@ type JSONScanStats struct {
 	BreakerSkipped int `json:"breaker_skipped,omitempty"`
 	// Incremental-scan account: tasks satisfied from the result store,
 	// fingerprint lookup traffic, and the AST steps reuse saved.
-	TasksReused       int              `json:"tasks_reused,omitempty"`
-	FingerprintHits   int              `json:"fingerprint_hits,omitempty"`
-	FingerprintMisses int              `json:"fingerprint_misses,omitempty"`
-	StepsSaved        int64            `json:"steps_saved,omitempty"`
-	ByClass           []JSONClassStats `json:"by_class,omitempty"`
+	TasksReused       int   `json:"tasks_reused,omitempty"`
+	FingerprintHits   int   `json:"fingerprint_hits,omitempty"`
+	FingerprintMisses int   `json:"fingerprint_misses,omitempty"`
+	StepsSaved        int64 `json:"steps_saved,omitempty"`
+	// Parse-phase account from the loader: wall time of the read+hash+parse
+	// work and the worker count. Absent for hand-assembled projects.
+	ParseWallMS float64          `json:"parse_wall_ms,omitempty"`
+	LoadWorkers int              `json:"load_workers,omitempty"`
+	ByClass     []JSONClassStats `json:"by_class,omitempty"`
 }
 
 // JSONReport is the machine-readable analysis report.
@@ -173,6 +177,8 @@ func ToJSON(rep *core.Report) *JSONReport {
 			FingerprintHits:   s.FingerprintHits,
 			FingerprintMisses: s.FingerprintMisses,
 			StepsSaved:        s.StepsSaved,
+			ParseWallMS:       float64(s.ParseWall.Microseconds()) / 1000,
+			LoadWorkers:       s.LoadWorkers,
 		}
 		for _, id := range s.ClassIDs() {
 			cs := s.ByClass[id]

@@ -22,6 +22,10 @@ func RenderStats(s *core.ScanStats) string {
 		s.Tasks, s.TasksSkipped)
 	fmt.Fprintf(&b, "  AST steps: %d total, %d in the heaviest task\n",
 		s.TotalSteps, s.MaxTaskSteps)
+	if s.ParseWall > 0 || s.LoadWorkers > 0 {
+		fmt.Fprintf(&b, "  parse: %s wall across %d loader worker(s)\n",
+			s.ParseWall.Round(10*time.Microsecond), s.LoadWorkers)
+	}
 	fmt.Fprintf(&b, "  summary cache: %d hits, %d misses, %d entries committed\n",
 		s.CacheHits, s.CacheMisses, s.CacheEntries)
 	if s.TaskRetries > 0 || s.TasksRecovered > 0 || s.BreakerSkipped > 0 {
