@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-compare bench-smoke wapd serve fuzz-smoke
+.PHONY: all build test race vet lint bench bench-compare bench-smoke wapd serve fuzz-smoke chaos
 
 all: build vet test
 
@@ -23,6 +23,15 @@ wapd:
 # Run the scan service with development-friendly settings.
 serve: wapd
 	./bin/wapd -addr :8387 -workers 2 -queue-depth 16 -drain-timeout 30s
+
+# Durability suite under the race detector: the fault-injection harness, the
+# job journal, result-store self-healing, and the crash-resume determinism
+# tests (kill at every journal record boundary, corrupt every record kind).
+# Mirrors the CI chaos job.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/... ./internal/journal/... ./internal/resultstore/...
+	$(GO) test -race -count=1 ./internal/core/ -run 'TestCheckpoint|TestIncremental'
+	$(GO) test -race -count=1 ./internal/server/ -run 'TestCrashResume|TestCorruptRecord|TestCleanDrain|TestForcedDrain|TestAsync'
 
 # Mirror of the CI fuzz smoke: 30s over each parser fuzz target.
 fuzz-smoke:

@@ -79,6 +79,7 @@ func run(args []string) (int, error) {
 		retryMax = fs.Int("retry-max", 0, "retry a faulted (file, class) task up to N times with shrinking AST-step budgets before diagnosing it (0 = off)")
 		incr     = fs.Bool("incremental", false, "reuse per-task results from the previous scan of this tree (cached under <dir>/.wap-cache unless -cache-dir is set)")
 		cacheDir = fs.String("cache-dir", "", "result-store directory for incremental scans (implies -incremental)")
+		cacheMax = fs.Int64("cache-max-bytes", 0, "result-store size cap; least-recently-used snapshots are evicted beyond it (0 = unbounded)")
 		diffBase = fs.String("diff", "", "diff this scan against a baseline JSON report (from wap -json) and report new/fixed/persisting findings")
 		par      = fs.Int("parallelism", 0, "worker count for both the parse front end and the scan (0 = GOMAXPROCS capped at 8)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -192,7 +193,7 @@ func run(args []string) (int, error) {
 		if storeDir == "" {
 			storeDir = filepath.Join(dir, ".wap-cache")
 		}
-		store, err := resultstore.Open(storeDir)
+		store, err := resultstore.OpenOptions(storeDir, resultstore.Options{MaxBytes: *cacheMax})
 		if err != nil {
 			return exitFatal, err
 		}

@@ -13,8 +13,14 @@
 //     (file, class) tasks with shrinking budgets before giving up;
 //   - per-class circuit breakers (-breaker-threshold, -breaker-cooldown)
 //     trip a persistently faulting class open across jobs;
-//   - SIGTERM/SIGINT drains gracefully within -drain-timeout; /healthz and
-//     /readyz reflect queue saturation, drain state and breaker positions.
+//   - durable async jobs (-journal): "async": true requests answer 202 with
+//     a job ID, are journaled through a write-ahead log, survive a process
+//     crash, and resume warm from the result store (-cache-dir) on the next
+//     start; GET /jobs/{id} polls status and result;
+//   - SIGTERM/SIGINT drains gracefully within -drain-timeout, compacting
+//     the journal so clean shutdowns replay nothing; /healthz and /readyz
+//     reflect queue saturation, drain state, breaker positions and
+//     journal/store self-healing counters.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/resultstore"
 	"repro/internal/server"
 	"repro/internal/weapon"
@@ -59,6 +66,9 @@ func run(args []string) error {
 		maxFile    = fs.Int64("max-file-size", 0, "per-file size cap in bytes (0 = default 8 MiB, -1 = unlimited)")
 		reportDir  = fs.String("report-dir", "", "persist each job's JSON report here (written atomically)")
 		cacheDir   = fs.String("cache-dir", "", "result-store directory backing incremental scan requests (empty = no per-task reuse across restarts)")
+		cacheMax   = fs.Int64("cache-max-bytes", 0, "result-store size cap; least-recently-used snapshots are evicted beyond it (0 = unbounded)")
+		jnlPath    = fs.String("journal", "", "write-ahead job journal path; makes async jobs durable across crashes (empty = async jobs are lost on crash)")
+		ckptEvery  = fs.Int("checkpoint-every", 0, "engine tasks between mid-scan store checkpoints of durable jobs (0 = default, negative = off)")
 		par        = fs.Int("parallelism", 0, "loader worker count per scan job (0 = GOMAXPROCS capped at 8)")
 		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables it")
 	)
@@ -84,22 +94,37 @@ func run(args []string) error {
 
 	var store *resultstore.Store
 	if *cacheDir != "" {
-		store, err = resultstore.Open(*cacheDir)
+		store, err = resultstore.OpenOptions(*cacheDir, resultstore.Options{MaxBytes: *cacheMax})
 		if err != nil {
 			return err
 		}
 	}
 
+	var jnl *journal.Journal
+	if *jnlPath != "" {
+		var replayed []journal.Record
+		jnl, replayed, err = journal.Open(*jnlPath, journal.Options{})
+		if err != nil {
+			return err
+		}
+		defer jnl.Close()
+		if n := len(replayed); n > 0 {
+			fmt.Printf("wapd: journal %s replayed %d record(s)\n", *jnlPath, n)
+		}
+	}
+
 	srv, err := server.New(server.Config{
-		Engine:         eng,
-		QueueDepth:     *queueDepth,
-		Workers:        *workers,
-		DrainTimeout:   *drainTO,
-		DefaultTimeout: *defaultTO,
-		MaxTimeout:     *maxTO,
-		LoadOptions:    core.LoadOptions{MaxFileSize: *maxFile, Parallelism: *par},
-		ReportDir:      *reportDir,
-		Store:          store,
+		Engine:          eng,
+		QueueDepth:      *queueDepth,
+		Workers:         *workers,
+		DrainTimeout:    *drainTO,
+		DefaultTimeout:  *defaultTO,
+		MaxTimeout:      *maxTO,
+		LoadOptions:     core.LoadOptions{MaxFileSize: *maxFile, Parallelism: *par},
+		ReportDir:       *reportDir,
+		Store:           store,
+		Journal:         jnl,
+		CheckpointEvery: *ckptEvery,
 	})
 	if err != nil {
 		return err

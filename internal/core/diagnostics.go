@@ -40,11 +40,20 @@ const (
 	// faulted terminally in enough consecutive tasks across jobs) and the
 	// task was skipped without running.
 	DiagBreakerOpen DiagKind = "breaker-open"
+	// DiagStoreQuarantined: the project's result-store snapshot was
+	// unreadable (quarantined whole) or carried undecodable entries
+	// (salvaged). Like DiagRetried this is informational — every affected
+	// task re-executed from scratch, so findings are complete; the
+	// diagnostic surfaces that warm state was lost and where the evidence
+	// was moved.
+	DiagStoreQuarantined DiagKind = "store-quarantined"
 )
 
 // Informational reports whether the kind describes a recovered event rather
 // than lost coverage. Informational diagnostics never degrade a report.
-func (k DiagKind) Informational() bool { return k == DiagRetried }
+func (k DiagKind) Informational() bool {
+	return k == DiagRetried || k == DiagStoreQuarantined
+}
 
 // Diagnostic records one failure the pipeline isolated instead of
 // propagating. Failures are data: a scan always returns partial results

@@ -480,6 +480,36 @@ func (e *Engine) AnalyzeContext(ctx context.Context, p *Project) (*Report, error
 // scan: an unreadable or invalidated snapshot means a full re-execute, and a
 // failed save costs only the next scan's warm start.
 func (e *Engine) AnalyzeContextStore(ctx context.Context, p *Project, store *resultstore.Store) (*Report, error) {
+	return e.AnalyzeScan(ctx, p, ScanOpts{Store: store})
+}
+
+// ScanOpts carries the per-scan durability knobs AnalyzeScan accepts beyond
+// the engine's own options.
+type ScanOpts struct {
+	// Store is the result store for this scan; nil means full scan, no
+	// persistence.
+	Store *resultstore.Store
+	// CheckpointEvery, with a store attached, persists a partial snapshot
+	// after every N dispositioned execution tasks, so a scan killed mid-way
+	// resumes with those tasks warm instead of losing everything since the
+	// last complete scan. 0 disables mid-scan checkpoints (the final
+	// persist on scan completion is unaffected). Checkpoints trade save
+	// I/O for crash warmth and never affect findings: a lost or partial
+	// snapshot only costs re-execution.
+	CheckpointEvery int
+	// OnCheckpoint, when set, runs after each successful checkpoint save
+	// with the dispositioned and total execution-task counts. The scan
+	// service journals a task-checkpoint record here. Called from a worker
+	// goroutine, serialized by the checkpointer's lock.
+	OnCheckpoint func(done, total int)
+	// Resumes is how many crashed attempts of this same job preceded this
+	// scan; it flows into Stats for the durability account.
+	Resumes int
+}
+
+// AnalyzeScan is AnalyzeContext with explicit scan options; the durable job
+// path uses it to attach mid-scan checkpointing.
+func (e *Engine) AnalyzeScan(ctx context.Context, p *Project, so ScanOpts) (*Report, error) {
 	if !e.trained {
 		if err := e.Train(); err != nil {
 			return nil, err
@@ -494,8 +524,27 @@ func (e *Engine) AnalyzeContextStore(ctx context.Context, p *Project, store *res
 	rep.Diagnostics = append(rep.Diagnostics, p.Diagnostics...)
 
 	stats := newStatsCollector()
-	plan := e.planScan(p, store, stats)
-	exec := e.executePlan(ctx, p, plan, stats)
+	if so.Resumes > 0 {
+		stats.recordResumes(so.Resumes)
+	}
+	plan := e.planScan(p, so.Store, stats)
+	if q := plan.loadInfo.Quarantined; q != "" {
+		stats.recordStoreQuarantined()
+		rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+			Kind: DiagStoreQuarantined,
+			Message: fmt.Sprintf("result store snapshot unreadable (%s); moved to %s for diagnosis; all tasks re-executed",
+				plan.status, q),
+		})
+	}
+	if n := plan.loadInfo.Salvaged; n > 0 {
+		stats.recordStoreSalvaged(n)
+		rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+			Kind: DiagStoreQuarantined,
+			Message: fmt.Sprintf("result store snapshot salvaged: %d undecodable task entr%s dropped and re-executed",
+				n, plural(n, "y", "ies")),
+		})
+	}
+	exec := e.executePlan(ctx, p, plan, stats, so)
 	return e.mergeScan(ctx, plan, exec, stats, rep, start)
 }
 
@@ -522,13 +571,14 @@ type execState struct {
 
 // executePlan runs the plan's execution queue through the worker pool and
 // fault-isolation machinery.
-func (e *Engine) executePlan(ctx context.Context, p *Project, plan *scanPlan, stats *statsCollector) *execState {
+func (e *Engine) executePlan(ctx context.Context, p *Project, plan *scanPlan, stats *statsCollector, so ScanOpts) *execState {
 	exec := &execState{
 		results:  make([][]*Finding, len(plan.tasks)),
 		clean:    make([]bool, len(plan.tasks)),
 		steps:    make([]int, len(plan.tasks)),
 		executed: len(plan.execIdx),
 	}
+	ck := newCheckpointer(p, plan, so, stats)
 	if !e.opts.DisableSummaryCache {
 		exec.shared = taint.NewSharedSummaries()
 	}
@@ -604,6 +654,7 @@ func (e *Engine) executePlan(ctx context.Context, p *Project, plan *scanPlan, st
 			if !ok {
 				// Dispositioned without running: the class is tripped open.
 				completed.Add(1)
+				ck.taskDone(i, nil, 0, false)
 				stats.recordBreakerSkip(t.cls.ID)
 				addDiag(Diagnostic{
 					File: t.file.Path, Class: t.cls.ID, Kind: DiagBreakerOpen,
@@ -678,6 +729,9 @@ func (e *Engine) executePlan(ctx context.Context, p *Project, plan *scanPlan, st
 					// outcome: see execState.clean.
 					exec.clean[i] = true
 					exec.steps[i] = out.steps
+					ck.taskDone(i, out.findings, out.steps, true)
+				} else {
+					ck.taskDone(i, nil, 0, false)
 				}
 				if e.breakers != nil {
 					e.breakers.recordSuccess(t.cls.ID, probe)
@@ -697,6 +751,7 @@ func (e *Engine) executePlan(ctx context.Context, p *Project, plan *scanPlan, st
 			if attempt >= e.opts.RetryMax {
 				// Terminal fault.
 				completed.Add(1)
+				ck.taskDone(i, nil, 0, false)
 				if !timedOut {
 					// An abandoned attempt has no outcome to account.
 					stats.recordTask(t.cls.ID, out, elapsed)

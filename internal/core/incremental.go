@@ -45,8 +45,10 @@ type scanPlan struct {
 
 	store  *resultstore.Store
 	digest string
-	// status reports how the previous snapshot was (not) loaded.
-	status resultstore.LoadStatus
+	// status reports how the previous snapshot was (not) loaded; loadInfo
+	// carries the load's full self-healing account (quarantine, salvage).
+	status   resultstore.LoadStatus
+	loadInfo resultstore.LoadInfo
 }
 
 // decodedTask is one reusable task result in memory: the findings as decoded
@@ -113,7 +115,8 @@ func (e *Engine) planScan(p *Project, store *resultstore.Store, stats *statsColl
 	)
 	if store != nil {
 		plan.digest = e.configDigest()
-		snap, plan.status = store.Load(p.Name, plan.digest)
+		snap, plan.loadInfo = store.LoadWithInfo(p.Name, plan.digest)
+		plan.status = plan.loadInfo.Status
 		reach = fileClosures(p)
 		if pf != nil {
 			reach = pf.reach

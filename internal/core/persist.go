@@ -1,12 +1,100 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/php/ast"
 	"repro/internal/php/token"
 	"repro/internal/resultstore"
 	"repro/internal/taint"
 	"repro/internal/vuln"
 )
+
+// checkpointer persists partial snapshots while a scan is still executing,
+// so a process killed mid-scan leaves its completed tasks warm in the store
+// for the resumed attempt. Every partial snapshot is a valid snapshot — the
+// plan's reused entries plus the cleanly completed tasks so far — and
+// correctness never depends on one existing: fingerprints gate all reuse, so
+// a missing, stale or torn checkpoint only costs re-execution. The final
+// persistSnapshot on scan completion supersedes the last checkpoint.
+//
+// A nil *checkpointer is valid and inert, so call sites need no guards.
+type checkpointer struct {
+	p    *Project
+	plan *scanPlan
+	so   ScanOpts
+
+	mu sync.Mutex
+	// ix is the encoder's node indexer, shared across workers under mu
+	// (nodeIndexer itself is not concurrency-safe).
+	ix *nodeIndexer
+	// fresh accumulates the entries of cleanly completed first-attempt
+	// tasks, keyed by fingerprint.
+	fresh map[string]*resultstore.TaskEntry
+	done  int
+	stats *statsCollector
+}
+
+// newCheckpointer returns nil — no checkpointing — unless a store is
+// attached and a cadence is configured.
+func newCheckpointer(p *Project, plan *scanPlan, so ScanOpts, stats *statsCollector) *checkpointer {
+	if so.Store == nil || so.CheckpointEvery <= 0 || plan.store == nil {
+		return nil
+	}
+	return &checkpointer{
+		p: p, plan: plan, so: so,
+		ix:    newNodeIndexer(p),
+		fresh: make(map[string]*resultstore.TaskEntry),
+		stats: stats,
+	}
+}
+
+// taskDone records one dispositioned execution task. persistable marks a
+// clean first-attempt completion, the only outcome whose findings enter the
+// checkpoint (mirroring execState.clean). Every CheckpointEvery-th
+// disposition persists a partial snapshot.
+func (c *checkpointer) taskDone(i int, findings []*Finding, steps int, persistable bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done++
+	if persistable {
+		if fs, ok := c.ix.encodeTask(findings); ok {
+			t := c.plan.tasks[i]
+			c.fresh[c.plan.fingerprints[i]] = &resultstore.TaskEntry{
+				File: t.file.Path, Class: string(t.cls.ID),
+				Steps: steps, Findings: fs,
+			}
+		}
+	}
+	if c.done%c.so.CheckpointEvery == 0 && c.done < len(c.plan.execIdx) {
+		c.save()
+	}
+}
+
+// save persists the current partial snapshot: reused entries verbatim plus
+// the fresh completions so far. Best-effort, like every store save. Caller
+// holds c.mu.
+func (c *checkpointer) save() {
+	snap := resultstore.NewSnapshot(c.p.Name, c.plan.digest)
+	for i, ok := range c.plan.reusedOK {
+		if ok {
+			snap.Tasks[c.plan.fingerprints[i]] = c.plan.entries[i]
+		}
+	}
+	for fp, entry := range c.fresh {
+		snap.Tasks[fp] = entry
+	}
+	if err := c.plan.store.Save(snap); err != nil {
+		return
+	}
+	c.stats.recordCheckpoint()
+	if c.so.OnCheckpoint != nil {
+		c.so.OnCheckpoint(c.done, len(c.plan.execIdx))
+	}
+}
 
 // Findings carry live AST pointers (the sink call, the tainted argument, the
 // trace nodes) that post-merge consumers — the stored-XSS linker, symptom

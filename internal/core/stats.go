@@ -79,6 +79,16 @@ type ScanStats struct {
 	// when zero.
 	ParseWall   time.Duration
 	LoadWorkers int
+	// Durability account (all zero outside the durable-job path and store
+	// self-healing events; omitted from renderers when zero).
+	// StoreQuarantined counts snapshots moved aside as unreadable this scan;
+	// StoreSalvaged the undecodable task entries dropped from an otherwise
+	// readable snapshot; Checkpoints the partial snapshots persisted
+	// mid-scan; Resumes how many prior crashed attempts this scan resumed.
+	StoreQuarantined int
+	StoreSalvaged    int
+	Checkpoints      int
+	Resumes          int
 	// ByClass breaks the account down per vulnerability class.
 	ByClass map[vuln.ClassID]*ClassStats
 }
@@ -185,6 +195,34 @@ func (c *statsCollector) recordReused(id vuln.ClassID, steps, findings int) {
 	cs := c.class(id)
 	cs.Reused++
 	cs.Findings += findings
+}
+
+// recordStoreQuarantined accounts one snapshot quarantined at load.
+func (c *statsCollector) recordStoreQuarantined() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.StoreQuarantined++
+}
+
+// recordStoreSalvaged accounts n task entries dropped by snapshot salvage.
+func (c *statsCollector) recordStoreSalvaged(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.StoreSalvaged += n
+}
+
+// recordCheckpoint accounts one partial snapshot persisted mid-scan.
+func (c *statsCollector) recordCheckpoint() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Checkpoints++
+}
+
+// recordResumes notes how many crashed attempts preceded this scan.
+func (c *statsCollector) recordResumes(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Resumes = n
 }
 
 // recordBreakerSkip accounts one task skipped by an open circuit breaker.

@@ -221,6 +221,11 @@ func WriteHTML(w io.Writer, rep *core.Report) error {
 				"incremental: %d tasks reused, %d fingerprint hits, %d misses, %d AST steps saved",
 				s.TasksReused, s.FingerprintHits, s.FingerprintMisses, s.StepsSaved))
 		}
+		if s.StoreQuarantined > 0 || s.StoreSalvaged > 0 || s.Checkpoints > 0 || s.Resumes > 0 {
+			hs.Summary = append(hs.Summary, fmt.Sprintf(
+				"durability: %d snapshots quarantined, %d entries salvaged, %d checkpoints, %d resumes",
+				s.StoreQuarantined, s.StoreSalvaged, s.Checkpoints, s.Resumes))
+		}
 		for _, id := range s.ClassIDs() {
 			cs := s.ByClass[id]
 			hs.Classes = append(hs.Classes, htmlClassStats{

@@ -74,6 +74,12 @@ type JSONScanStats struct {
 	FingerprintHits   int   `json:"fingerprint_hits,omitempty"`
 	FingerprintMisses int   `json:"fingerprint_misses,omitempty"`
 	StepsSaved        int64 `json:"steps_saved,omitempty"`
+	// Durability account: store self-healing events and the durable-job
+	// checkpoint/resume counters.
+	StoreQuarantined int `json:"store_quarantined,omitempty"`
+	StoreSalvaged    int `json:"store_salvaged,omitempty"`
+	Checkpoints      int `json:"checkpoints,omitempty"`
+	Resumes          int `json:"resumes,omitempty"`
 	// Parse-phase account from the loader: wall time of the read+hash+parse
 	// work and the worker count. Absent for hand-assembled projects.
 	ParseWallMS float64          `json:"parse_wall_ms,omitempty"`
@@ -177,6 +183,10 @@ func ToJSON(rep *core.Report) *JSONReport {
 			FingerprintHits:   s.FingerprintHits,
 			FingerprintMisses: s.FingerprintMisses,
 			StepsSaved:        s.StepsSaved,
+			StoreQuarantined:  s.StoreQuarantined,
+			StoreSalvaged:     s.StoreSalvaged,
+			Checkpoints:       s.Checkpoints,
+			Resumes:           s.Resumes,
 			ParseWallMS:       float64(s.ParseWall.Microseconds()) / 1000,
 			LoadWorkers:       s.LoadWorkers,
 		}

@@ -36,6 +36,10 @@ func RenderStats(s *core.ScanStats) string {
 		fmt.Fprintf(&b, "  incremental: %d tasks reused, %d fingerprint hits, %d misses, %d AST steps saved\n",
 			s.TasksReused, s.FingerprintHits, s.FingerprintMisses, s.StepsSaved)
 	}
+	if s.StoreQuarantined > 0 || s.StoreSalvaged > 0 || s.Checkpoints > 0 || s.Resumes > 0 {
+		fmt.Fprintf(&b, "  durability: %d snapshots quarantined, %d entries salvaged, %d checkpoints, %d resumes\n",
+			s.StoreQuarantined, s.StoreSalvaged, s.Checkpoints, s.Resumes)
+	}
 	if len(s.ByClass) == 0 {
 		return b.String()
 	}

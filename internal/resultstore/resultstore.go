@@ -7,13 +7,22 @@
 // content hash + reachable-closure hashes + config digest) and decides what
 // is safe to persist; the store only guarantees
 //
-//   - atomicity: snapshots are written via internal/atomicfile, so a crash
-//     mid-save can never leave a truncated store that a later scan would
-//     misread;
-//   - self-invalidation: a snapshot whose format version or config digest
-//     does not match the reader's, or that fails to parse at all, is
-//     discarded wholesale — the caller falls back to a full re-execute,
-//     never a wrong reuse.
+//   - atomicity: snapshots are written via temp-file-and-rename (through the
+//     chaos.FS seam, so fault-injection tests cover every write path), so a
+//     crash mid-save can never leave a truncated store that a later scan
+//     would misread;
+//   - self-healing, never silent loss: a snapshot that fails to parse, or
+//     whose format version does not match the reader's, is quarantined —
+//     moved aside under a ".quarantined" suffix for diagnosis — and the
+//     caller re-executes from scratch with the event surfaced (LoadInfo,
+//     Health counters, and a DiagStoreQuarantined report diagnostic
+//     upstream). A snapshot that parses but carries individual undecodable
+//     task entries is salvaged: the bad entries are dropped and counted, the
+//     rest load normally;
+//   - bounded disk: with MaxBytes set, every save evicts least-recently-used
+//     snapshots (including quarantined ones) until the store fits, so a
+//     long-running replica cannot fill the disk. Loads touch their
+//     snapshot's mtime, making mtime order the LRU order.
 //
 // One snapshot file per project lives under the store directory, named by a
 // hash of the project name so arbitrary names stay filesystem-safe.
@@ -24,19 +33,25 @@ import (
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"repro/internal/atomicfile"
+	"repro/internal/chaos"
 )
 
 // FormatVersion is the on-disk schema version. Any change to the types below
-// that is not strictly additive must bump it; readers discard snapshots
+// that is not strictly additive must bump it; readers quarantine snapshots
 // written under a different version.
 const FormatVersion = 1
+
+// quarantineSuffix is appended to a snapshot path when it is moved aside.
+// One quarantine file per project: a later quarantine of the same project
+// replaces it, so diagnosis artifacts cannot accumulate without bound.
+const quarantineSuffix = ".quarantined"
 
 // LoadStatus reports how a Load call was satisfied. Anything but LoadHit
 // means the caller starts from an empty snapshot (full re-execute).
@@ -50,6 +65,19 @@ const (
 	LoadVersionMismatch LoadStatus = "version-mismatch"
 	LoadDigestMismatch  LoadStatus = "digest-mismatch"
 )
+
+// LoadInfo is the full account of one Load: the status plus the self-healing
+// actions the load performed.
+type LoadInfo struct {
+	Status LoadStatus
+	// Salvaged counts task entries dropped from an otherwise readable
+	// snapshot because they failed to decode; the surviving entries loaded
+	// normally and the dropped tasks simply re-execute.
+	Salvaged int
+	// Quarantined is the path an unreadable or wrong-version snapshot was
+	// moved to, "" when nothing was quarantined.
+	Quarantined string
+}
 
 // Position is a serialized token.Position.
 type Position struct {
@@ -142,6 +170,28 @@ func NewSnapshot(project, configDigest string) *Snapshot {
 	}
 }
 
+// Options tunes a store beyond its directory.
+type Options struct {
+	// FS is the filesystem seam; nil uses chaos.OS. Fault-injection tests
+	// pass a chaos.Injector.
+	FS chaos.FS
+	// MaxBytes caps the store's total on-disk size (snapshots plus
+	// quarantined files). Every save evicts least-recently-used files until
+	// the store fits; the file just written is never evicted. 0 means
+	// unbounded.
+	MaxBytes int64
+}
+
+// Health is the store's observability account, surfaced by wapd /healthz.
+type Health struct {
+	// Quarantined counts snapshots moved aside (corrupt or wrong version).
+	Quarantined int64 `json:"quarantined,omitempty"`
+	// SalvagedEntries counts task entries dropped from readable snapshots.
+	SalvagedEntries int64 `json:"salvaged_entries,omitempty"`
+	// Evicted counts files removed by the size cap.
+	Evicted int64 `json:"evicted,omitempty"`
+}
+
 // Store is a directory of per-project snapshots. A Store is safe for
 // concurrent use; concurrent saves of the same project serialize and the
 // last writer wins (each save rewrites the whole snapshot).
@@ -151,7 +201,10 @@ func NewSnapshot(project, configDigest string) *Snapshot {
 // and hands it back from Load while the file on disk is unchanged, so a
 // long-lived process rescanning the same project skips the JSON decode.
 type Store struct {
-	dir   string
+	dir      string
+	fs       chaos.FS
+	maxBytes int64
+
 	mu    sync.Mutex
 	cache map[string]*cachedSnapshot
 	// encCache holds, per project, the serialized bytes of each task entry
@@ -160,6 +213,10 @@ type Store struct {
 	// their bytes are spliced instead of re-marshaled. Replaced wholesale
 	// each Save, so dropped entries don't accumulate.
 	encCache map[string]map[*TaskEntry]json.RawMessage
+
+	quarantined atomic.Int64
+	salvaged    atomic.Int64
+	evicted     atomic.Int64
 }
 
 // cachedSnapshot pairs an in-memory snapshot with the file stat observed
@@ -170,20 +227,59 @@ type cachedSnapshot struct {
 	mtime time.Time
 }
 
-// Open returns a store rooted at dir, creating the directory if needed.
+// Open returns an unbounded store rooted at dir over the real filesystem,
+// creating the directory if needed.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenOptions(dir, Options{})
+}
+
+// OpenOptions is Open with an explicit filesystem seam and size cap. Stale
+// temp files from interrupted saves are removed on open.
+func OpenOptions(dir string, opts Options) (*Store, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = chaos.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("resultstore: open %s: %w", dir, err)
 	}
-	return &Store{
+	s := &Store{
 		dir:      dir,
+		fs:       fsys,
+		maxBytes: opts.MaxBytes,
 		cache:    make(map[string]*cachedSnapshot),
 		encCache: make(map[string]map[*TaskEntry]json.RawMessage),
-	}, nil
+	}
+	s.sweepTemp()
+	return s, nil
+}
+
+// sweepTemp removes temp-file litter left by saves a crash interrupted.
+// Best-effort: a sweep failure costs stray files, never the store.
+func (s *Store) sweepTemp() {
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp-") {
+			_ = s.fs.Remove(filepath.Join(s.dir, name))
+		}
+	}
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Health returns the store's self-healing counters.
+func (s *Store) Health() Health {
+	return Health{
+		Quarantined:     s.quarantined.Load(),
+		SalvagedEntries: s.salvaged.Load(),
+		Evicted:         s.evicted.Load(),
+	}
+}
 
 // path maps a project name to its snapshot file. The name is hashed so
 // project names with separators or other hostile characters cannot escape
@@ -197,50 +293,125 @@ func (s *Store) path(project string) string {
 // unreadable, corrupt, wrong-version or wrong-digest snapshot returns a nil
 // snapshot with the reason, and the caller re-executes everything.
 func (s *Store) Load(project, configDigest string) (*Snapshot, LoadStatus) {
+	snap, info := s.LoadWithInfo(project, configDigest)
+	return snap, info.Status
+}
+
+// LoadWithInfo is Load with the full self-healing account: the entries a
+// salvage dropped and the path a quarantine moved the snapshot to.
+func (s *Store) LoadWithInfo(project, configDigest string) (*Snapshot, LoadInfo) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	path := s.path(project)
-	fi, err := os.Stat(path)
+	fi, err := s.fs.Stat(path)
 	if err != nil {
 		delete(s.cache, project)
-		return nil, LoadMiss
+		return nil, LoadInfo{Status: LoadMiss}
 	}
 	if c := s.cache[project]; c != nil && c.size == fi.Size() && c.mtime.Equal(fi.ModTime()) {
 		if c.snap.Version != FormatVersion {
-			return nil, LoadVersionMismatch
+			delete(s.cache, project)
+			return nil, LoadInfo{Status: LoadVersionMismatch, Quarantined: s.quarantine(project, path)}
 		}
 		if c.snap.ConfigDigest != configDigest {
-			return nil, LoadDigestMismatch
+			return nil, LoadInfo{Status: LoadDigestMismatch}
 		}
-		return c.snap, LoadHit
+		s.touch(project, path, c.snap)
+		return c.snap, LoadInfo{Status: LoadHit}
 	}
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
-		return nil, LoadMiss
+		return nil, LoadInfo{Status: LoadMiss}
 	}
-	var snap Snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, LoadCorrupt
+	snap, salvaged, err := decodeSnapshot(data)
+	if err != nil {
+		return nil, LoadInfo{Status: LoadCorrupt, Quarantined: s.quarantine(project, path)}
 	}
 	if snap.Version != FormatVersion {
-		return nil, LoadVersionMismatch
+		return nil, LoadInfo{Status: LoadVersionMismatch, Quarantined: s.quarantine(project, path)}
 	}
-	if snap.Tasks == nil {
-		snap.Tasks = make(map[string]*TaskEntry)
+	if salvaged > 0 {
+		s.salvaged.Add(int64(salvaged))
 	}
 	// Cache on the stat taken before the read: if a concurrent writer
 	// replaced the file in between, the recorded stat will not match the
 	// new file and the next Load re-reads.
-	s.cache[project] = &cachedSnapshot{snap: &snap, size: fi.Size(), mtime: fi.ModTime()}
+	s.cache[project] = &cachedSnapshot{snap: snap, size: fi.Size(), mtime: fi.ModTime()}
 	if snap.ConfigDigest != configDigest {
-		return nil, LoadDigestMismatch
+		return nil, LoadInfo{Status: LoadDigestMismatch, Salvaged: salvaged}
 	}
-	return &snap, LoadHit
+	s.touch(project, path, snap)
+	return snap, LoadInfo{Status: LoadHit, Salvaged: salvaged}
+}
+
+// decodeSnapshot parses snapshot bytes with entry-level salvage: the header
+// and the task map must parse (anything less is corruption), but an
+// individual entry that fails its typed decode is dropped and counted
+// rather than condemning its siblings.
+func decodeSnapshot(data []byte) (*Snapshot, int, error) {
+	var raw struct {
+		Version      int                        `json:"version"`
+		Project      string                     `json:"project"`
+		ConfigDigest string                     `json:"config_digest"`
+		Tasks        map[string]json.RawMessage `json:"tasks"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, 0, err
+	}
+	snap := &Snapshot{
+		Version:      raw.Version,
+		Project:      raw.Project,
+		ConfigDigest: raw.ConfigDigest,
+		Tasks:        make(map[string]*TaskEntry, len(raw.Tasks)),
+	}
+	salvaged := 0
+	for fp, body := range raw.Tasks {
+		var entry TaskEntry
+		if err := json.Unmarshal(body, &entry); err != nil {
+			salvaged++
+			continue
+		}
+		snap.Tasks[fp] = &entry
+	}
+	return snap, salvaged, nil
+}
+
+// quarantine moves the project's snapshot aside for diagnosis, returning the
+// quarantine path ("" when the move failed — the file is then removed so a
+// poisoned snapshot cannot wedge every future load). Caller holds s.mu.
+func (s *Store) quarantine(project, path string) string {
+	delete(s.cache, project)
+	delete(s.encCache, project)
+	qpath := path + quarantineSuffix
+	if err := s.fs.Rename(path, qpath); err != nil {
+		_ = s.fs.Remove(path)
+		return ""
+	}
+	s.quarantined.Add(1)
+	return qpath
+}
+
+// touch bumps the snapshot's mtime so eviction order tracks use, then
+// re-records the stat so the in-memory cache still matches disk.
+// Best-effort; caller holds s.mu.
+func (s *Store) touch(project, path string, snap *Snapshot) {
+	if s.maxBytes <= 0 {
+		return // LRU order is only consulted by the size cap
+	}
+	now := time.Now()
+	if err := s.fs.Chtimes(path, now, now); err != nil {
+		return
+	}
+	if fi, err := s.fs.Stat(path); err == nil {
+		s.cache[project] = &cachedSnapshot{snap: snap, size: fi.Size(), mtime: fi.ModTime()}
+	}
 }
 
 // Save atomically replaces the project's snapshot. The write is whole-file:
 // entries for fingerprints not in snap (stale file versions, removed files)
-// are dropped, so the store self-prunes as the project evolves.
+// are dropped, so the store self-prunes as the project evolves. With a size
+// cap configured, least-recently-used snapshots are evicted afterwards until
+// the store fits.
 func (s *Store) Save(snap *Snapshot) error {
 	if snap.Version == 0 {
 		snap.Version = FormatVersion
@@ -254,16 +425,82 @@ func (s *Store) Save(snap *Snapshot) error {
 	path := s.path(snap.Project)
 	// No fsync: the store is a cache. A crash that loses or tears the
 	// snapshot costs the next scan its warm start (torn reads parse as
-	// corrupt and fall back to a full re-execute), never correctness.
-	if err := atomicfile.WriteFileNoSync(path, data, 0o644); err != nil {
+	// corrupt, are quarantined, and fall back to a full re-execute), never
+	// correctness. The job journal, which IS the source of truth for
+	// accepted work, fsyncs; see internal/journal.
+	if err := chaos.WriteFileAtomic(s.fs, path, data, 0o644, false); err != nil {
 		return fmt.Errorf("resultstore: save %s: %w", snap.Project, err)
 	}
-	if fi, err := os.Stat(path); err == nil {
+	if fi, err := s.fs.Stat(path); err == nil {
 		s.cache[snap.Project] = &cachedSnapshot{snap: snap, size: fi.Size(), mtime: fi.ModTime()}
 	} else {
 		delete(s.cache, snap.Project)
 	}
+	s.enforceCap(filepath.Base(path))
 	return nil
+}
+
+// enforceCap evicts least-recently-used store files until the total size
+// fits MaxBytes. keep (a base name) is never evicted — it is the snapshot
+// that was just written. Caller holds s.mu. Best-effort: an eviction
+// failure leaves the store over cap until the next save retries.
+func (s *Store) enforceCap(keep string) {
+	if s.maxBytes <= 0 {
+		return
+	}
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type fileInfo struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var (
+		files []fileInfo
+		total int64
+	)
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") && !strings.HasSuffix(name, quarantineSuffix) {
+			continue
+		}
+		fi, err := s.fs.Stat(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		files = append(files, fileInfo{name: name, size: fi.Size(), mtime: fi.ModTime()})
+		total += fi.Size()
+	}
+	if total <= s.maxBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	// Invalidate in-memory state for evicted snapshots by path, so a later
+	// Load of that project re-reads (and misses) instead of serving a
+	// cached snapshot for a file the cap removed.
+	pathProject := make(map[string]string, len(s.cache))
+	for project := range s.cache {
+		pathProject[filepath.Base(s.path(project))] = project
+	}
+	for _, f := range files {
+		if total <= s.maxBytes {
+			return
+		}
+		if f.name == keep {
+			continue
+		}
+		if err := s.fs.Remove(filepath.Join(s.dir, f.name)); err != nil {
+			continue
+		}
+		total -= f.size
+		s.evicted.Add(1)
+		if project, ok := pathProject[f.name]; ok {
+			delete(s.cache, project)
+			delete(s.encCache, project)
+		}
+	}
 }
 
 // encode serializes the snapshot, splicing the bytes of entries unchanged

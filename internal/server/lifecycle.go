@@ -2,11 +2,15 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"time"
+
+	"repro/internal/journal"
 )
 
 // Drain performs the graceful-shutdown handoff: admission stops (new scans
@@ -33,15 +37,52 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.compactJournal()
 		return nil
 	case <-ctx.Done():
-		// Deadline passed: cut the in-flight jobs over to partial reports.
+		// Deadline passed: cut the in-flight jobs over — sync jobs to
+		// partial reports, durable async jobs back into the journal.
 		// Cancellation is cooperative (the taint walker polls its stop flag)
 		// so the workers return promptly.
 		s.forceCancel()
 		<-done
+		s.compactJournal()
 		return ctx.Err()
 	}
+}
+
+// compactJournal writes the drain's compaction checkpoint: the journal is
+// atomically rewritten to hold exactly the accepted records of still-
+// incomplete async jobs (with their crashed-attempt counts folded in), so a
+// clean shutdown leaves a header-only journal the next start replays in one
+// read, and a forced drain leaves exactly the jobs to resume. Runs once,
+// after every worker has exited, so job states are final.
+func (s *Server) compactJournal() {
+	if s.cfg.Journal == nil {
+		return
+	}
+	s.compactOnce.Do(func() {
+		s.jobMu.Lock()
+		var keep []journal.Record
+		for _, st := range s.jobs {
+			if st.status == StatusDone {
+				continue
+			}
+			payload, err := json.Marshal(acceptedPayload{Req: st.req, Resumes: st.resumes + st.started})
+			if err != nil {
+				continue
+			}
+			keep = append(keep, journal.Record{
+				Seq: st.acceptedSeq, Kind: journal.JobAccepted, Job: st.id,
+				UnixMS: st.acceptedMS, Payload: payload,
+			})
+		}
+		s.jobMu.Unlock()
+		sort.Slice(keep, func(i, j int) bool { return keep[i].Seq < keep[j].Seq })
+		if err := s.cfg.Journal.Compact(keep); err != nil {
+			s.journalErrs.Add(1)
+		}
+	})
 }
 
 // Serve runs the HTTP service on ln until ctx is cancelled (wapd wires ctx

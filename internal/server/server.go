@@ -1,4 +1,4 @@
-// Package server implements wapd's long-running HTTP scan service on four
+// Package server implements wapd's long-running HTTP scan service on five
 // robustness layers:
 //
 //  1. admission control — a bounded job queue and a fixed worker pool; a
@@ -11,10 +11,21 @@
 //     the engine, reported per job);
 //  3. per-class circuit breakers — engine-scoped, so a class that faults
 //     persistently across jobs trips open and stops consuming workers;
-//  4. lifecycle — SIGTERM/SIGINT drains gracefully: admission stops,
-//     in-flight jobs finish (or are force-cancelled into partial reports at
-//     the drain deadline), and /healthz + /readyz reflect queue saturation,
-//     drain state and breaker positions throughout.
+//  4. durability — async jobs ("async": true, answered 202 with a job ID
+//     and polled via GET /jobs/{id}) are journaled through a write-ahead
+//     log: accepted before the 202, started when a worker picks them up,
+//     checkpointed as the engine flushes mid-scan store snapshots, done
+//     when answered. On startup the journal replays and every incomplete
+//     job is re-admitted through the same bounded queue; its resumed scan
+//     comes back warm from the result store's checkpoints and produces a
+//     report byte-identical to an uninterrupted run;
+//  5. lifecycle — SIGTERM/SIGINT drains gracefully: admission stops,
+//     in-flight jobs finish (or are force-cancelled — sync jobs into
+//     partial reports, durable async jobs back into the journal for the
+//     next start to resume), the journal is compacted so a clean shutdown
+//     replays nothing, and /healthz + /readyz reflect queue saturation,
+//     drain state, breaker positions and journal/store self-healing
+//     counters throughout.
 package server
 
 import (
@@ -23,14 +34,17 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/atomicfile"
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/report"
 	"repro/internal/resultstore"
 )
@@ -43,8 +57,19 @@ const (
 	DefaultJobTimeout   = 2 * time.Minute
 	DefaultMaxTimeout   = 10 * time.Minute
 	DefaultRetryAfter   = 2 * time.Second
+	// DefaultCheckpointEvery is the checkpoint cadence (dispositioned tasks
+	// per mid-scan snapshot) applied to durable jobs when
+	// Config.CheckpointEvery is zero.
+	DefaultCheckpointEvery = 16
 	// maxRequestBytes bounds an uploaded tree (64 MiB).
 	maxRequestBytes = 64 << 20
+)
+
+// Job lifecycle states reported by GET /jobs/{id}.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
 )
 
 // Config tunes a scan server.
@@ -73,8 +98,21 @@ type Config struct {
 	RetryAfter time.Duration
 	// Store, when set, backs incremental scan requests: jobs with
 	// "incremental": true reuse the store's per-task results and persist
-	// their own. Requests without the field never touch the store.
+	// their own. Requests without the field never touch the store — except
+	// durable async jobs (see Journal), which always run against it so
+	// their mid-scan checkpoints make a crash resume warm.
 	Store *resultstore.Store
+	// Journal, when set, makes async jobs durable: every lifecycle
+	// transition is appended to this write-ahead journal, New replays it
+	// and re-admits incomplete jobs, and Drain compacts it. The server
+	// owns appends and compaction but not Close; the caller that opened
+	// the journal closes it after Drain.
+	Journal *journal.Journal
+	// CheckpointEvery is how many dispositioned engine tasks pass between
+	// mid-scan result-store checkpoints of a durable job. 0 applies
+	// DefaultCheckpointEvery; negative disables mid-scan checkpoints
+	// (resumes then restart from the last complete scan's snapshot).
+	CheckpointEvery int
 }
 
 // ScanRequest is the body of POST /scan. Exactly one of Dir and Files must
@@ -97,6 +135,11 @@ type ScanRequest struct {
 	// carries a diff against that baseline. Findings are byte-identical to a
 	// full scan either way.
 	Incremental bool `json:"incremental,omitempty"`
+	// Async detaches the job from the connection: POST /scan answers 202
+	// with the job ID immediately and the result is polled via
+	// GET /jobs/{id}. With Config.Journal set, async jobs are durable —
+	// they survive a process crash and resume on the next start.
+	Async bool `json:"async,omitempty"`
 }
 
 // ScanResponse is the body of a completed scan.
@@ -114,13 +157,69 @@ type ScanResponse struct {
 	Diff *report.JSONDiff `json:"diff,omitempty"`
 }
 
+// JobStatus is the body of GET /jobs/{id} and of the 202 response to an
+// async POST /scan.
+type JobStatus struct {
+	ID string `json:"id"`
+	// Status is queued, running or done.
+	Status string `json:"status"`
+	// Resumes counts crashed attempts that preceded the current one.
+	Resumes int `json:"resumes,omitempty"`
+	// Result carries the job's response once Status is done. A done job
+	// replayed from a prior process has its report re-read from ReportDir;
+	// without a report directory the result of such a job is unavailable.
+	Result *ScanResponse `json:"result,omitempty"`
+}
+
 type job struct {
 	id       string
 	req      ScanRequest
 	timeout  time.Duration
 	reqCtx   context.Context
 	enqueued time.Time
-	done     chan *ScanResponse // buffered; worker sends exactly once
+	async    bool
+	// resumes is how many crashed attempts of this job preceded it (journal
+	// replay sets it; fresh jobs are 0).
+	resumes int
+	done    chan *ScanResponse // buffered; worker sends exactly once
+}
+
+// jobState is the server-side lifecycle record of an async job, the state
+// behind GET /jobs/{id} and journal compaction. Sync jobs are not tracked —
+// their response goes out on the connection that submitted them.
+type jobState struct {
+	id      string
+	status  string
+	resumes int
+	// started counts worker pickups within this process; a drain-suspended
+	// job's next generation counts them as additional resumes.
+	started int
+	resp    *ScanResponse
+	req     ScanRequest
+	// acceptedSeq/acceptedMS echo the job's accepted journal record so
+	// compaction can rewrite it without re-reading the journal.
+	acceptedSeq int64
+	acceptedMS  int64
+}
+
+// acceptedPayload is the journal payload of a job-accepted record: the full
+// request, so replay can re-admit the job with no other state.
+type acceptedPayload struct {
+	Req ScanRequest `json:"req"`
+	// Resumes carries crashed-attempt counts across compactions (compaction
+	// drops the started records that would otherwise witness them).
+	Resumes int `json:"resumes,omitempty"`
+}
+
+// checkpointPayload is the journal payload of a task-checkpoint record.
+type checkpointPayload struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// donePayload is the journal payload of a job-done record.
+type donePayload struct {
+	Error string `json:"error,omitempty"`
 }
 
 // Server is a running scan service.
@@ -139,6 +238,20 @@ type Server struct {
 	accepted  atomic.Int64
 	rejected  atomic.Int64
 	completed atomic.Int64
+	resumed   atomic.Int64 // incomplete jobs re-admitted by journal replay
+
+	// journalErrs counts journal appends that failed. A failed append never
+	// fails the job — it degrades durability (the transition may be lost on
+	// a crash) and is surfaced here and in /healthz.
+	journalErrs atomic.Int64
+
+	// jobs tracks async jobs by ID for GET /jobs/{id} and drain compaction.
+	jobMu sync.Mutex
+	jobs  map[string]*jobState
+
+	// compactOnce guards the drain-time journal compaction (Drain is
+	// idempotent; the compaction must be too).
+	compactOnce sync.Once
 
 	// forceCtx is cancelled when the drain deadline passes; every job's
 	// context derives from it so in-flight scans cut over to partial
@@ -185,17 +298,126 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
-	s := &Server{cfg: cfg, queue: make(chan *job, cfg.QueueDepth), baselines: make(map[string]*baseline)}
+	s := &Server{
+		cfg:       cfg,
+		queue:     make(chan *job, cfg.QueueDepth),
+		baselines: make(map[string]*baseline),
+		jobs:      make(map[string]*jobState),
+	}
 	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/scan", s.handleScan)
+	s.mux.HandleFunc("/jobs/", s.handleJob)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	if cfg.Journal != nil {
+		s.replayJournal()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// replayJournal folds the journal's replayed records into job state and
+// re-admits every job that was accepted but not done when the previous
+// process stopped. Runs before the worker pool starts; re-admission respects
+// the bounded queue via feeder goroutines that retry while the queue is
+// full, so a journal larger than QueueDepth re-admits as workers free slots.
+func (s *Server) replayJournal() {
+	var (
+		order []string
+		maxID int64
+	)
+	for _, rec := range s.cfg.Journal.Replayed() {
+		if n, ok := jobNum(rec.Job); ok && n > maxID {
+			maxID = n
+		}
+		switch rec.Kind {
+		case journal.JobAccepted:
+			var pl acceptedPayload
+			if err := json.Unmarshal(rec.Payload, &pl); err != nil {
+				continue // unusable request; nothing to resume
+			}
+			if s.jobs[rec.Job] == nil {
+				order = append(order, rec.Job)
+			}
+			s.jobs[rec.Job] = &jobState{
+				id: rec.Job, status: StatusQueued, resumes: pl.Resumes,
+				req: pl.Req, acceptedSeq: rec.Seq, acceptedMS: rec.UnixMS,
+			}
+		case journal.JobStarted:
+			// Each pickup the crashed process logged is one lost attempt.
+			if st := s.jobs[rec.Job]; st != nil {
+				st.resumes++
+			}
+		case journal.JobDone:
+			if st := s.jobs[rec.Job]; st != nil {
+				st.status = StatusDone
+			}
+		}
+	}
+	if maxID > s.seq.Load() {
+		s.seq.Store(maxID)
+	}
+	for _, id := range order {
+		st := s.jobs[id]
+		if st.status == StatusDone {
+			continue
+		}
+		j := &job{
+			id: st.id, req: st.req, timeout: s.clampTimeout(st.req.TimeoutMS),
+			reqCtx: context.Background(), enqueued: time.Now(),
+			async: true, resumes: st.resumes,
+			done: make(chan *ScanResponse, 1),
+		}
+		s.resumed.Add(1)
+		go s.feedJob(j)
+	}
+}
+
+// feedJob pushes a replayed job through normal admission, retrying while the
+// queue is full. A drain ends the feed; the job's accepted record survives
+// compaction, so the next start feeds it again.
+func (s *Server) feedJob(j *job) {
+	for {
+		switch err := s.admit(j); {
+		case err == nil:
+			return
+		case errors.Is(err, errDraining):
+			return
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// jobNum extracts N from "job-N" IDs so replay can seed the sequence above
+// every replayed job.
+func jobNum(id string) (int64, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// clampTimeout resolves a requested per-job timeout against the server's
+// default and cap.
+func (s *Server) clampTimeout(ms int64) time.Duration {
+	timeout := s.cfg.DefaultTimeout
+	if ms > 0 {
+		timeout = time.Duration(ms) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	return timeout
 }
 
 // Handler returns the server's HTTP handler.
@@ -239,33 +461,61 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "exactly one of dir and files must be set")
 		return
 	}
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-		if timeout > s.cfg.MaxTimeout {
-			timeout = s.cfg.MaxTimeout
-		}
-	}
 	j := &job{
 		id:       fmt.Sprintf("job-%d", s.seq.Add(1)),
 		req:      req,
-		timeout:  timeout,
+		timeout:  s.clampTimeout(req.TimeoutMS),
 		reqCtx:   r.Context(),
 		enqueued: time.Now(),
+		async:    req.Async,
 		done:     make(chan *ScanResponse, 1),
+	}
+	if j.async {
+		// An async job outlives the connection that submitted it; only the
+		// per-job deadline and the drain force-cancel may stop it.
+		j.reqCtx = context.Background()
+	}
+	if j.async {
+		// Register and journal the job before admission so a worker can
+		// never pick it up while it is still untracked, and the client
+		// never holds an ID a crash could lose.
+		st := &jobState{id: j.id, status: StatusQueued, req: j.req, acceptedMS: time.Now().UnixMilli()}
+		if s.cfg.Journal != nil {
+			if seq, err := s.cfg.Journal.Append(journal.JobAccepted, j.id, acceptedPayload{Req: j.req}); err != nil {
+				s.journalErrs.Add(1)
+			} else {
+				st.acceptedSeq = seq
+			}
+		}
+		s.jobMu.Lock()
+		s.jobs[j.id] = st
+		s.jobMu.Unlock()
 	}
 	switch err := s.admit(j); {
 	case errors.Is(err, errQueueFull):
 		s.rejected.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+		s.dropRejected(j)
+		// Round the hint up: sub-second configs must hint 1, never 0
+		// (Retry-After: 0 reads as "retry immediately" — the opposite of
+		// backpressure).
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	case errors.Is(err, errDraining):
 		s.rejected.Add(1)
+		s.dropRejected(j)
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	s.accepted.Add(1)
+	if j.async {
+		writeJSON(w, http.StatusAccepted, JobStatus{ID: j.id, Status: StatusQueued})
+		return
+	}
 	select {
 	case resp := <-j.done:
 		writeJSON(w, http.StatusOK, resp)
@@ -273,6 +523,80 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		// Client went away; the job's context derives from the request
 		// context, so the worker abandons the scan on its own.
 	}
+}
+
+// handleJob serves GET /jobs/{id}: the job's lifecycle status and, once
+// done, its result.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	s.jobMu.Lock()
+	st := s.jobs[id]
+	var out JobStatus
+	if st != nil {
+		out = JobStatus{ID: st.id, Status: st.status, Resumes: st.resumes, Result: st.resp}
+	}
+	s.jobMu.Unlock()
+	if st == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if out.Status == StatusDone && out.Result == nil {
+		// The job completed in a previous process; its response lives only
+		// in the report artifact.
+		if rep := s.loadReportArtifact(id); rep != nil {
+			out.Result = &ScanResponse{ID: id, Report: rep}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// dropRejected undoes the pre-admission registration of an async job the
+// queue rejected: the state is removed and a done record neutralizes the
+// accepted one, so a replay cannot resurrect a job whose client saw 429/503.
+func (s *Server) dropRejected(j *job) {
+	if !j.async {
+		return
+	}
+	s.jobMu.Lock()
+	delete(s.jobs, j.id)
+	s.jobMu.Unlock()
+	s.journalAppend(journal.JobDone, j.id, donePayload{Error: "rejected at admission"})
+}
+
+// journalAppend appends one record for an async job, counting (never
+// propagating) failures: a lost transition degrades durability, not the job.
+func (s *Server) journalAppend(kind journal.Kind, id string, payload any) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	if _, err := s.cfg.Journal.Append(kind, id, payload); err != nil {
+		s.journalErrs.Add(1)
+	}
+}
+
+// loadReportArtifact re-reads a persisted report, for done jobs replayed
+// from a previous process.
+func (s *Server) loadReportArtifact(id string) *report.JSONReport {
+	if s.cfg.ReportDir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(filepath.Join(s.cfg.ReportDir, id+".json"))
+	if err != nil {
+		return nil
+	}
+	var rep report.JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil
+	}
+	return &rep
 }
 
 // worker drains the queue until Drain closes it.
@@ -286,11 +610,24 @@ func (s *Server) worker() {
 // runJob loads and analyzes one job under a context that dies with the
 // client connection, the per-job deadline, or the drain force-cancel —
 // whichever comes first. Deadline and drain cut-offs still return the
-// partial report the engine produced.
+// partial report the engine produced — except a durable async job cut off
+// by drain, which is suspended back into the journal so the next start
+// resumes it instead of pinning a partial report nobody is waiting on.
 func (s *Server) runJob(j *job) {
 	s.active.Add(1)
 	defer s.active.Add(-1)
 	defer s.completed.Add(1)
+
+	durable := j.async && s.cfg.Journal != nil
+	s.jobMu.Lock()
+	if st := s.jobs[j.id]; st != nil {
+		st.status = StatusRunning
+		st.started++
+	}
+	s.jobMu.Unlock()
+	if durable {
+		s.journalAppend(journal.JobStarted, j.id, nil)
+	}
 
 	ctx, cancel := context.WithCancel(j.reqCtx)
 	defer cancel()
@@ -312,6 +649,12 @@ func (s *Server) runJob(j *job) {
 		s.baseMu.Unlock()
 		store = s.cfg.Store
 	}
+	if durable {
+		// Durable jobs always run against the store: the checkpoints it
+		// absorbs are what make a resumed attempt warm rather than a
+		// from-scratch re-run. Findings are byte-identical either way.
+		store = s.cfg.Store
+	}
 	var prevProj *core.Project
 	if prev != nil {
 		prevProj = prev.proj
@@ -319,17 +662,37 @@ func (s *Server) runJob(j *job) {
 
 	proj, err := s.loadProject(ctx, j.req, prevProj)
 	if err != nil {
+		if durable && errors.Is(err, context.Canceled) {
+			s.suspendJob(j.id)
+			return
+		}
 		resp.Error = err.Error()
-		j.done <- resp
+		s.finishJob(j, resp)
 		return
 	}
-	rep, err := s.cfg.Engine.AnalyzeContextStore(ctx, proj, store)
+	so := core.ScanOpts{Store: store, Resumes: j.resumes}
+	if durable && store != nil {
+		so.CheckpointEvery = s.checkpointEvery()
+		id := j.id
+		so.OnCheckpoint = func(done, total int) {
+			s.journalAppend(journal.TaskCheckpoint, id, checkpointPayload{Done: done, Total: total})
+		}
+	}
+	rep, err := s.cfg.Engine.AnalyzeScan(ctx, proj, so)
 	if err != nil {
+		if durable && errors.Is(err, context.Canceled) {
+			// An async job's context has no client to die with, so Canceled
+			// can only mean the drain force-cancel. Its checkpoints are
+			// already persisted and its accepted record survives
+			// compaction; suspend it for the next start to resume.
+			s.suspendJob(j.id)
+			return
+		}
 		// A deadline or cancellation mid-scan still carries the partial
 		// report; anything without one is a hard failure.
 		resp.Error = err.Error()
 		if rep == nil {
-			j.done <- resp
+			s.finishJob(j, resp)
 			return
 		}
 	}
@@ -344,7 +707,45 @@ func (s *Server) runJob(j *job) {
 		s.baseMu.Unlock()
 	}
 	s.persistReport(j.id, resp.Report)
+	s.finishJob(j, resp)
+}
+
+// checkpointEvery resolves the durable-job checkpoint cadence.
+func (s *Server) checkpointEvery() int {
+	switch {
+	case s.cfg.CheckpointEvery > 0:
+		return s.cfg.CheckpointEvery
+	case s.cfg.CheckpointEvery < 0:
+		return 0
+	default:
+		return DefaultCheckpointEvery
+	}
+}
+
+// finishJob dispositions a completed job: async jobs keep their response for
+// GET /jobs/{id} and get a done journal record; sync jobs hand the response
+// to the waiting connection.
+func (s *Server) finishJob(j *job, resp *ScanResponse) {
+	if j.async {
+		s.jobMu.Lock()
+		if st := s.jobs[j.id]; st != nil {
+			st.status = StatusDone
+			st.resp = resp
+		}
+		s.jobMu.Unlock()
+		s.journalAppend(journal.JobDone, j.id, donePayload{Error: resp.Error})
+	}
 	j.done <- resp
+}
+
+// suspendJob reverts a drain-cancelled durable job to queued without a done
+// record, so journal compaction keeps it and the next start resumes it.
+func (s *Server) suspendJob(id string) {
+	s.jobMu.Lock()
+	if st := s.jobs[id]; st != nil {
+		st.status = StatusQueued
+	}
+	s.jobMu.Unlock()
 }
 
 // projName is the baseline key: the report label the job will carry.
@@ -382,6 +783,7 @@ func (s *Server) persistReport(id string, rep *report.JSONReport) {
 	if err != nil {
 		return
 	}
+	_ = os.MkdirAll(s.cfg.ReportDir, 0o755)
 	_ = atomicfile.WriteFile(filepath.Join(s.cfg.ReportDir, id+".json"), data, 0o644)
 }
 
@@ -397,6 +799,17 @@ type health struct {
 	Accepted  int64  `json:"accepted"`
 	Rejected  int64  `json:"rejected"`
 	Completed int64  `json:"completed"`
+	// Resumed counts incomplete journaled jobs this process re-admitted at
+	// startup; JournalErrors counts appends that failed (each one a
+	// transition that would be lost by a crash).
+	Resumed       int64 `json:"resumed,omitempty"`
+	JournalErrors int64 `json:"journal_errors,omitempty"`
+	// Journal carries the write-ahead journal's own account (replayed
+	// records, dropped tail bytes, compactions); Store the result store's
+	// self-healing counters (quarantined snapshots, salvaged entries,
+	// evictions). Both absent when the feature is off.
+	Journal *journal.Counters   `json:"journal,omitempty"`
+	Store   *resultstore.Health `json:"store,omitempty"`
 	// Breakers maps class → breaker status for every class whose breaker
 	// has state; open entries mean that class is currently diagnostics-only.
 	Breakers map[string]core.BreakerStatus `json:"breakers,omitempty"`
@@ -413,6 +826,16 @@ func (s *Server) healthSnapshot() health {
 		Accepted:  s.accepted.Load(),
 		Rejected:  s.rejected.Load(),
 		Completed: s.completed.Load(),
+		Resumed:   s.resumed.Load(),
+	}
+	h.JournalErrors = s.journalErrs.Load()
+	if s.cfg.Journal != nil {
+		c := s.cfg.Journal.Counters()
+		h.Journal = &c
+	}
+	if s.cfg.Store != nil {
+		sh := s.cfg.Store.Health()
+		h.Store = &sh
 	}
 	// Ready means an admitted scan would be queued right now: not draining
 	// and the queue has room. An open breaker does not unready the service —
