@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-compare bench-smoke wapd serve fuzz-smoke chaos
+.PHONY: all build test race vet lint bench bench-compare bench-smoke wapd serve fuzz-smoke chaos weapons-gate
 
 all: build vet test
 
@@ -32,6 +32,13 @@ chaos:
 	$(GO) test -race -count=1 ./internal/chaos/... ./internal/journal/... ./internal/resultstore/...
 	$(GO) test -race -count=1 ./internal/core/ -run 'TestCheckpoint|TestIncremental'
 	$(GO) test -race -count=1 ./internal/server/ -run 'TestCrashResume|TestCorruptRecord|TestCleanDrain|TestForcedDrain|TestAsync'
+
+# Validation-ladder gate over the builtin weapon specs and every spec file
+# in weapons/: parse, collision check, and a dry-run scan of each weapon's
+# generated proof app — the same ladder wapd applies to a hot POST /weapons
+# upload. Mirrors the CI weapons-gate job.
+weapons-gate:
+	$(GO) run ./cmd/weaponsmith -gate weapons/*.weapon
 
 # Mirror of the CI fuzz smoke: 30s over each parser fuzz target.
 fuzz-smoke:

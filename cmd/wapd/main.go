@@ -17,6 +17,11 @@
 //     a job ID, are journaled through a write-ahead log, survive a process
 //     crash, and resume warm from the result store (-cache-dir) on the next
 //     start; GET /jobs/{id} polls status and result;
+//   - hot-reloadable weapons (-weapons-dir): POST /weapons runs a .weapon
+//     spec through the validation ladder (parse → collision check against
+//     bundled class IDs → dry-run on a generated proof app) and swaps it
+//     into service without a restart; accepted weapons persist to
+//     -weapons-dir and replay at the next start;
 //   - SIGTERM/SIGINT drains gracefully within -drain-timeout, compacting
 //     the journal so clean shutdowns replay nothing; /healthz and /readyz
 //     reflect queue saturation, drain state, breaker positions and
@@ -69,6 +74,7 @@ func run(args []string) error {
 		cacheMax   = fs.Int64("cache-max-bytes", 0, "result-store size cap; least-recently-used snapshots are evicted beyond it (0 = unbounded)")
 		jnlPath    = fs.String("journal", "", "write-ahead job journal path; makes async jobs durable across crashes (empty = async jobs are lost on crash)")
 		ckptEvery  = fs.Int("checkpoint-every", 0, "engine tasks between mid-scan store checkpoints of durable jobs (0 = default, negative = off)")
+		weaponsDir = fs.String("weapons-dir", "", "persist weapons accepted via POST /weapons here and replay them at startup (empty = hot weapons are lost on restart)")
 		par        = fs.Int("parallelism", 0, "loader worker count per scan job (0 = GOMAXPROCS capped at 8)")
 		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables it")
 	)
@@ -125,6 +131,7 @@ func run(args []string) error {
 		Store:           store,
 		Journal:         jnl,
 		CheckpointEvery: *ckptEvery,
+		WeaponsDir:      *weaponsDir,
 	})
 	if err != nil {
 		return err

@@ -129,6 +129,14 @@ type Options struct {
 	// Reports are byte-identical to a full scan (Stats aside, which account
 	// reuse). AnalyzeContextStore overrides it per call.
 	ResultStore *resultstore.Store
+	// WeaponSetRevision is the hot-reload registry revision this engine's
+	// weapon set was derived from (0 when weapons are fixed for the process
+	// lifetime). It is folded into the config digest, so every weapon
+	// add/remove rotates all closure fingerprints: a scan after a swap can
+	// never splice findings cached under a previous weapon set — even if a
+	// removed weapon is later re-added with identical content, the revision
+	// keeps the fingerprint spaces distinct.
+	WeaponSetRevision int64
 }
 
 // DefaultTaskBudget is the per-task AST-step budget applied when
@@ -329,7 +337,24 @@ func New(opts Options) (*Engine, error) {
 
 	var dynamics []symptom.Dynamic
 	if opts.Mode == ModeWAPe {
+		// Weapon class IDs must not collide: a second weapon with the same
+		// ID, or a weapon shadowing a bundled non-weapon class, would be
+		// silently dropped by dedupeClasses while its fix and dynamics still
+		// registered — reports would be ambiguous about which detector ran.
+		// Bundled classes marked Weapon (nosqli, hi, ei, wpsqli) are the
+		// documented exception: the builtin specs regenerate them, and the
+		// registry definition wins.
+		bundled := make(map[vuln.ClassID]*vuln.Class, len(classSet))
+		for _, c := range classSet {
+			bundled[c.ID] = c
+		}
 		for _, w := range opts.Weapons {
+			if _, dup := e.weapons[w.Class.ID]; dup {
+				return nil, fmt.Errorf("core: duplicate weapon %q", w.Class.ID)
+			}
+			if c := bundled[w.Class.ID]; c != nil && !c.Weapon {
+				return nil, fmt.Errorf("core: weapon %q collides with the bundled %s class; rename the weapon", w.Class.ID, c.Name)
+			}
 			e.weapons[w.Class.ID] = w
 			classSet = append(classSet, w.Class)
 			dynamics = append(dynamics, w.Dynamics...)
@@ -827,6 +852,15 @@ func (e *Engine) mergeScan(ctx context.Context, plan *scanPlan, exec *execState,
 	if rep.Project != nil {
 		rep.Stats.ParseWall = rep.Project.LoadStats.ParseWall
 		rep.Stats.LoadWorkers = rep.Project.LoadStats.Workers
+	}
+	if len(e.weapons) > 0 {
+		for _, id := range e.WeaponIDs() {
+			rep.Stats.ActiveWeapons = append(rep.Stats.ActiveWeapons, string(id))
+			if cs := rep.Stats.ByClass[id]; cs != nil {
+				cs.Weapon = true
+			}
+		}
+		rep.Stats.WeaponSetRevision = e.opts.WeaponSetRevision
 	}
 	for i, ok := range plan.reusedOK {
 		if ok {

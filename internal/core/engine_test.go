@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/corrector"
 	"repro/internal/dataset"
 	"repro/internal/vuln"
 	"repro/internal/weapon"
@@ -217,6 +218,43 @@ func TestWeaponsRequireWAPe(t *testing.T) {
 func TestUnknownClassRejected(t *testing.T) {
 	if _, err := New(Options{Classes: []vuln.ClassID{"bogus"}}); err == nil {
 		t.Error("want error for unknown class")
+	}
+}
+
+func TestWeaponCollisionsRejected(t *testing.T) {
+	w, err := weapon.Generate(weapon.Spec{
+		Name:  "colltest",
+		Sinks: []vuln.Sink{{Name: "sinkfn"}},
+		Fix:   corrector.Template{Kind: corrector.PHPSanitization, SanFunc: "esc"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two weapons with the same class ID would silently dedupe.
+	if _, err := New(Options{Mode: ModeWAPe, Weapons: []*weapon.Weapon{w, w}}); err == nil {
+		t.Error("want error for duplicate weapon IDs")
+	}
+
+	// A weapon shadowing a non-weapon bundled class would dedupe to the
+	// bundled definition while its fix and dynamics still registered.
+	// Spec.Validate blocks the name, so forge the class ID directly (as a
+	// hand-built Weapon struct could).
+	forged := *w
+	forgedCls := *w.Class
+	forgedCls.ID = vuln.SQLI
+	forged.Class = &forgedCls
+	if _, err := New(Options{Mode: ModeWAPe, Weapons: []*weapon.Weapon{&forged}}); err == nil {
+		t.Error("want error for weapon shadowing bundled sqli class")
+	}
+
+	// Regenerating a bundled weapon class (nosqli etc.) stays allowed.
+	builtin, err := weapon.Generate(weapon.BuiltinSpecs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Mode: ModeWAPe, Weapons: []*weapon.Weapon{builtin}, Seed: 1}); err != nil {
+		t.Errorf("bundled weapon class regeneration rejected: %v", err)
 	}
 }
 

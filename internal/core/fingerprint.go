@@ -64,6 +64,13 @@ func (e *Engine) configDigest() string {
 		for _, w := range e.opts.Weapons {
 			put("weapon=%s fix=%+v dynamics=%+v", w.Class.ID, *w.Fix, w.Dynamics)
 		}
+		// Hot-reloaded weapon sets carry the registry revision so every
+		// swap rotates the fingerprint space (see Options.WeaponSetRevision).
+		// Zero is skipped to keep static-weapon digests stable across the
+		// feature's introduction.
+		if e.opts.WeaponSetRevision != 0 {
+			put("weapon-rev=%d", e.opts.WeaponSetRevision)
+		}
 		e.digestVal = hex.EncodeToString(h.Sum(nil))
 	})
 	return e.digestVal

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/vuln"
+	"repro/internal/weapon"
+)
+
+// Hot-reloading weapons never mutates a live engine: after Train an Engine
+// is read-only (breakers aside), so a weapon swap derives a NEW engine from
+// the startup engine and atomically replaces the pointer the scan service
+// hands to new scans. Scans already running keep the engine they started
+// with — mid-scan swaps cannot change a running scan's findings.
+
+// WeaponIDs returns the class IDs of the engine's linked weapons in sorted
+// order (a weapon's class ID is its name).
+func (e *Engine) WeaponIDs() []vuln.ClassID {
+	ids := make([]vuln.ClassID, 0, len(e.weapons))
+	for id := range e.weapons {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// WithWeapons derives an engine whose weapon set is the receiver's startup
+// weapons plus the given hot-reloaded set, stamped with the registry
+// revision the set was taken at. The derived engine shares the receiver's
+// trained ensemble (training is deterministic per seed, so sharing only
+// skips redundant work) and its circuit breakers: breakers are per-class,
+// weapon classes are classes, so each user weapon keeps its own breaker
+// state across swaps and a pathological weapon stays tripped even after
+// unrelated set changes. Call it on the startup engine — deriving from a
+// derived engine would compound the hot sets.
+func (e *Engine) WithWeapons(revision int64, hot []*weapon.Weapon) (*Engine, error) {
+	if !e.trained {
+		if err := e.Train(); err != nil {
+			return nil, err
+		}
+	}
+	opts := e.opts
+	opts.WeaponSetRevision = revision
+	opts.Weapons = make([]*weapon.Weapon, 0, len(e.opts.Weapons)+len(hot))
+	opts.Weapons = append(opts.Weapons, e.opts.Weapons...)
+	opts.Weapons = append(opts.Weapons, hot...)
+	ne, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	ne.ensemble = e.ensemble
+	ne.trained = true
+	ne.breakers = e.breakers
+	return ne, nil
+}
+
+// DryRunWeapon is the last validation rung before a weapon is admitted: it
+// scans the weapon's generated proof app (corpus.DryRunApp) with the
+// receiver — a candidate engine that already includes the weapon — and
+// checks the ground truth exactly. Every planted vulnerable flow must be
+// reported by the weapon's class and every sanitized flow must stay
+// silent; any scan degradation (panic, timeout, budget exhaustion) on the
+// tiny proof app also rejects, since it predicts pathological behaviour at
+// scale. The scan runs storeless: proof-app results never touch the
+// incremental result store.
+func (e *Engine) DryRunWeapon(ctx context.Context, w *weapon.Weapon) error {
+	if _, ok := e.weapons[w.Class.ID]; !ok {
+		return fmt.Errorf("core: dry-run: engine does not include weapon %q", w.Class.ID)
+	}
+	app := corpus.DryRunApp(&w.Spec)
+	p := LoadMap(app.Name, app.Files)
+	if len(p.Diagnostics) > 0 {
+		return fmt.Errorf("core: dry-run of weapon %q: proof app failed to load: %s", w.Class.ID, p.Diagnostics[0].Message)
+	}
+	rep, err := e.AnalyzeScan(ctx, p, ScanOpts{})
+	if err != nil {
+		return fmt.Errorf("core: dry-run of weapon %q: %w", w.Class.ID, err)
+	}
+	for _, d := range rep.Diagnostics {
+		return fmt.Errorf("core: dry-run of weapon %q degraded on the generated proof app (%v): %s",
+			w.Class.ID, d.Kind, d.Message)
+	}
+
+	matched := make([]bool, len(app.Spots))
+	var stray []string
+	for _, f := range rep.Findings {
+		if f.Candidate.Class != w.Class.ID {
+			continue
+		}
+		hit := false
+		for i, s := range app.Spots {
+			if s.Contains(f.Candidate.File, f.Candidate.SinkPos.Line) {
+				matched[i] = true
+				hit = true
+			}
+		}
+		if !hit {
+			stray = append(stray, fmt.Sprintf("%s:%d (sink %s)", f.Candidate.File, f.Candidate.SinkPos.Line, f.Candidate.SinkName))
+		}
+	}
+	var missed []string
+	for i, s := range app.Spots {
+		if !matched[i] {
+			missed = append(missed, fmt.Sprintf("%s:%d-%d (sink %s)", s.File, s.StartLine, s.EndLine, w.Spec.Sinks[i].Name))
+		}
+	}
+	if len(missed) > 0 || len(stray) > 0 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "core: dry-run of weapon %q failed:", w.Class.ID)
+		if len(missed) > 0 {
+			fmt.Fprintf(&b, " planted vulnerable flows not detected: %s;", strings.Join(missed, ", "))
+		}
+		if len(stray) > 0 {
+			fmt.Fprintf(&b, " sanitized flows incorrectly flagged: %s;", strings.Join(stray, ", "))
+		}
+		b.WriteString(" the spec's sinks/sanitizers do not behave as declared")
+		return fmt.Errorf("%s", b.String())
+	}
+	return nil
+}

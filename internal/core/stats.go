@@ -34,6 +34,10 @@ type ClassStats struct {
 	BreakerSkipped int
 	// Reused counts the class's tasks satisfied from the result store.
 	Reused int
+	// Weapon marks classes that came from a linked weapon (builtin or
+	// hot-reloaded), so renderers can attribute the class's account to the
+	// weapon by name (the class ID is the weapon name).
+	Weapon bool
 }
 
 // ScanStats is the scan's performance account, carried on Report.Stats.
@@ -89,6 +93,14 @@ type ScanStats struct {
 	StoreSalvaged    int
 	Checkpoints      int
 	Resumes          int
+	// Weapons account (omitted from renderers when empty/zero).
+	// ActiveWeapons lists the scan engine's linked weapon class IDs in
+	// sorted order; WeaponSetRevision echoes the hot-reload registry
+	// revision the set was derived at (0 = weapons fixed at startup).
+	// Per-weapon task/finding counters live in ByClass under the weapon's
+	// class ID, flagged with ClassStats.Weapon.
+	ActiveWeapons     []string
+	WeaponSetRevision int64
 	// ByClass breaks the account down per vulnerability class.
 	ByClass map[vuln.ClassID]*ClassStats
 }

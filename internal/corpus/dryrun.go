@@ -1,0 +1,96 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vuln"
+	"repro/internal/weapon"
+)
+
+// GroupDryRun marks spots planted by DryRunApp. Dry-run apps are proof
+// workloads for a single candidate weapon, not part of the benchmark
+// corpus, so they do not belong to any paper reporting group.
+const GroupDryRun Group = "DryRun"
+
+// DryRunApp generates the validation workload for one weapon spec: for
+// every sensitive sink it plants a vulnerable flow (entry point reaches
+// the sink unsanitized — the weapon MUST report it) and, when the spec
+// declares sanitizers, a sanitized flow (the weapon must stay silent).
+// The app is pure data derived from the spec, so validating an uploaded
+// weapon needs no hand-written ground truth: a weapon that cannot find
+// its own planted flows, or that flags its own sanitized flows, is
+// rejected before it ever touches a real scan.
+func DryRunApp(spec *weapon.Spec) *App {
+	app := &App{
+		Name:    "dryrun-" + strings.ToLower(spec.Name),
+		Version: "0",
+		Files:   map[string]string{},
+	}
+	var b strings.Builder
+	b.WriteString("<?php\n// dry-run proof app for weapon " + spec.Name + "\n")
+	line := 2 // 1-based; the next WriteString starts on line 3
+
+	const file = "dryrun.php"
+	emit := func(snippet string, vulnerable bool) {
+		start := line + 1
+		b.WriteString(snippet)
+		if !strings.HasSuffix(snippet, "\n") {
+			b.WriteString("\n")
+		}
+		line = start + strings.Count(strings.TrimSuffix(snippet, "\n"), "\n")
+		if vulnerable {
+			app.Spots = append(app.Spots, Spot{
+				Group:      GroupDryRun,
+				File:       file,
+				StartLine:  start,
+				EndLine:    line,
+				Vulnerable: true,
+			})
+		}
+		b.WriteString("\n")
+		line++
+	}
+
+	san := ""
+	if len(spec.Sanitizers) > 0 {
+		san = strings.ToLower(spec.Sanitizers[0])
+	}
+	for i, s := range spec.Sinks {
+		// Vulnerable: tainted superglobal straight into the sink.
+		emit(fmt.Sprintf("$taint%d = $_GET['p%d'];\n%s", i, i, sinkCall(s, i, fmt.Sprintf("$taint%d", i))), true)
+		if san != "" {
+			// Sanitized: the same flow through the spec's first sanitizer
+			// must not be flagged.
+			emit(fmt.Sprintf("$clean%d = %s($_GET['q%d']);\n%s", i, san, i, sinkCall(s, i, fmt.Sprintf("$clean%d", i))), false)
+		}
+	}
+	app.Files[file] = b.String()
+	return app
+}
+
+// sinkCall renders one call of the sink with the given expression in a
+// tainted argument position.
+func sinkCall(s vuln.Sink, n int, taintedArg string) string {
+	// Place the tainted value at the first declared sensitive argument
+	// (any position when the sink declares none), padding earlier
+	// positions with harmless literals.
+	pos := 0
+	if len(s.Args) > 0 {
+		pos = s.Args[0]
+	}
+	args := make([]string, pos+1)
+	for i := 0; i < pos; i++ {
+		args[i] = fmt.Sprintf("\"arg%d\"", i)
+	}
+	args[pos] = "\"x\" . " + taintedArg
+	call := fmt.Sprintf("%s(%s);", s.Name, strings.Join(args, ", "))
+	if s.Method {
+		recv := s.Recv
+		if recv == "" {
+			recv = fmt.Sprintf("obj%d", n)
+		}
+		call = fmt.Sprintf("$%s->%s", recv, call)
+	}
+	return call
+}

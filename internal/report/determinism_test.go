@@ -12,8 +12,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/corrector"
 	"repro/internal/resultstore"
 	"repro/internal/vuln"
+	"repro/internal/weapon"
 )
 
 // TestJSONByteIdenticalAcrossParallelism pins scan determinism end to end:
@@ -267,5 +269,109 @@ func TestReportByteIdenticalAcrossLoaderParallelism(t *testing.T) {
 	}
 	if !strings.Contains(seq, "findings") {
 		t.Fatal("report rendered no findings; determinism check is vacuous")
+	}
+}
+
+// TestWeaponSwapIncrementalByteIdentical pins the digest-rotation rule for
+// hot-reloaded weapons: after a weapon swap, an incremental rescan over a
+// warm store must produce reports byte-identical to a cold scan with that
+// weapon set — the rotated config digest forces a full re-execute, so no
+// finding cached under the previous weapon set can splice into the report.
+func TestWeaponSwapIncrementalByteIdentical(t *testing.T) {
+	w, err := weapon.Generate(weapon.Spec{
+		Name:       "swapgate",
+		Sinks:      []vuln.Sink{{Name: "gate_sink"}},
+		Sanitizers: []string{"gate_clean"},
+		Fix:        corrector.Template{Kind: corrector.PHPSanitization, SanFunc: "gate_clean"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{"app.php": `<?php
+$x = $_GET['x'];
+mysql_query("SELECT * FROM t WHERE id=" . $x);
+gate_sink("payload=" . $x);
+$y = gate_clean($_GET['y']);
+gate_sink("payload=" . $y);
+`}
+
+	renderAll := func(rep *core.Report) string {
+		rep.Duration = 0
+		rep.Stats = nil
+		var text, js, html bytes.Buffer
+		WriteText(&text, rep, TextOptions{ShowFP: true})
+		if err := WriteJSON(&js, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteHTML(&html, rep); err != nil {
+			t.Fatal(err)
+		}
+		return text.String() + "\n=====\n" + js.String() + "\n=====\n" + html.String()
+	}
+	newBase := func() *core.Engine {
+		e, err := core.New(core.Options{Mode: core.ModeWAPe, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	ctx := context.Background()
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the store under the pre-swap weapon set.
+	base := newBase()
+	proj := core.LoadMap("swapapp", files)
+	if _, err := base.AnalyzeContextStore(ctx, proj, store); err != nil {
+		t.Fatal(err)
+	}
+
+	// Swap: derive the engine with the hot weapon at revision 1 and rescan
+	// incrementally over the warm store.
+	swapped, err := base.WithWeapons(1, []*weapon.Weapon{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmProj := core.LoadMapIncremental("swapapp", files, proj)
+	swapRep, err := swapped.AnalyzeContextStore(ctx, warmProj, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapRep.Stats == nil || swapRep.Stats.TasksReused != 0 {
+		t.Fatalf("post-swap rescan reused %d tasks cached under the old weapon set; the rotated digest must force a full re-execute", swapRep.Stats.TasksReused)
+	}
+
+	// Cold reference: a fresh derived engine, no store.
+	coldEng, err := newBase().WithWeapons(1, []*weapon.Weapon{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := coldEng.Analyze(core.LoadMap("swapapp", files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := renderAll(swapRep), renderAll(cold)
+	if got != want {
+		t.Error("post-swap incremental rescan differs from cold scan with the same weapon set")
+	}
+	if !strings.Contains(got, "swapgate") {
+		t.Fatal("weapon findings missing from the post-swap report; comparison is vacuous")
+	}
+
+	// A second post-swap rescan is warm again — under the NEW digest — and
+	// still byte-identical.
+	warm2 := core.LoadMapIncremental("swapapp", files, warmProj)
+	rep2, err := swapped.AnalyzeContextStore(ctx, warm2, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Stats == nil || rep2.Stats.TasksReused == 0 {
+		t.Fatal("second post-swap rescan reused nothing; store did not warm under the new digest")
+	}
+	if renderAll(rep2) != want {
+		t.Error("warm post-swap rescan differs from cold scan with the same weapon set")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"html/template"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -226,10 +227,21 @@ func WriteHTML(w io.Writer, rep *core.Report) error {
 				"durability: %d snapshots quarantined, %d entries salvaged, %d checkpoints, %d resumes",
 				s.StoreQuarantined, s.StoreSalvaged, s.Checkpoints, s.Resumes))
 		}
+		if len(s.ActiveWeapons) > 0 {
+			line := "weapons: " + strings.Join(s.ActiveWeapons, ", ")
+			if s.WeaponSetRevision != 0 {
+				line += fmt.Sprintf(" (hot-reload revision %d)", s.WeaponSetRevision)
+			}
+			hs.Summary = append(hs.Summary, line)
+		}
 		for _, id := range s.ClassIDs() {
 			cs := s.ByClass[id]
+			label := string(id)
+			if cs.Weapon {
+				label += " (weapon)"
+			}
 			hs.Classes = append(hs.Classes, htmlClassStats{
-				Class:    string(id),
+				Class:    label,
 				Tasks:    cs.Tasks,
 				Skipped:  cs.Skipped,
 				Steps:    cs.Steps,

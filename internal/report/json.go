@@ -50,6 +50,9 @@ type JSONClassStats struct {
 	BreakerSkipped int `json:"breaker_skipped,omitempty"`
 	// Reused counts the class's tasks satisfied from the result store.
 	Reused int `json:"reused,omitempty"`
+	// Weapon marks classes generated from a weapon spec (builtin or
+	// hot-reloaded); the class name is the weapon name.
+	Weapon bool `json:"weapon,omitempty"`
 }
 
 // JSONScanStats mirrors core.ScanStats. These numbers describe the work the
@@ -82,9 +85,14 @@ type JSONScanStats struct {
 	Resumes          int `json:"resumes,omitempty"`
 	// Parse-phase account from the loader: wall time of the read+hash+parse
 	// work and the worker count. Absent for hand-assembled projects.
-	ParseWallMS float64          `json:"parse_wall_ms,omitempty"`
-	LoadWorkers int              `json:"load_workers,omitempty"`
-	ByClass     []JSONClassStats `json:"by_class,omitempty"`
+	ParseWallMS float64 `json:"parse_wall_ms,omitempty"`
+	LoadWorkers int     `json:"load_workers,omitempty"`
+	// Weapons account: the scan engine's linked weapon class IDs and the
+	// hot-reload registry revision the engine was derived at (absent when
+	// the weapon set was fixed at startup).
+	ActiveWeapons     []string         `json:"active_weapons,omitempty"`
+	WeaponSetRevision int64            `json:"weapon_set_revision,omitempty"`
+	ByClass           []JSONClassStats `json:"by_class,omitempty"`
 }
 
 // JSONReport is the machine-readable analysis report.
@@ -189,6 +197,8 @@ func ToJSON(rep *core.Report) *JSONReport {
 			Resumes:           s.Resumes,
 			ParseWallMS:       float64(s.ParseWall.Microseconds()) / 1000,
 			LoadWorkers:       s.LoadWorkers,
+			ActiveWeapons:     append([]string(nil), s.ActiveWeapons...),
+			WeaponSetRevision: s.WeaponSetRevision,
 		}
 		for _, id := range s.ClassIDs() {
 			cs := s.ByClass[id]
@@ -205,6 +215,7 @@ func ToJSON(rep *core.Report) *JSONReport {
 				Recovered:      cs.Recovered,
 				BreakerSkipped: cs.BreakerSkipped,
 				Reused:         cs.Reused,
+				Weapon:         cs.Weapon,
 			})
 		}
 		out.Stats = js

@@ -40,14 +40,25 @@ func RenderStats(s *core.ScanStats) string {
 		fmt.Fprintf(&b, "  durability: %d snapshots quarantined, %d entries salvaged, %d checkpoints, %d resumes\n",
 			s.StoreQuarantined, s.StoreSalvaged, s.Checkpoints, s.Resumes)
 	}
+	if len(s.ActiveWeapons) > 0 {
+		fmt.Fprintf(&b, "  weapons: %s", strings.Join(s.ActiveWeapons, ", "))
+		if s.WeaponSetRevision != 0 {
+			fmt.Fprintf(&b, " (hot-reload revision %d)", s.WeaponSetRevision)
+		}
+		b.WriteByte('\n')
+	}
 	if len(s.ByClass) == 0 {
 		return b.String()
 	}
 	var rows [][]string
 	for _, id := range s.ClassIDs() {
 		cs := s.ByClass[id]
+		label := string(id)
+		if cs.Weapon {
+			label += " (weapon)"
+		}
 		rows = append(rows, []string{
-			string(id),
+			label,
 			strconv.Itoa(cs.Tasks),
 			strconv.Itoa(cs.Skipped),
 			strconv.FormatInt(cs.Steps, 10),

@@ -113,6 +113,10 @@ type Config struct {
 	// DefaultCheckpointEvery; negative disables mid-scan checkpoints
 	// (resumes then restart from the last complete scan's snapshot).
 	CheckpointEvery int
+	// WeaponsDir, when set, persists weapons admitted through POST /weapons
+	// as <name>.weapon files and replays them at startup, so a hot-reloaded
+	// weapon survives a restart. Empty keeps admitted weapons in memory only.
+	WeaponsDir string
 }
 
 // ScanRequest is the body of POST /scan. Exactly one of Dir and Files must
@@ -260,6 +264,13 @@ type Server struct {
 	forceCancel context.CancelFunc
 	wg          sync.WaitGroup
 
+	// engineVal is the engine new jobs scan with. It starts as Config.Engine
+	// and is atomically replaced by weapon admissions/removals; a job reads
+	// it once at start, so a swap never changes a running scan. weapons is
+	// the hot-reload platform behind /weapons (see weapons.go).
+	engineVal atomic.Pointer[core.Engine]
+	weapons   *weaponPlatform
+
 	// baselines holds, per project name, the last complete scan of an
 	// incremental job: its report (for the response diff) and its parsed
 	// project (so the next scan reuses ASTs of unchanged files). Only
@@ -305,9 +316,15 @@ func New(cfg Config) (*Server, error) {
 		jobs:      make(map[string]*jobState),
 	}
 	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
+	if err := s.initWeapons(); err != nil {
+		s.forceCancel()
+		return nil, err
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/scan", s.handleScan)
 	s.mux.HandleFunc("/jobs/", s.handleJob)
+	s.mux.HandleFunc("/weapons", s.handleWeapons)
+	s.mux.HandleFunc("/weapons/", s.handleWeaponItem)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	if cfg.Journal != nil {
@@ -678,7 +695,7 @@ func (s *Server) runJob(j *job) {
 			s.journalAppend(journal.TaskCheckpoint, id, checkpointPayload{Done: done, Total: total})
 		}
 	}
-	rep, err := s.cfg.Engine.AnalyzeScan(ctx, proj, so)
+	rep, err := s.engine().AnalyzeScan(ctx, proj, so)
 	if err != nil {
 		if durable && errors.Is(err, context.Canceled) {
 			// An async job's context has no client to die with, so Canceled
@@ -813,6 +830,13 @@ type health struct {
 	// Breakers maps class → breaker status for every class whose breaker
 	// has state; open entries mean that class is currently diagnostics-only.
 	Breakers map[string]core.BreakerStatus `json:"breakers,omitempty"`
+	// WeaponRevision is the hot-reload registry revision the serving engine
+	// was derived at (0 = startup weapon set); Weapons lists the serving
+	// engine's weapon class IDs; WeaponErrors lists -weapons-dir spec files
+	// that failed replay at startup (each skipped, never served).
+	WeaponRevision int64    `json:"weapon_revision,omitempty"`
+	Weapons        []string `json:"weapons,omitempty"`
+	WeaponErrors   []string `json:"weapon_errors,omitempty"`
 }
 
 func (s *Server) healthSnapshot() health {
@@ -841,12 +865,18 @@ func (s *Server) healthSnapshot() health {
 	// and the queue has room. An open breaker does not unready the service —
 	// every other class still scans — but it is visible in the body.
 	h.Ready = !h.Draining && h.QueueLen < h.QueueCap
-	if snap := s.cfg.Engine.BreakerSnapshot(); len(snap) > 0 {
+	eng := s.engine()
+	if snap := eng.BreakerSnapshot(); len(snap) > 0 {
 		h.Breakers = make(map[string]core.BreakerStatus, len(snap))
 		for id, st := range snap {
 			h.Breakers[string(id)] = st
 		}
 	}
+	h.WeaponRevision = s.weapons.registry.Revision()
+	for _, id := range eng.WeaponIDs() {
+		h.Weapons = append(h.Weapons, string(id))
+	}
+	h.WeaponErrors = append(h.WeaponErrors, s.weapons.loadErrs...)
 	return h
 }
 

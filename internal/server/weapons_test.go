@@ -1,0 +1,272 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func decodeBody(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// hotSpec is a valid test weapon: a new class with its own sink and
+// sanitizer, detectable on the generated dry-run proof app.
+const hotSpec = `name hotlogi
+description Test log-forging weapon
+sink hot_sink
+san hot_clean
+fix-template php_san
+fix-san hot_clean
+`
+
+// brokenSpec parses and validates but cannot pass its dry-run: the
+// sanitizer list contains the sink itself, so the planted vulnerable flow
+// is considered sanitized and never reported.
+const brokenSpec = `name brokenhot
+description Weapon that cannot detect its own flows
+sink broken_sink
+san broken_sink
+fix-template php_san
+fix-san esc
+`
+
+// hotApp exercises the hot weapon's sink: one tainted flow (a finding once
+// the weapon is live) and no bundled-class findings (no echo, so the test
+// engine's XSS class stays silent).
+const hotApp = `<?php
+$a = $_GET['x'];
+hot_sink("q=" . $a);
+`
+
+func postWeapon(t *testing.T, url, spec string) (*http.Response, WeaponsResponse, weaponError) {
+	t.Helper()
+	resp, err := http.Post(url+"/weapons", "text/plain", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ok WeaponsResponse
+	var bad weaponError
+	if resp.StatusCode == http.StatusCreated {
+		decodeBody(t, resp, &ok)
+	} else {
+		decodeBody(t, resp, &bad)
+	}
+	return resp, ok, bad
+}
+
+func deleteWeapon(t *testing.T, url, name string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url+"/weapons/"+name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestWeaponHotReload is the tentpole path: a weapon uploaded through
+// POST /weapons is used by the very next scan, with no restart.
+func TestWeaponHotReload(t *testing.T) {
+	weaponsDir := t.TempDir()
+	_, hs := newTestServer(t, Config{Engine: testEngine(t, nil), WeaponsDir: weaponsDir})
+
+	// Before the upload the app is clean: the test engine knows only XSS.
+	resp, out := postScan(t, hs.URL, ScanRequest{Name: "hot", Files: map[string]string{"a.php": hotApp}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-upload scan status = %d", resp.StatusCode)
+	}
+	if out.Report.Vulnerabilities != 0 {
+		t.Fatalf("pre-upload scan found %d vulnerabilities, want 0", out.Report.Vulnerabilities)
+	}
+
+	wresp, wok, _ := postWeapon(t, hs.URL, hotSpec)
+	if wresp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d, want 201", wresp.StatusCode)
+	}
+	if wok.Admitted != "hotlogi" || wok.Revision != 1 {
+		t.Fatalf("upload response = %+v, want admitted hotlogi at revision 1", wok)
+	}
+	if wok.PersistError != "" {
+		t.Fatalf("persist error: %s", wok.PersistError)
+	}
+	if _, err := os.Stat(filepath.Join(weaponsDir, "hotlogi.weapon")); err != nil {
+		t.Fatalf("admitted weapon not persisted: %v", err)
+	}
+
+	// The next scan — same process, no restart — detects through the weapon.
+	resp, out = postScan(t, hs.URL, ScanRequest{Name: "hot", Files: map[string]string{"a.php": hotApp}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-upload scan status = %d", resp.StatusCode)
+	}
+	if out.Report.Vulnerabilities == 0 {
+		t.Fatal("post-upload scan found nothing; hot weapon not in service")
+	}
+	if out.Report.Stats == nil || out.Report.Stats.WeaponSetRevision != 1 {
+		t.Fatalf("scan stats should carry weapon revision 1: %+v", out.Report.Stats)
+	}
+	if len(out.Report.Stats.ActiveWeapons) != 1 || out.Report.Stats.ActiveWeapons[0] != "hotlogi" {
+		t.Fatalf("active weapons = %v, want [hotlogi]", out.Report.Stats.ActiveWeapons)
+	}
+
+	// GET /weapons lists it; GET /weapons/{name} returns the source.
+	var list WeaponsResponse
+	if code := getJSON(t, hs.URL+"/weapons", &list); code != http.StatusOK {
+		t.Fatalf("GET /weapons = %d", code)
+	}
+	if list.Revision != 1 || len(list.Weapons) != 1 || list.Weapons[0].Name != "hotlogi" {
+		t.Fatalf("weapon list = %+v", list)
+	}
+	src, err := http.Get(hs.URL + "/weapons/hotlogi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, src)
+	if src.StatusCode != http.StatusOK || body != hotSpec {
+		t.Fatalf("GET /weapons/hotlogi = %d %q", src.StatusCode, body)
+	}
+
+	// Health surfaces the platform state.
+	var h health
+	getJSON(t, hs.URL+"/healthz", &h)
+	if h.WeaponRevision != 1 {
+		t.Errorf("health weapon_revision = %d, want 1", h.WeaponRevision)
+	}
+	if len(h.Weapons) != 1 || h.Weapons[0] != "hotlogi" {
+		t.Errorf("health weapons = %v, want [hotlogi]", h.Weapons)
+	}
+}
+
+// TestWeaponUploadRejections pins the validation ladder's failure modes and
+// their diagnostic bodies.
+func TestWeaponUploadRejections(t *testing.T) {
+	weaponsDir := t.TempDir()
+	_, hs := newTestServer(t, Config{Engine: testEngine(t, nil), WeaponsDir: weaponsDir})
+
+	cases := []struct {
+		name, spec, stage string
+		code              int
+		errSub            string
+	}{
+		{"unparseable", "sink before name\n", "parse", http.StatusBadRequest, "name"},
+		{"bundled collision", "name xss\ndescription x\nsink s\nfix-template php_san\nfix-san esc\n",
+			"parse", http.StatusBadRequest, "collides"},
+		{"bundled weapon-class collision", "name nosqli\ndescription x\nsink s\nfix-template php_san\nfix-san esc\n",
+			"collision", http.StatusConflict, "new class IDs"},
+		{"failed dry-run", brokenSpec, "dry-run", http.StatusUnprocessableEntity, "not detected"},
+	}
+	for _, tc := range cases {
+		resp, _, bad := postWeapon(t, hs.URL, tc.spec)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.code)
+			continue
+		}
+		if bad.Stage != tc.stage {
+			t.Errorf("%s: stage = %q, want %q (error: %s)", tc.name, bad.Stage, tc.stage, bad.Error)
+		}
+		if !strings.Contains(bad.Error, tc.errSub) {
+			t.Errorf("%s: error %q should mention %q", tc.name, bad.Error, tc.errSub)
+		}
+	}
+
+	// No rejected upload changed the platform: revision still 0, dir empty.
+	var list WeaponsResponse
+	getJSON(t, hs.URL+"/weapons", &list)
+	if list.Revision != 0 || len(list.Weapons) != 0 {
+		t.Fatalf("rejections mutated the registry: %+v", list)
+	}
+	ents, err := os.ReadDir(weaponsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("rejections persisted files: %v", ents)
+	}
+}
+
+// TestWeaponDelete removes a hot weapon and checks it leaves service and
+// disk; deleting it again is a 404.
+func TestWeaponDelete(t *testing.T) {
+	weaponsDir := t.TempDir()
+	_, hs := newTestServer(t, Config{Engine: testEngine(t, nil), WeaponsDir: weaponsDir})
+
+	if resp, _, bad := postWeapon(t, hs.URL, hotSpec); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d %+v", resp.StatusCode, bad)
+	}
+	if resp := deleteWeapon(t, hs.URL, "hotlogi"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(filepath.Join(weaponsDir, "hotlogi.weapon")); !os.IsNotExist(err) {
+		t.Fatalf("weapon file survived delete: %v", err)
+	}
+	_, out := postScan(t, hs.URL, ScanRequest{Name: "hot", Files: map[string]string{"a.php": hotApp}})
+	if out.Report.Vulnerabilities != 0 {
+		t.Fatalf("deleted weapon still finding: %d", out.Report.Vulnerabilities)
+	}
+	// Removal rotates the registry revision too (the active set changed);
+	// scan stats omit the weapons account now that none are linked, so the
+	// revision shows in health.
+	if out.Report.Stats != nil && len(out.Report.Stats.ActiveWeapons) != 0 {
+		t.Fatalf("post-delete scan still lists weapons: %v", out.Report.Stats.ActiveWeapons)
+	}
+	var h health
+	getJSON(t, hs.URL+"/healthz", &h)
+	if h.WeaponRevision != 2 {
+		t.Fatalf("post-delete health weapon_revision = %d, want 2", h.WeaponRevision)
+	}
+	if resp := deleteWeapon(t, hs.URL, "hotlogi"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second delete status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestWeaponsDirReplay restarts the service over the same weapons dir: the
+// admitted weapon comes back through the same validation ladder, and an
+// unloadable spec file is skipped and surfaced in health, never fatal.
+func TestWeaponsDirReplay(t *testing.T) {
+	weaponsDir := t.TempDir()
+	_, hs1 := newTestServer(t, Config{Engine: testEngine(t, nil), WeaponsDir: weaponsDir})
+	if resp, _, bad := postWeapon(t, hs1.URL, hotSpec); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d %+v", resp.StatusCode, bad)
+	}
+
+	// A hand-dropped broken file must not take the next start down.
+	if err := os.WriteFile(filepath.Join(weaponsDir, "bad.weapon"), []byte("name \x00broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, hs2 := newTestServer(t, Config{Engine: testEngine(t, nil), WeaponsDir: weaponsDir})
+	_, out := postScan(t, hs2.URL, ScanRequest{Name: "hot", Files: map[string]string{"a.php": hotApp}})
+	if out.Report.Vulnerabilities == 0 {
+		t.Fatal("replayed weapon not in service after restart")
+	}
+	var h health
+	getJSON(t, hs2.URL+"/healthz", &h)
+	if len(h.Weapons) != 1 || h.Weapons[0] != "hotlogi" {
+		t.Fatalf("health weapons = %v, want [hotlogi]", h.Weapons)
+	}
+	if len(h.WeaponErrors) != 1 || !strings.Contains(h.WeaponErrors[0], "bad.weapon") {
+		t.Fatalf("health weapon_errors = %v, want the bad file surfaced", h.WeaponErrors)
+	}
+}

@@ -1,0 +1,158 @@
+package weapon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/vuln"
+)
+
+// Registry is the versioned store of hot-reloaded user weapons. Admission
+// is the last rung of wapd's validation ladder: a spec that parsed,
+// validated, and passed its dry-run is generated into a Weapon here, and
+// every mutation bumps a monotonic revision. The revision flows into the
+// engine's config digest (core.Options.WeaponSetRevision), so incremental
+// result-store fingerprints rotate on every weapon change — a swapped
+// weapon set can never splice stale cached findings into a report.
+//
+// A Registry is safe for concurrent use. Readers (Weapons, List, Revision)
+// take point-in-time snapshots; scans keep using whatever engine they
+// started with, so a swap mid-scan never changes a running scan's results.
+type Registry struct {
+	mu       sync.Mutex
+	revision int64
+	entries  map[string]*RegEntry
+	// reserved are weapon names admitted at process start (the builtin
+	// specs and any -weapon flags); hot-reloaded weapons may not take or
+	// remove these names.
+	reserved map[string]bool
+	now      func() time.Time
+}
+
+// RegEntry is one admitted weapon with its provenance.
+type RegEntry struct {
+	// Weapon is the generated weapon.
+	Weapon *Weapon
+	// Source is the spec-file text the weapon was generated from, exactly
+	// as accepted (what -weapons-dir persists).
+	Source string
+	// Revision is the registry revision at which this entry was admitted.
+	Revision int64
+	// AdmittedAt is when the entry was admitted.
+	AdmittedAt time.Time
+}
+
+// NewRegistry builds an empty registry. Reserved names (builtin weapon
+// specs, startup -weapon flags) cannot be added or removed hot.
+func NewRegistry(reserved []string) *Registry {
+	r := &Registry{
+		entries:  map[string]*RegEntry{},
+		reserved: map[string]bool{},
+		now:      time.Now,
+	}
+	for _, n := range reserved {
+		r.reserved[strings.ToLower(n)] = true
+	}
+	return r
+}
+
+// CheckAdmissible reports whether a spec's name could be admitted right
+// now, without generating or admitting anything: the registry's collision
+// rules on top of Spec.Validate. A hot weapon may not shadow ANY bundled
+// class — not even the bundled weapon classes the builtin specs are allowed
+// to regenerate at startup — and may not take a reserved name. wapd runs it
+// as its own ladder rung so a doomed upload fails on the cheap check before
+// the dry-run.
+func (r *Registry) CheckAdmissible(spec *Spec) error {
+	name := strings.ToLower(spec.Name)
+	if c := vuln.Get(vuln.ClassID(name)); c != nil {
+		return fmt.Errorf("weapon: registry: name %q collides with the bundled %s class; hot-reloaded weapons must use new class IDs", spec.Name, c.ID)
+	}
+	// reserved is immutable after NewRegistry, so reading it unlocked is safe.
+	if r.reserved[name] {
+		return fmt.Errorf("weapon: registry: name %q is reserved by a weapon loaded at startup", spec.Name)
+	}
+	return nil
+}
+
+// Admit generates the spec's weapon and stores it under its lowered name,
+// bumping the revision. Re-admitting an existing name replaces the entry
+// (an upload is an upsert). It returns the new entry. Admission enforces
+// CheckAdmissible's collision rules.
+func (r *Registry) Admit(spec *Spec, source string) (*RegEntry, error) {
+	if err := r.CheckAdmissible(spec); err != nil {
+		return nil, err
+	}
+	name := strings.ToLower(spec.Name)
+	w, err := Generate(*spec)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.revision++
+	e := &RegEntry{Weapon: w, Source: source, Revision: r.revision, AdmittedAt: r.now()}
+	r.entries[name] = e
+	return e, nil
+}
+
+// Remove deletes a weapon by name, bumping the revision (removal changes
+// the active set, so fingerprints must rotate too). It reports whether the
+// name was present.
+func (r *Registry) Remove(name string) (bool, error) {
+	name = strings.ToLower(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.reserved[name] {
+		return false, fmt.Errorf("weapon: registry: %q was loaded at startup and cannot be removed hot", name)
+	}
+	if _, ok := r.entries[name]; !ok {
+		return false, nil
+	}
+	delete(r.entries, name)
+	r.revision++
+	return true, nil
+}
+
+// Revision returns the current revision (0 = never mutated).
+func (r *Registry) Revision() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.revision
+}
+
+// Weapons returns the admitted weapons sorted by name, with the revision
+// the snapshot was taken at. The deterministic order keeps derived-engine
+// config digests stable for a given revision.
+func (r *Registry) Weapons() ([]*Weapon, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Weapon, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.Weapon)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class.ID < out[j].Class.ID })
+	return out, r.revision
+}
+
+// List returns the entries sorted by name.
+func (r *Registry) List() []*RegEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*RegEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Weapon.Class.ID < out[j].Weapon.Class.ID })
+	return out
+}
+
+// Get returns the entry for name (lowered), or nil.
+func (r *Registry) Get(name string) *RegEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.entries[strings.ToLower(name)]
+}

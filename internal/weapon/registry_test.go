@@ -1,0 +1,141 @@
+package weapon
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/corrector"
+	"repro/internal/vuln"
+)
+
+func regSpec(name string) *Spec {
+	return &Spec{
+		Name:  name,
+		Sinks: []vuln.Sink{{Name: name + "_sink"}},
+		Fix:   corrector.Template{Kind: corrector.PHPSanitization, SanFunc: "esc"},
+	}
+}
+
+func TestRegistryAdmitRemoveRevisions(t *testing.T) {
+	r := NewRegistry([]string{"nosqli", "hei", "wpsqli"})
+	if r.Revision() != 0 {
+		t.Fatalf("fresh registry revision = %d, want 0", r.Revision())
+	}
+
+	e1, err := r.Admit(regSpec("alpha"), "src-alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Revision != 1 || r.Revision() != 1 {
+		t.Fatalf("first admit revision = %d/%d, want 1", e1.Revision, r.Revision())
+	}
+	if got := r.Get("ALPHA"); got == nil || got.Source != "src-alpha" {
+		t.Fatalf("Get(ALPHA) = %+v, want the admitted entry (lookup is case-insensitive)", got)
+	}
+
+	// Upsert bumps the revision again.
+	e2, err := r.Admit(regSpec("alpha"), "src-alpha-v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Revision != 2 {
+		t.Fatalf("re-admit revision = %d, want 2", e2.Revision)
+	}
+
+	if _, err := r.Admit(regSpec("beta"), "src-beta"); err != nil {
+		t.Fatal(err)
+	}
+	ws, rev := r.Weapons()
+	if rev != 3 || len(ws) != 2 || ws[0].Class.ID != "alpha" || ws[1].Class.ID != "beta" {
+		t.Fatalf("Weapons() = %d weapons at rev %d, want [alpha beta] at 3", len(ws), rev)
+	}
+
+	// Removal bumps the revision: the active set changed, fingerprints
+	// must rotate.
+	ok, err := r.Remove("alpha")
+	if err != nil || !ok {
+		t.Fatalf("Remove(alpha) = %v, %v", ok, err)
+	}
+	if r.Revision() != 4 {
+		t.Fatalf("revision after remove = %d, want 4", r.Revision())
+	}
+	if ok, _ := r.Remove("alpha"); ok {
+		t.Fatal("second Remove(alpha) reported a deletion")
+	}
+	if r.Revision() != 4 {
+		t.Fatal("no-op remove must not bump the revision")
+	}
+}
+
+func TestRegistryRejectsCollisionsAndReserved(t *testing.T) {
+	r := NewRegistry([]string{"logi"})
+
+	// Bundled non-weapon class.
+	if _, err := r.Admit(regSpec("sqli"), ""); err == nil {
+		t.Error("registry admitted a weapon shadowing the bundled sqli class")
+	}
+	// Bundled weapon class: allowed for builtin specs at startup, but NOT
+	// hot — the running engine already serves it.
+	if _, err := r.Admit(regSpec("nosqli"), ""); err == nil {
+		t.Error("registry admitted a hot weapon shadowing the bundled nosqli weapon class")
+	}
+	// Reserved startup name.
+	if _, err := r.Admit(regSpec("LOGI"), ""); err == nil {
+		t.Error("registry admitted a weapon taking a reserved startup name")
+	}
+	if _, err := r.Remove("logi"); err == nil {
+		t.Error("registry removed a reserved startup weapon")
+	}
+	// A spec that fails validation is refused.
+	bad := regSpec("nosinks")
+	bad.Sinks = nil
+	if _, err := r.Admit(bad, ""); err == nil {
+		t.Error("registry admitted a spec with no sinks")
+	}
+	if r.Revision() != 0 {
+		t.Fatalf("failed admissions bumped the revision to %d", r.Revision())
+	}
+}
+
+// TestRegistryConcurrency hammers Admit/Remove/Weapons/List from many
+// goroutines (run with -race). Invariant: the final revision equals the
+// number of successful mutations.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry(nil)
+	const workers = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	mutations := 0
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("conc%d", g)
+			for i := 0; i < iters; i++ {
+				if _, err := r.Admit(regSpec(name), "src"); err != nil {
+					t.Error(err)
+					return
+				}
+				ws, rev := r.Weapons()
+				if int64(len(ws)) > int64(workers) || rev <= 0 {
+					t.Errorf("snapshot %d weapons at rev %d", len(ws), rev)
+				}
+				r.List()
+				ok, err := r.Remove(name)
+				if err != nil || !ok {
+					t.Errorf("Remove(%s) = %v, %v", name, ok, err)
+					return
+				}
+				mu.Lock()
+				mutations += 2
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Revision(); got != int64(mutations) {
+		t.Fatalf("final revision = %d, want %d (one bump per successful mutation)", got, mutations)
+	}
+}

@@ -34,9 +34,18 @@ import (
 //
 // '#' starts a comment; blank lines are ignored.
 
+// MaxSpecLine is the longest spec line ParseSpec accepts. Real weapon
+// specs keep one item per line, but a generated spec can legitimately carry
+// hundreds of sinks or malicious characters on a single directive, so the
+// limit is far above bufio.Scanner's 64 KiB default token size.
+const MaxSpecLine = 4 << 20
+
 // ParseSpec reads a weapon spec file.
 func ParseSpec(r io.Reader) (*Spec, error) {
 	sc := bufio.NewScanner(r)
+	// The default Scanner token cap is 64 KiB; a longer sink or fix-chars
+	// line would fail with bufio.ErrTooLong mid-file.
+	sc.Buffer(make([]byte, 0, 64<<10), MaxSpecLine)
 	spec := &Spec{}
 	lineNo := 0
 	for sc.Scan() {
@@ -158,8 +167,111 @@ func parseSymptomLine(spec *Spec, rest string) error {
 	return nil
 }
 
+// specValue rejects values the line-oriented format cannot carry: a line
+// break would split the value across physical lines (the remainder is then
+// re-parsed as a directive, or silently dropped as a comment if it starts
+// with '#'), and surrounding whitespace would be silently trimmed on
+// re-parse. Everything ParseSpec can produce passes, so parse → write →
+// parse is loss-free.
+func specValue(field, v string) error {
+	if strings.ContainsAny(v, "\r\n") {
+		return fmt.Errorf("weapon: write spec: %s value %q contains a line break, which the line-oriented spec format cannot represent", field, v)
+	}
+	if v != strings.TrimSpace(v) {
+		return fmt.Errorf("weapon: write spec: %s value %q has leading or trailing whitespace that would be lost on re-parse", field, v)
+	}
+	return nil
+}
+
+// specToken is specValue for single-token fields (parsed with
+// strings.Fields), where any interior whitespace also splits the value.
+func specToken(field, v string) error {
+	if err := specValue(field, v); err != nil {
+		return err
+	}
+	if v != "" && len(strings.Fields(v)) != 1 {
+		return fmt.Errorf("weapon: write spec: %s value %q contains whitespace, but the field is parsed as a single token", field, v)
+	}
+	return nil
+}
+
+// checkWritable verifies every field survives a WriteSpec → ParseSpec
+// round-trip unchanged.
+func checkWritable(spec *Spec) error {
+	if err := specValue("name", spec.Name); err != nil {
+		return err
+	}
+	if err := specValue("description", spec.Description); err != nil {
+		return err
+	}
+	for _, s := range spec.Sinks {
+		if err := specToken("sink name", s.Name); err != nil {
+			return err
+		}
+		if err := specToken("sink recv", s.Recv); err != nil {
+			return err
+		}
+	}
+	for _, s := range spec.Sanitizers {
+		if err := specValue("san", s); err != nil {
+			return err
+		}
+	}
+	for _, s := range spec.SanitizerMethods {
+		if err := specValue("san-method", s); err != nil {
+			return err
+		}
+	}
+	for _, e := range spec.EntryPoints {
+		if err := specValue("ep", e); err != nil {
+			return err
+		}
+	}
+	for _, e := range spec.EntryPointFuncs {
+		if err := specValue("ep-func", e); err != nil {
+			return err
+		}
+	}
+	if err := specValue("fix-san", spec.Fix.SanFunc); err != nil {
+		return err
+	}
+	for _, c := range spec.Fix.MaliciousChars {
+		esc := escapeChar(c)
+		if len(strings.Fields(esc)) != 1 || unescapeChar(esc) != c {
+			return fmt.Errorf("weapon: write spec: fix-chars entry %q has no loss-free escaped form", c)
+		}
+	}
+	if n := spec.Fix.Neutralizer; n != "" {
+		esc := escapeChar(n)
+		if strings.ContainsAny(esc, "\r\n") || esc != strings.TrimSpace(esc) || unescapeChar(esc) != n {
+			return fmt.Errorf("weapon: write spec: fix-neutralizer %q has no loss-free escaped form", n)
+		}
+	}
+	if err := specValue("fix-message", spec.Fix.Message); err != nil {
+		return err
+	}
+	for _, d := range spec.Dynamics {
+		if err := specValue("symptom func", d.Func); err != nil {
+			return err
+		}
+		if strings.Contains(d.Func, "->") {
+			return fmt.Errorf("weapon: write spec: symptom func %q contains \"->\", the func/static separator", d.Func)
+		}
+		if err := specToken("symptom static name", d.MapsTo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteSpec serializes a spec in the file format understood by ParseSpec.
+// It fails rather than write a file that would not re-parse to an equal
+// spec (e.g. a description containing a newline: the continuation line
+// would be dropped as a comment or mis-read as a directive).
 func WriteSpec(w io.Writer, spec *Spec) error {
+	if err := checkWritable(spec); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# WAP weapon specification\nname %s\n", spec.Name)
 	if spec.Description != "" {

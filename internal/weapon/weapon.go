@@ -48,8 +48,18 @@ func (s *Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("weapon: spec needs a name")
 	}
-	if strings.ContainsAny(s.Name, " \t/\\") {
-		return fmt.Errorf("weapon: name %q must be a single flag-friendly word", s.Name)
+	for _, r := range s.Name {
+		if r <= ' ' || r == '/' || r == '\\' || r == 0x7f {
+			return fmt.Errorf("weapon: name %q must be a single flag-friendly word", s.Name)
+		}
+	}
+	// A weapon's lowered name becomes its class ID. Shadowing a bundled
+	// non-weapon class (e.g. naming a weapon "sqli") would silently
+	// double-register the class and make reports ambiguous. Bundled classes
+	// that are themselves weapons (nosqli, hi, ei, wpsqli) stay permitted:
+	// the builtin specs legitimately regenerate them.
+	if c := vuln.Get(vuln.ClassID(strings.ToLower(s.Name))); c != nil && !c.Weapon {
+		return fmt.Errorf("weapon: name %q collides with the bundled %s class (%s); weapon names must not shadow built-in class IDs", s.Name, c.ID, c.Name)
 	}
 	if len(s.Sinks) == 0 {
 		return fmt.Errorf("weapon: spec %q needs at least one sensitive sink", s.Name)
