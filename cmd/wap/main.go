@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/resultstore"
+	"repro/internal/resultstore/httpbackend"
 	"repro/internal/vuln"
 	"repro/internal/weapon"
 )
@@ -80,6 +81,7 @@ func run(args []string) (int, error) {
 		incr     = fs.Bool("incremental", false, "reuse per-task results from the previous scan of this tree (cached under <dir>/.wap-cache unless -cache-dir is set)")
 		cacheDir = fs.String("cache-dir", "", "result-store directory for incremental scans (implies -incremental)")
 		cacheMax = fs.Int64("cache-max-bytes", 0, "result-store size cap; least-recently-used snapshots are evicted beyond it (0 = unbounded)")
+		cacheBE  = fs.String("cache-backend", "", "remote result-store tier URL (a wapd -cache-serve replica) for incremental scans; implies -incremental. A slow, flaky or dead tier degrades the scan to cache-less, findings unchanged")
 		diffBase = fs.String("diff", "", "diff this scan against a baseline JSON report (from wap -json) and report new/fixed/persisting findings")
 		par      = fs.Int("parallelism", 0, "worker count for both the parse front end and the scan (0 = GOMAXPROCS capped at 8)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -187,8 +189,22 @@ func run(args []string) (int, error) {
 	}
 
 	// Incremental scans: attach a result store so this scan reuses the
-	// previous run's per-task results and persists its own.
-	if *incr || *cacheDir != "" {
+	// previous run's per-task results and persists its own. -cache-backend
+	// swaps the local directory for a shared remote tier behind the fault
+	// envelope: the scan's findings cannot depend on the tier being up.
+	switch {
+	case *cacheBE != "":
+		env := resultstore.NewEnvelope(httpbackend.New(*cacheBE, nil), resultstore.EnvelopeConfig{})
+		store, err := resultstore.OpenBackend(env, resultstore.Options{
+			MaxBytes:    *cacheMax,
+			WriteBehind: true,
+		})
+		if err != nil {
+			return exitFatal, err
+		}
+		defer store.Close()
+		opts.ResultStore = store
+	case *incr || *cacheDir != "":
 		storeDir := *cacheDir
 		if storeDir == "" {
 			storeDir = filepath.Join(dir, ".wap-cache")

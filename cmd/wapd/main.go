@@ -22,6 +22,13 @@
 //     bundled class IDs → dry-run on a generated proof app) and swaps it
 //     into service without a restart; accepted weapons persist to
 //     -weapons-dir and replay at the next start;
+//   - pluggable result-store tiers: -cache-serve exposes this replica's
+//     store at /cas/ as a shared content-addressed tier; -cache-backend
+//     points the store at such a tier instead of local disk, wrapped in a
+//     full fault envelope (per-op deadlines, bounded retries, a backend
+//     circuit breaker, verify-on-read, bounded write-behind) so a slow,
+//     flaky, lying or dead tier degrades scans to cache-less — findings
+//     byte-identical — instead of failing or corrupting them;
 //   - SIGTERM/SIGINT drains gracefully within -drain-timeout, compacting
 //     the journal so clean shutdowns replay nothing; /healthz and /readyz
 //     reflect queue saturation, drain state, breaker positions and
@@ -42,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/journal"
 	"repro/internal/resultstore"
+	"repro/internal/resultstore/httpbackend"
 	"repro/internal/server"
 	"repro/internal/weapon"
 )
@@ -72,6 +80,16 @@ func run(args []string) error {
 		reportDir  = fs.String("report-dir", "", "persist each job's JSON report here (written atomically)")
 		cacheDir   = fs.String("cache-dir", "", "result-store directory backing incremental scan requests (empty = no per-task reuse across restarts)")
 		cacheMax   = fs.Int64("cache-max-bytes", 0, "result-store size cap; least-recently-used snapshots are evicted beyond it (0 = unbounded)")
+		cacheBE    = fs.String("cache-backend", "", "remote result-store tier URL (http://host:port of a -cache-serve replica); overrides -cache-dir. Wrapped in the fault envelope: any backend error degrades the scan to cache-less, findings unchanged")
+		cacheServe = fs.Bool("cache-serve", false, "serve this replica's result store at /cas/ as the shared tier other replicas point -cache-backend at (requires -cache-dir)")
+		cacheOpTO  = fs.Duration("cache-op-timeout", resultstore.DefaultOpTimeout, "per-attempt deadline for remote cache operations")
+		cacheRetry = fs.Int("cache-retry-max", resultstore.DefaultRetryMax, "retries per failed remote cache op (negative = off)")
+		cacheBrkT  = fs.Int("cache-breaker-threshold", resultstore.DefaultBreakerThreshold, "consecutive remote-cache failures that open the backend breaker (negative = off)")
+		cacheBrkC  = fs.Duration("cache-breaker-cooldown", resultstore.DefaultBreakerCooldown, "open backend breaker cool-down before its half-open probe")
+		cacheQueue = fs.Int("cache-write-behind", resultstore.DefaultWriteBehindDepth, "bounded write-behind queue depth for remote cache saves (sheds oldest-first when full)")
+		readHdrTO  = fs.Duration("read-header-timeout", server.DefaultReadHeaderTimeout, "HTTP listener: time to read a request's headers (slow-loris bound; negative = off)")
+		readTO     = fs.Duration("read-timeout", server.DefaultReadTimeout, "HTTP listener: time to read a whole request, sized for tree uploads (negative = off)")
+		idleTO     = fs.Duration("idle-timeout", server.DefaultIdleTimeout, "HTTP listener: keep-alive idle connection reap (negative = off)")
 		jnlPath    = fs.String("journal", "", "write-ahead job journal path; makes async jobs durable across crashes (empty = async jobs are lost on crash)")
 		ckptEvery  = fs.Int("checkpoint-every", 0, "engine tasks between mid-scan store checkpoints of durable jobs (0 = default, negative = off)")
 		weaponsDir = fs.String("weapons-dir", "", "persist weapons accepted via POST /weapons here and replay them at startup (empty = hot weapons are lost on restart)")
@@ -98,8 +116,35 @@ func run(args []string) error {
 		return err
 	}
 
+	if *cacheServe && *cacheBE != "" {
+		return fmt.Errorf("-cache-serve and -cache-backend are mutually exclusive: a replica either IS the shared tier or points at one")
+	}
+	if *cacheServe && *cacheDir == "" {
+		return fmt.Errorf("-cache-serve requires -cache-dir (the directory the shared tier serves)")
+	}
 	var store *resultstore.Store
-	if *cacheDir != "" {
+	switch {
+	case *cacheBE != "":
+		// Remote tier: the HTTP client wrapped in the full fault envelope
+		// (per-op deadlines, bounded retries, circuit breaker), saves through
+		// the bounded write-behind queue. Any fault degrades loads to misses
+		// and sheds writes — findings are byte-identical to cache-less.
+		env := resultstore.NewEnvelope(httpbackend.New(*cacheBE, nil), resultstore.EnvelopeConfig{
+			OpTimeout:        *cacheOpTO,
+			RetryMax:         *cacheRetry,
+			BreakerThreshold: *cacheBrkT,
+			BreakerCooldown:  *cacheBrkC,
+		})
+		store, err = resultstore.OpenBackend(env, resultstore.Options{
+			MaxBytes:         *cacheMax,
+			WriteBehind:      true,
+			WriteBehindDepth: *cacheQueue,
+		})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+	case *cacheDir != "":
 		store, err = resultstore.OpenOptions(*cacheDir, resultstore.Options{MaxBytes: *cacheMax})
 		if err != nil {
 			return err
@@ -120,18 +165,22 @@ func run(args []string) error {
 	}
 
 	srv, err := server.New(server.Config{
-		Engine:          eng,
-		QueueDepth:      *queueDepth,
-		Workers:         *workers,
-		DrainTimeout:    *drainTO,
-		DefaultTimeout:  *defaultTO,
-		MaxTimeout:      *maxTO,
-		LoadOptions:     core.LoadOptions{MaxFileSize: *maxFile, Parallelism: *par},
-		ReportDir:       *reportDir,
-		Store:           store,
-		Journal:         jnl,
-		CheckpointEvery: *ckptEvery,
-		WeaponsDir:      *weaponsDir,
+		Engine:            eng,
+		QueueDepth:        *queueDepth,
+		Workers:           *workers,
+		DrainTimeout:      *drainTO,
+		DefaultTimeout:    *defaultTO,
+		MaxTimeout:        *maxTO,
+		LoadOptions:       core.LoadOptions{MaxFileSize: *maxFile, Parallelism: *par},
+		ReportDir:         *reportDir,
+		Store:             store,
+		Journal:           jnl,
+		CheckpointEvery:   *ckptEvery,
+		WeaponsDir:        *weaponsDir,
+		CacheServe:        *cacheServe,
+		ReadHeaderTimeout: *readHdrTO,
+		ReadTimeout:       *readTO,
+		IdleTimeout:       *idleTO,
 	})
 	if err != nil {
 		return err

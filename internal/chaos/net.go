@@ -1,0 +1,197 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The network seam mirrors the filesystem seam one layer up: the HTTP
+// result-store backend performs every remote operation through an
+// http.RoundTripper, and tests swap in a RoundTripper that fails requests,
+// delays them, tears response bodies short, or flips bytes in the payload on
+// a schedule. Faults are injected at the transport boundary — after the
+// client has built the request, before the caller sees the response — which
+// is exactly where a real network would lose, delay or corrupt them, so the
+// fault envelope and the verify-on-read hash check above are exercised
+// end to end without a flaky proxy or iptables.
+
+// NetMode selects how a matched network rule corrupts the exchange.
+type NetMode int
+
+// Network fault modes.
+const (
+	// NetFail returns a transport error without performing the request —
+	// a refused connection or a cut cable.
+	NetFail NetMode = iota
+	// NetSlow delays the request by the rule's Delay, then performs it —
+	// a congested or half-dead tier. Combined with the backend envelope's
+	// per-op deadline this is how timeout behavior is driven.
+	NetSlow
+	// NetTornBody performs the request but truncates the response body to
+	// its first half, adjusting Content-Length so the truncation looks like
+	// a complete (but wrong) payload — only content verification catches it.
+	NetTornBody
+	// NetCorruptBody performs the request and flips one byte in the middle
+	// of the response body — bit rot in flight or in the remote tier.
+	NetCorruptBody
+)
+
+// String names the mode for error messages.
+func (m NetMode) String() string {
+	switch m {
+	case NetSlow:
+		return "slow"
+	case NetTornBody:
+		return "torn-body"
+	case NetCorruptBody:
+		return "corrupt-body"
+	default:
+		return "fail"
+	}
+}
+
+// NetRule schedules one network fault: the Nth-and-later matching requests
+// (by method and URL path substring) fire Mode, Count times (0 = forever).
+type NetRule struct {
+	// Method matches the request method exactly; "" matches all.
+	Method string
+	// Path is a substring match on the request URL path; "" matches all.
+	Path string
+	// After is how many matching requests pass through before the rule fires.
+	After int
+	// Count bounds how many times the rule fires; 0 means no bound.
+	Count int
+	Mode  NetMode
+	// Delay is the injected latency for NetSlow.
+	Delay time.Duration
+	// Err overrides ErrInjected as the transport error for NetFail.
+	Err error
+}
+
+type netRuleState struct {
+	NetRule
+	seen  int
+	fired int
+}
+
+// RoundTripper wraps an http.RoundTripper with scheduled network faults. It
+// is safe for concurrent use and counts every request it sees, fault or not,
+// so tests can assert the code under test actually went through the seam.
+type RoundTripper struct {
+	rt    http.RoundTripper
+	mu    sync.Mutex
+	rules []*netRuleState
+	reqs  int
+}
+
+// NewRoundTripper wraps rt (nil means http.DefaultTransport) with an empty
+// schedule.
+func NewRoundTripper(rt http.RoundTripper) *RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &RoundTripper{rt: rt}
+}
+
+// Add appends a rule to the schedule.
+func (t *RoundTripper) Add(r NetRule) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = append(t.rules, &netRuleState{NetRule: r})
+}
+
+// Reset clears the schedule and the request counter.
+func (t *RoundTripper) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = nil
+	t.reqs = 0
+}
+
+// Requests reports how many requests went through the seam.
+func (t *RoundTripper) Requests() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reqs
+}
+
+func (t *RoundTripper) match(method, path string) *netRuleState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reqs++
+	for _, r := range t.rules {
+		if r.Method != "" && r.Method != method {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		r.fired++
+		return r
+	}
+	return nil
+}
+
+func (r *netRuleState) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return fmt.Errorf("%w (net %s %s)", ErrInjected, r.Method, r.Mode.String())
+}
+
+// RoundTrip applies the schedule, then delegates. Body-corrupting modes read
+// the whole response, mutate it, and hand back a replacement body with a
+// consistent Content-Length, so the fault is indistinguishable from a remote
+// tier that stored or served the payload wrong.
+func (t *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	r := t.match(req.Method, req.URL.Path)
+	if r == nil {
+		return t.rt.RoundTrip(req)
+	}
+	switch r.Mode {
+	case NetFail:
+		return nil, r.err()
+	case NetSlow:
+		select {
+		case <-time.After(r.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.rt.RoundTrip(req)
+	}
+	resp, err := t.rt.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	switch r.Mode {
+	case NetTornBody:
+		body = body[:len(body)/2]
+	case NetCorruptBody:
+		if len(body) > 0 {
+			body = bytes.Clone(body)
+			body[len(body)/2] ^= 0x5a
+		}
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	resp.Header.Set("Content-Length", strconv.Itoa(len(body)))
+	return resp, nil
+}

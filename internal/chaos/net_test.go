@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func netFixture(t *testing.T, payload []byte) (*httptest.Server, *RoundTripper, *http.Client) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+		w.Write(payload)
+	}))
+	t.Cleanup(srv.Close)
+	rt := NewRoundTripper(nil)
+	return srv, rt, &http.Client{Transport: rt}
+}
+
+func TestRoundTripperFail(t *testing.T) {
+	srv, rt, hc := netFixture(t, []byte("payload"))
+	rt.Add(NetRule{Method: http.MethodGet, Mode: NetFail})
+	_, err := hc.Get(srv.URL + "/blob")
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("faulted request = %v, want ErrInjected", err)
+	}
+	if rt.Requests() != 1 {
+		t.Errorf("Requests() = %d, want 1", rt.Requests())
+	}
+	// Other methods are untouched by a method-scoped rule.
+	resp, err := hc.Head(srv.URL + "/blob")
+	if err != nil {
+		t.Fatalf("HEAD through a GET-scoped rule = %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestRoundTripperSchedule(t *testing.T) {
+	srv, rt, hc := netFixture(t, []byte("payload"))
+	// Fire on the 2nd and 3rd matching requests only.
+	rt.Add(NetRule{Path: "/blob", After: 1, Count: 2, Mode: NetFail})
+	get := func() error {
+		resp, err := hc.Get(srv.URL + "/blob")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return err
+	}
+	if err := get(); err != nil {
+		t.Fatalf("request 1 (before After) = %v", err)
+	}
+	for i := 2; i <= 3; i++ {
+		if err := get(); err == nil {
+			t.Fatalf("request %d survived the scheduled fault", i)
+		}
+	}
+	if err := get(); err != nil {
+		t.Fatalf("request 4 (Count exhausted) = %v", err)
+	}
+	// Reset clears rules and the counter.
+	rt.Reset()
+	if err := get(); err != nil || rt.Requests() != 1 {
+		t.Fatalf("after Reset: err=%v, requests=%d", err, rt.Requests())
+	}
+}
+
+func TestRoundTripperSlowRespectsContext(t *testing.T) {
+	srv, rt, hc := netFixture(t, []byte("payload"))
+	rt.Add(NetRule{Mode: NetSlow, Delay: 5 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/blob", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := hc.Do(req); err == nil {
+		t.Fatal("stalled request succeeded")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("NetSlow ignored the request context")
+	}
+}
+
+func TestRoundTripperTornBody(t *testing.T) {
+	payload := []byte("0123456789abcdef")
+	srv, rt, hc := netFixture(t, payload)
+	rt.Add(NetRule{Mode: NetTornBody})
+	resp, err := hc.Get(srv.URL + "/blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("torn body must read cleanly (the tear hides behind a consistent Content-Length): %v", err)
+	}
+	if !bytes.Equal(body, payload[:len(payload)/2]) {
+		t.Errorf("torn body = %q, want the first half of %q", body, payload)
+	}
+	if resp.ContentLength != int64(len(body)) {
+		t.Errorf("Content-Length %d inconsistent with torn body length %d", resp.ContentLength, len(body))
+	}
+}
+
+func TestRoundTripperCorruptBody(t *testing.T) {
+	payload := []byte("0123456789abcdef")
+	srv, rt, hc := netFixture(t, payload)
+	rt.Add(NetRule{Mode: NetCorruptBody})
+	resp, err := hc.Get(srv.URL + "/blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != len(payload) {
+		t.Fatalf("corrupt body changed length: %d != %d", len(body), len(payload))
+	}
+	if bytes.Equal(body, payload) {
+		t.Fatal("corrupt-body rule left the payload intact")
+	}
+	diff := 0
+	for i := range body {
+		if body[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("corruption flipped %d bytes, want exactly 1", diff)
+	}
+}
+
+func TestRoundTripperCustomError(t *testing.T) {
+	srv, rt, hc := netFixture(t, nil)
+	sentinel := errors.New("connection reset by peer")
+	rt.Add(NetRule{Mode: NetFail, Err: sentinel})
+	_, err := hc.Get(srv.URL + "/blob")
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("faulted request = %v, want the rule's custom error", err)
+	}
+}

@@ -552,7 +552,7 @@ func (e *Engine) AnalyzeScan(ctx context.Context, p *Project, so ScanOpts) (*Rep
 	if so.Resumes > 0 {
 		stats.recordResumes(so.Resumes)
 	}
-	plan := e.planScan(p, so.Store, stats)
+	plan := e.planScan(ctx, p, so.Store, stats)
 	if q := plan.loadInfo.Quarantined; q != "" {
 		stats.recordStoreQuarantined()
 		rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
@@ -882,6 +882,9 @@ func (e *Engine) mergeScan(ctx context.Context, plan *scanPlan, exec *execState,
 		// persisted: a snapshot from a cancelled scan would drop every
 		// unfinished task's entry, erasing a prior warm state for no gain.
 		rep.linkStoredXSS()
+		if plan.store != nil {
+			rep.Stats.Backend = plan.store.BackendState()
+		}
 		rep.Duration = time.Since(start)
 		return rep, err
 	}
@@ -890,7 +893,10 @@ func (e *Engine) mergeScan(ctx context.Context, plan *scanPlan, exec *execState,
 		rep.Findings = append(rep.Findings, fs...)
 	}
 	rep.linkStoredXSS()
-	e.persistSnapshot(rep.Project, plan, exec)
+	e.persistSnapshot(ctx, rep.Project, plan, exec)
+	if plan.store != nil {
+		rep.Stats.Backend = plan.store.BackendState()
+	}
 	rep.Duration = time.Since(start)
 	return rep, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/resultstore"
 )
 
@@ -98,7 +100,7 @@ func (e *Engine) setProjectCache(name string, m map[string]*decodedTask) {
 // skips are accounted exactly as before. With a store attached, each planned
 // task's fingerprint is looked up in the previous snapshot; an entry that
 // decodes cleanly satisfies the task without execution.
-func (e *Engine) planScan(p *Project, store *resultstore.Store, stats *statsCollector) *scanPlan {
+func (e *Engine) planScan(ctx context.Context, p *Project, store *resultstore.Store, stats *statsCollector) *scanPlan {
 	var pf *prefilter
 	if !e.opts.DisableSinkPrefilter {
 		pf = newPrefilter(p)
@@ -115,7 +117,7 @@ func (e *Engine) planScan(p *Project, store *resultstore.Store, stats *statsColl
 	)
 	if store != nil {
 		plan.digest = e.configDigest()
-		snap, plan.loadInfo = store.LoadWithInfo(p.Name, plan.digest)
+		snap, plan.loadInfo = store.LoadWithInfoContext(ctx, p.Name, plan.digest)
 		plan.status = plan.loadInfo.Status
 		reach = fileClosures(p)
 		if pf != nil {
@@ -191,7 +193,7 @@ func (e *Engine) planScan(p *Project, store *resultstore.Store, stats *statsColl
 // the plan (changed or removed files), pruning the store as the tree evolves.
 // Persistence is best-effort: a failed save costs the next scan's warm start,
 // never this scan's report.
-func (e *Engine) persistSnapshot(p *Project, plan *scanPlan, exec *execState) {
+func (e *Engine) persistSnapshot(ctx context.Context, p *Project, plan *scanPlan, exec *execState) {
 	if plan.store == nil {
 		return
 	}
@@ -220,5 +222,5 @@ func (e *Engine) persistSnapshot(p *Project, plan *scanPlan, exec *execState) {
 	// The in-memory generation mirrors exactly what was persisted, replaced
 	// wholesale so stale fingerprints drop out with the snapshot's.
 	e.setProjectCache(p.Name, next)
-	_ = plan.store.Save(snap)
+	_ = plan.store.SaveContext(ctx, snap)
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/resultstore"
 	"repro/internal/vuln"
 )
 
@@ -93,6 +94,13 @@ type ScanStats struct {
 	StoreSalvaged    int
 	Checkpoints      int
 	Resumes          int
+	// Backend is the result-store tier's account (hits, misses, degraded
+	// loads, write-behind queue, breaker position) when the scan ran over a
+	// pluggable backend; nil for the legacy plain-disk store and cache-less
+	// scans. Like everything in Stats it describes work, never findings: a
+	// scan with the backend down, flaky or lying produces byte-identical
+	// findings to a cache-less scan.
+	Backend *resultstore.BackendState
 	// Weapons account (omitted from renderers when empty/zero).
 	// ActiveWeapons lists the scan engine's linked weapon class IDs in
 	// sorted order; WeaponSetRevision echoes the hot-reload registry

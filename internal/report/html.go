@@ -227,6 +227,18 @@ func WriteHTML(w io.Writer, rep *core.Report) error {
 				"durability: %d snapshots quarantined, %d entries salvaged, %d checkpoints, %d resumes",
 				s.StoreQuarantined, s.StoreSalvaged, s.Checkpoints, s.Resumes))
 		}
+		if bs := s.Backend; bs != nil {
+			line := fmt.Sprintf("backend (%s): %d hits, %d misses, %d degraded, %d corrupt",
+				bs.Kind, bs.Hits, bs.Misses, bs.Degraded, bs.Corrupt)
+			if bs.QueueCap > 0 {
+				line += fmt.Sprintf("; write-behind %d/%d queued, %d written, %d shed",
+					bs.QueueDepth, bs.QueueCap, bs.Written, bs.Shed)
+			}
+			if bs.Envelope != nil {
+				line += fmt.Sprintf("; breaker %s", bs.Envelope.Breaker)
+			}
+			hs.Summary = append(hs.Summary, line)
+		}
 		if len(s.ActiveWeapons) > 0 {
 			line := "weapons: " + strings.Join(s.ActiveWeapons, ", ")
 			if s.WeaponSetRevision != 0 {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/resultstore"
 )
 
 // JSONFinding is the machine-readable form of one grouped finding.
@@ -90,9 +91,14 @@ type JSONScanStats struct {
 	// Weapons account: the scan engine's linked weapon class IDs and the
 	// hot-reload registry revision the engine was derived at (absent when
 	// the weapon set was fixed at startup).
-	ActiveWeapons     []string         `json:"active_weapons,omitempty"`
-	WeaponSetRevision int64            `json:"weapon_set_revision,omitempty"`
-	ByClass           []JSONClassStats `json:"by_class,omitempty"`
+	ActiveWeapons     []string `json:"active_weapons,omitempty"`
+	WeaponSetRevision int64    `json:"weapon_set_revision,omitempty"`
+	// Backend is the result-store tier's account (load outcomes,
+	// write-behind queue, fault-envelope breaker) when the scan ran over a
+	// pluggable backend. Like every stats field it describes work, never
+	// findings: a degraded backend changes these counters only.
+	Backend *resultstore.BackendState `json:"backend,omitempty"`
+	ByClass []JSONClassStats          `json:"by_class,omitempty"`
 }
 
 // JSONReport is the machine-readable analysis report.
@@ -199,6 +205,7 @@ func ToJSON(rep *core.Report) *JSONReport {
 			LoadWorkers:       s.LoadWorkers,
 			ActiveWeapons:     append([]string(nil), s.ActiveWeapons...),
 			WeaponSetRevision: s.WeaponSetRevision,
+			Backend:           s.Backend,
 		}
 		for _, id := range s.ClassIDs() {
 			cs := s.ByClass[id]

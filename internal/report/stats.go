@@ -40,6 +40,19 @@ func RenderStats(s *core.ScanStats) string {
 		fmt.Fprintf(&b, "  durability: %d snapshots quarantined, %d entries salvaged, %d checkpoints, %d resumes\n",
 			s.StoreQuarantined, s.StoreSalvaged, s.Checkpoints, s.Resumes)
 	}
+	if bs := s.Backend; bs != nil {
+		fmt.Fprintf(&b, "  backend (%s): %d hits, %d misses, %d degraded, %d corrupt",
+			bs.Kind, bs.Hits, bs.Misses, bs.Degraded, bs.Corrupt)
+		if bs.QueueCap > 0 {
+			fmt.Fprintf(&b, "; write-behind %d/%d queued, %d written, %d shed",
+				bs.QueueDepth, bs.QueueCap, bs.Written, bs.Shed)
+		}
+		if bs.Envelope != nil {
+			fmt.Fprintf(&b, "; breaker %s (%d refused, %d retries)",
+				bs.Envelope.Breaker, bs.Envelope.Refused, bs.Envelope.Retries)
+		}
+		b.WriteByte('\n')
+	}
 	if len(s.ActiveWeapons) > 0 {
 		fmt.Fprintf(&b, "  weapons: %s", strings.Join(s.ActiveWeapons, ", "))
 		if s.WeaponSetRevision != 0 {

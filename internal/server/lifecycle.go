@@ -90,7 +90,14 @@ func (s *Server) compactJournal() {
 // configured DrainTimeout and shuts the listener down. In-flight requests
 // receive their (possibly partial) reports before the connections close.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	httpSrv := &http.Server{Handler: s.mux}
+	httpSrv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: positiveOrZero(s.cfg.ReadHeaderTimeout),
+		ReadTimeout:       positiveOrZero(s.cfg.ReadTimeout),
+		IdleTimeout:       positiveOrZero(s.cfg.IdleTimeout),
+		// No WriteTimeout: a synchronous scan legitimately holds its
+		// connection until the report is ready; per-job deadlines bound it.
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	select {
@@ -114,6 +121,15 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return fmt.Errorf("drain deadline %v passed; in-flight jobs were cancelled into partial reports", s.cfg.DrainTimeout)
 	}
 	return derr
+}
+
+// positiveOrZero maps the config convention (negative disables) onto
+// http.Server's (zero disables).
+func positiveOrZero(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // ListenAndServe listens on addr and calls Serve.

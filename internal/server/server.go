@@ -47,6 +47,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/report"
 	"repro/internal/resultstore"
+	"repro/internal/resultstore/httpbackend"
 )
 
 // Defaults applied by New when the corresponding Config field is zero.
@@ -63,6 +64,17 @@ const (
 	DefaultCheckpointEvery = 16
 	// maxRequestBytes bounds an uploaded tree (64 MiB).
 	maxRequestBytes = 64 << 20
+
+	// HTTP server socket timeouts (Config.ReadHeaderTimeout etc.; applied by
+	// Serve). ReadHeader bounds a connection that dangles before sending its
+	// request line (slow-loris); Read bounds the whole request read, sized
+	// for a 64 MiB tree upload on a slow link; Idle reaps keep-alive
+	// connections between requests. There is deliberately no WriteTimeout
+	// default: a synchronous scan holds its connection until the report is
+	// ready, legitimately for minutes — per-job deadlines bound that instead.
+	DefaultReadHeaderTimeout = 10 * time.Second
+	DefaultReadTimeout       = 2 * time.Minute
+	DefaultIdleTimeout       = 2 * time.Minute
 )
 
 // Job lifecycle states reported by GET /jobs/{id}.
@@ -117,6 +129,17 @@ type Config struct {
 	// as <name>.weapon files and replays them at startup, so a hot-reloaded
 	// weapon survives a restart. Empty keeps admitted weapons in memory only.
 	WeaponsDir string
+	// CacheServe, with Store set, mounts the content-addressed blob protocol
+	// at /cas/ over the store's backend, so this replica doubles as the
+	// shared result-store tier other replicas point -cache-backend at.
+	CacheServe bool
+	// ReadHeaderTimeout/ReadTimeout/IdleTimeout are the listener's socket
+	// timeouts (zero applies the defaults above; negative disables one).
+	// WriteTimeout stays unset: synchronous scans legitimately hold their
+	// connection for minutes and are bounded by per-job deadlines instead.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	IdleTimeout       time.Duration
 }
 
 // ScanRequest is the body of POST /scan. Exactly one of Dir and Files must
@@ -309,6 +332,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
+	if cfg.ReadHeaderTimeout == 0 {
+		cfg.ReadHeaderTimeout = DefaultReadHeaderTimeout
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = DefaultReadTimeout
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.CacheServe && cfg.Store == nil {
+		return nil, errors.New("server: CacheServe requires a Store")
+	}
 	s := &Server{
 		cfg:       cfg,
 		queue:     make(chan *job, cfg.QueueDepth),
@@ -327,6 +362,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/weapons/", s.handleWeaponItem)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	if cfg.CacheServe {
+		// The serving side of the shared tier: other replicas' httpbackend
+		// clients read and write this replica's blob tier directly.
+		s.mux.Handle("/cas/", httpbackend.Handler(cfg.Store.Backend()))
+	}
 	if cfg.Journal != nil {
 		s.replayJournal()
 	}
@@ -827,6 +867,11 @@ type health struct {
 	// evictions). Both absent when the feature is off.
 	Journal *journal.Counters   `json:"journal,omitempty"`
 	Store   *resultstore.Health `json:"store,omitempty"`
+	// Backend is the result-store tier's account when the store runs over a
+	// pluggable backend: load outcomes, write-behind queue depth/shedding,
+	// and the fault envelope's breaker position and last error. Absent for
+	// the legacy plain-disk store.
+	Backend *resultstore.BackendState `json:"backend,omitempty"`
 	// Breakers maps class → breaker status for every class whose breaker
 	// has state; open entries mean that class is currently diagnostics-only.
 	Breakers map[string]core.BreakerStatus `json:"breakers,omitempty"`
@@ -860,6 +905,7 @@ func (s *Server) healthSnapshot() health {
 	if s.cfg.Store != nil {
 		sh := s.cfg.Store.Health()
 		h.Store = &sh
+		h.Backend = s.cfg.Store.BackendState()
 	}
 	// Ready means an admitted scan would be queued right now: not draining
 	// and the queue has room. An open breaker does not unready the service —
