@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-compare bench-smoke wapd serve fuzz-smoke chaos chaos-backend weapons-gate
+.PHONY: all build test race vet lint bench bench-compare bench-smoke wapd serve fuzz-smoke chaos chaos-backend weapons-gate ir-diff
 
 all: build vet test
 
@@ -74,7 +74,7 @@ lint:
 # trajectory (BENCH_analyze.json, JSON lines — appended, never overwritten).
 # -benchmem makes benchtrend record B/op and allocs/op alongside ns/op.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkAnalyzeApp|BenchmarkLoadDir|BenchmarkLexFile|BenchmarkParseFile' -benchmem . | $(GO) run ./cmd/benchtrend -file BENCH_analyze.json
+	$(GO) test -run '^$$' -bench 'BenchmarkAnalyzeApp|BenchmarkLoadDir|BenchmarkLexFile|BenchmarkParseFile|BenchmarkLowerFile' -benchmem . | $(GO) run ./cmd/benchtrend -file BENCH_analyze.json
 
 # Diff the last two trajectory entries; fails on a >10% regression of any
 # benchmark in any recorded dimension (ns/op, B/op, allocs/op) and prints the
@@ -86,3 +86,13 @@ bench-compare:
 # without holding the pipeline (mirrored in CI).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x .
+
+# Differential harness for the IR taint engine: every corpus app (web suite,
+# micro suite, weapon dry-run proof apps, branch-sensitivity proofs) scanned
+# by the legacy AST walker and the IR engine at parallelism 1 and 3 under
+# the race detector. Reports must be byte-identical except for the precision
+# wins enumerated in internal/core/testdata/ir_golden_deltas.json. Mirrors
+# the CI ir-diff job.
+ir-diff:
+	$(GO) test -race -count=1 ./internal/core/ -run 'TestIRDifferential'
+	$(GO) test -race -count=1 ./internal/taint/ -run 'TestIR'

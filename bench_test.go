@@ -20,6 +20,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/ir"
 	"repro/internal/ml"
 	"repro/internal/php/lexer"
 	"repro/internal/php/parser"
@@ -235,6 +236,26 @@ func BenchmarkLoadDir(b *testing.B) {
 	}
 }
 
+// BenchmarkLowerFile isolates the AST→IR lowering: one file lowered per
+// iteration. This is the one-time per-file cost the IR engine amortizes
+// across every weapon-class task.
+func BenchmarkLowerFile(b *testing.B) {
+	path, src := benchFile()
+	f, _ := parser.Parse(path, src)
+	if f == nil {
+		b.Fatal("nil ast")
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fir := ir.LowerFile(f)
+		if fir.NumInstrs == 0 {
+			b.Fatal("empty lowering")
+		}
+	}
+}
+
 func BenchmarkParser(b *testing.B) {
 	app := benchApp()
 	totalBytes := 0
@@ -268,6 +289,28 @@ func BenchmarkTaintSingleClass(b *testing.B) {
 func BenchmarkAnalyzeApp(b *testing.B) {
 	app := benchApp()
 	eng, err := core.New(core.Options{Mode: core.ModeWAPe, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Train(); err != nil {
+		b.Fatal(err)
+	}
+	proj := core.LoadMap(app.Name, app.Files)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Analyze(proj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeAppLegacy is BenchmarkAnalyzeApp on the legacy AST-walking
+// taint engine (DisableIR). The IR engine's acceptance gate lives in
+// benchtrend -compare: a multi-class scan on the IR engine must not be
+// slower than this baseline.
+func BenchmarkAnalyzeAppLegacy(b *testing.B) {
+	app := benchApp()
+	eng, err := core.New(core.Options{Mode: core.ModeWAPe, Seed: 1, DisableIR: true})
 	if err != nil {
 		b.Fatal(err)
 	}

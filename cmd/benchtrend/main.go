@@ -201,6 +201,21 @@ func compare(entries []entry, threshold float64, w io.Writer) (regressed bool) {
 	if okc && okw && warm > 0 {
 		fmt.Fprintf(w, "incremental speedup (cold/warm): %.1fx\n", cold/warm)
 	}
+	// The IR engine's acceptance gate: a multi-class scan on the IR engine
+	// (BenchmarkAnalyzeApp, the default path) must not be slower than the
+	// legacy AST walker (BenchmarkAnalyzeAppLegacy) beyond the regression
+	// threshold — the lowering is paid once per file, so sharing it across
+	// every weapon-class task has to win, not lose.
+	irNs, oki := last.Benchmarks["BenchmarkAnalyzeApp"]
+	legNs, okl := last.Benchmarks["BenchmarkAnalyzeAppLegacy"]
+	if oki && okl && irNs > 0 {
+		fmt.Fprintf(w, "ir engine vs legacy walker: %.2fx\n", legNs/irNs)
+		if irNs > legNs*(1+threshold) {
+			fmt.Fprintf(w, "  REGRESSION: IR-engine scan is %.1f%% slower than the legacy walker\n",
+				(irNs/legNs-1)*100)
+			regressed = true
+		}
+	}
 	return regressed
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/corrector"
 	"repro/internal/dataset"
+	"repro/internal/ir"
 	"repro/internal/ml"
 	"repro/internal/php/ast"
 	"repro/internal/resultstore"
@@ -123,6 +124,15 @@ type Options struct {
 	// (file, class) tasks provably unable to produce findings. Findings are
 	// identical either way.
 	DisableSinkPrefilter bool
+	// DisableIR falls back to the legacy AST-walking taint engine instead of
+	// the CFG-based IR engine. The IR engine lowers each file once, shares
+	// the result read-only across all weapon-class tasks, and applies
+	// function summaries as transfer functions at call edges; its findings
+	// match the walker's except for documented precision wins (a sanitizer
+	// dominating every arm of an exhaustive switch kills the flow). The
+	// switch exists for benchmarking and for the differential harness that
+	// pins the equivalence.
+	DisableIR bool
 	// ResultStore, when set, makes every scan incremental: cleanly completed
 	// (file, class) tasks are persisted keyed by closure fingerprint, and
 	// later scans reuse stored results for tasks whose fingerprints match.
@@ -462,7 +472,11 @@ type taskOutcome struct {
 	steps       int
 	cacheHits   int
 	cacheMisses int
-	pending     []taint.PendingSummary
+	// transfers counts summary transfer-function applications (memoized or
+	// shared summaries applied at a call edge instead of re-running the
+	// callee body). Always zero on the legacy walker path.
+	transfers int
+	pending   []taint.PendingSummary
 }
 
 // AnalyzeContext runs the full pipeline under a context, in three stages:
@@ -848,7 +862,11 @@ func (e *Engine) executePlan(ctx context.Context, p *Project, plan *scanPlan, st
 func (e *Engine) mergeScan(ctx context.Context, plan *scanPlan, exec *execState, stats *statsCollector, rep *Report, start time.Time) (*Report, error) {
 	sortDiagnostics(exec.taskDiags)
 	rep.Diagnostics = append(rep.Diagnostics, exec.taskDiags...)
-	rep.Stats = stats.snapshot(exec.shared.Len())
+	var irc *ir.Cache
+	if !e.opts.DisableIR && rep.Project != nil {
+		irc = rep.Project.IRCache()
+	}
+	rep.Stats = stats.snapshot(exec.shared.Len(), irc)
 	if rep.Project != nil {
 		rep.Stats.ParseWall = rep.Project.LoadStats.ParseWall
 		rep.Stats.LoadWorkers = rep.Project.LoadStats.Workers
@@ -981,8 +999,17 @@ func (e *Engine) runTask(t task, p *Project, stop *atomic.Bool, budget int, shar
 		Stop:             stop,
 		Shared:           shared,
 	})
+	var cands []*taint.Candidate
+	if e.opts.DisableIR {
+		cands = an.File(t.file.AST)
+	} else {
+		// The lowered form is built once per file by the scan-scoped cache
+		// and shared read-only across every weapon-class task.
+		cache := p.IRCache()
+		cands = an.FileIR(t.file.AST, cache.File(t.file.AST), cache)
+	}
 	var out taskOutcome
-	for _, cand := range an.File(t.file.AST) {
+	for _, cand := range cands {
 		f := &Finding{Candidate: cand}
 		if w, ok := e.weapons[cand.Class]; ok {
 			f.Weapon = string(w.Class.ID)
@@ -996,6 +1023,7 @@ func (e *Engine) runTask(t task, p *Project, stop *atomic.Bool, budget int, shar
 	out.steps = an.Steps()
 	out.cacheHits = an.SharedHits()
 	out.cacheMisses = an.SharedMisses()
+	out.transfers = an.TransferHits()
 	out.pending = an.PendingShared()
 	return out
 }

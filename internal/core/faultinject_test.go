@@ -197,9 +197,12 @@ func TestStalledTaskIsCutOffAtDeadline(t *testing.T) {
 // budget and asserts analysis completes with budget-exhausted diagnostics
 // instead of hanging or crashing.
 func TestBudgetExhaustionDegradesConservatively(t *testing.T) {
+	// Budget 2 exhausts under both step granularities: the sqli page costs
+	// ~10 AST-node steps on the walker and 3 IR-instruction steps on the IR
+	// engine.
 	e := newTestEngine(t, Options{
 		Classes:    []vuln.ClassID{vuln.SQLI},
-		TaskBudget: 5,
+		TaskBudget: 2,
 	})
 	rep, err := e.Analyze(twoFileProject())
 	if err != nil {

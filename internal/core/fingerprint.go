@@ -7,6 +7,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/ir"
 	"repro/internal/resultstore"
 	"repro/internal/vuln"
 )
@@ -70,6 +71,14 @@ func (e *Engine) configDigest() string {
 		// feature's introduction.
 		if e.opts.WeaponSetRevision != 0 {
 			put("weapon-rev=%d", e.opts.WeaponSetRevision)
+		}
+		// The IR engine's lowering revision: bumping ir.Revision (a semantics
+		// change in the lowering) rotates every fingerprint, so incremental
+		// stores filled under older lowering rules self-invalidate. Skipped
+		// when the IR engine is off — legacy-engine findings are unaffected
+		// by lowering semantics, and the skip keeps pre-IR digests stable.
+		if !e.opts.DisableIR {
+			put("ir-rev=%d", ir.Revision)
 		}
 		e.digestVal = hex.EncodeToString(h.Sum(nil))
 	})

@@ -1,0 +1,207 @@
+package core_test
+
+// The IR migration's differential harness: every corpus app is scanned by
+// the legacy AST walker and the IR engine, at parallelism 1 and 3, and the
+// rendered reports must be byte-identical wherever flows are unchanged.
+// Intentional precision wins (flows killed by a sanitizer dominating every
+// path to the sink) are enumerated in testdata/ir_golden_deltas.json —
+// never silently absorbed. Run with IRDIFF_UPDATE=1 to regenerate the
+// golden file after an intentional precision change.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/report"
+	"repro/internal/weapon"
+)
+
+// irDelta records one app whose IR-engine report differs from the walker's.
+type irDelta struct {
+	App string `json:"app"`
+	// Removed lists finding keys the walker reports and the IR engine does
+	// not: branch-killed false positives (the expected direction).
+	Removed []string `json:"removed"`
+	// Added lists finding keys only the IR engine reports. Always empty —
+	// the IR engine must never invent flows.
+	Added []string `json:"added,omitempty"`
+}
+
+func irdiffEngine(t *testing.T, disableIR bool, par int, weapons []*weapon.Weapon) *core.Engine {
+	t.Helper()
+	e, err := core.New(core.Options{
+		Mode:        core.ModeWAPe,
+		Seed:        1,
+		Parallelism: par,
+		DisableIR:   disableIR,
+		Weapons:     weapons,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// renderNormalized analyzes app and renders the JSON report with the
+// schedule-dependent parts (duration, stats) cleared.
+func renderNormalized(t *testing.T, e *core.Engine, app *corpus.App) (string, []string) {
+	t.Helper()
+	rep, err := e.Analyze(core.LoadMap(app.Name, app.Files))
+	if err != nil {
+		t.Fatalf("%s: %v", app.Name, err)
+	}
+	rep.Duration = 0
+	rep.Stats = nil
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, rep); err != nil {
+		t.Fatalf("%s: render: %v", app.Name, err)
+	}
+	keys := make([]string, 0, len(rep.Findings))
+	for _, f := range rep.Findings {
+		keys = append(keys, f.Candidate.Key())
+	}
+	return buf.String(), keys
+}
+
+// diffKeys returns the multiset differences legacy−ir and ir−legacy, sorted.
+func diffKeys(legacy, ir []string) (removed, added []string) {
+	count := map[string]int{}
+	for _, k := range legacy {
+		count[k]++
+	}
+	for _, k := range ir {
+		count[k]--
+	}
+	for k, n := range count {
+		for ; n > 0; n-- {
+			removed = append(removed, k)
+		}
+		for ; n < 0; n++ {
+			added = append(added, k)
+		}
+	}
+	sort.Strings(removed)
+	sort.Strings(added)
+	return removed, added
+}
+
+func irdiffApps(t *testing.T) (native []*corpus.App, dryrun []*corpus.App, weapons []*weapon.Weapon) {
+	t.Helper()
+	native = append(native, corpus.WebAppSuite(1)...)
+	native = append(native, corpus.MicroSuite(1, 1)...)
+	native = append(native, corpus.BranchSanitizerApp())
+	for _, spec := range weapon.BuiltinSpecs() {
+		spec := spec
+		w, err := weapon.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weapons = append(weapons, w)
+		dryrun = append(dryrun, corpus.DryRunApp(&spec))
+	}
+	return native, dryrun, weapons
+}
+
+func TestIRDifferential(t *testing.T) {
+	native, dryrun, weapons := irdiffApps(t)
+
+	// deltasByPar[par] maps app name -> delta; the deltas must agree across
+	// parallelism levels and match the golden file.
+	deltasByPar := map[int]map[string]irDelta{}
+	for _, par := range []int{1, 3} {
+		legacyEng := irdiffEngine(t, true, par, nil)
+		irEng := irdiffEngine(t, false, par, nil)
+		legacyWpn := irdiffEngine(t, true, par, weapons)
+		irWpn := irdiffEngine(t, false, par, weapons)
+
+		deltas := map[string]irDelta{}
+		scan := func(le, ie *core.Engine, apps []*corpus.App) {
+			for _, app := range apps {
+				legacyJSON, legacyKeys := renderNormalized(t, le, app)
+				irJSON, irKeys := renderNormalized(t, ie, app)
+				if legacyJSON == irJSON {
+					continue
+				}
+				removed, added := diffKeys(legacyKeys, irKeys)
+				if len(removed) == 0 && len(added) == 0 {
+					t.Errorf("par %d, %s: reports differ but finding keys match — trace or source divergence:\nlegacy:\n%s\nir:\n%s",
+						par, app.Name, legacyJSON, irJSON)
+					continue
+				}
+				if len(added) > 0 {
+					t.Errorf("par %d, %s: IR engine invented findings: %v", par, app.Name, added)
+				}
+				deltas[app.Name] = irDelta{App: app.Name, Removed: removed, Added: added}
+			}
+		}
+		scan(legacyEng, irEng, native)
+		scan(legacyWpn, irWpn, dryrun)
+		deltasByPar[par] = deltas
+	}
+
+	if len(deltasByPar[1]) != len(deltasByPar[3]) {
+		t.Fatalf("delta count differs across parallelism: %d at par 1, %d at par 3",
+			len(deltasByPar[1]), len(deltasByPar[3]))
+	}
+	for name, d1 := range deltasByPar[1] {
+		d3, ok := deltasByPar[3][name]
+		if !ok {
+			t.Fatalf("app %s has a delta at par 1 but not par 3", name)
+		}
+		j1, _ := json.Marshal(d1)
+		j3, _ := json.Marshal(d3)
+		if !bytes.Equal(j1, j3) {
+			t.Fatalf("app %s: delta differs across parallelism:\npar 1: %s\npar 3: %s", name, j1, j3)
+		}
+	}
+
+	var got []irDelta
+	for _, d := range deltasByPar[1] {
+		got = append(got, d)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].App < got[j].App })
+	gotJSON, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON = append(gotJSON, '\n')
+
+	golden := filepath.Join("testdata", "ir_golden_deltas.json")
+	if os.Getenv("IRDIFF_UPDATE") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, gotJSON, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden delta file (run with IRDIFF_UPDATE=1 to create): %v", err)
+	}
+	if !bytes.Equal(gotJSON, want) {
+		t.Errorf("precision deltas diverge from golden file %s:\ngot:\n%s\nwant:\n%s", golden, gotJSON, want)
+	}
+
+	// The migration must demonstrate at least one branch-killed false
+	// positive, and only removals — never additions.
+	if len(got) == 0 {
+		t.Error("no precision deltas recorded; expected the branch-sanitizer kill")
+	}
+	for _, d := range got {
+		if len(d.Added) > 0 {
+			t.Errorf("app %s: golden delta contains added findings: %v", d.App, d.Added)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/intern"
+	"repro/internal/ir"
 	"repro/internal/php/ast"
 	"repro/internal/php/parser"
 )
@@ -138,6 +139,19 @@ type Project struct {
 	// name from different files can yield different declarations, so taint
 	// summaries that touched one are never shared across tasks.
 	ambig map[string]bool
+
+	// irOnce/irCache lazily hold the project's IR lowering cache: each file
+	// is lowered to the CFG-based form once and shared read-only across all
+	// weapon-class tasks (and across repeated scans of the same Project).
+	irOnce  sync.Once
+	irCache *ir.Cache
+}
+
+// IRCache returns the project's shared IR lowering cache, creating it on
+// first use. Safe for concurrent callers.
+func (p *Project) IRCache() *ir.Cache {
+	p.irOnce.Do(func() { p.irCache = ir.NewCache() })
+	return p.irCache
 }
 
 // ResolveFunc implements taint.FuncResolver.

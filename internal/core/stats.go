@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ir"
 	"repro/internal/resultstore"
 	"repro/internal/vuln"
 )
@@ -109,8 +110,32 @@ type ScanStats struct {
 	// class ID, flagged with ClassStats.Weapon.
 	ActiveWeapons     []string
 	WeaponSetRevision int64
+	// IR accounts the IR engine's lowering layer and summary
+	// transfer-function traffic; nil when the scan ran the legacy walker
+	// (Options.DisableIR), so legacy renderer output is byte-identical.
+	IR *IRScanStats
 	// ByClass breaks the account down per vulnerability class.
 	ByClass map[vuln.ClassID]*ClassStats
+}
+
+// IRScanStats is the IR layer's account: one-time lowering work shared by
+// all weapon-class tasks, and how often function summaries were applied as
+// transfer functions at call edges instead of re-running callee bodies.
+type IRScanStats struct {
+	// LowerWall is the summed wall time spent lowering ASTs (across
+	// workers, so it can exceed the scan's Duration).
+	LowerWall time.Duration
+	// Files/Funcs/Blocks/Instrs is the lowered shape (lowerings performed,
+	// not cache hits; Funcs includes nested closures).
+	Files  int64
+	Funcs  int64
+	Blocks int64
+	Instrs int64
+	// Degraded counts AST subtrees recorded as degraded (constructs the
+	// taint engine never evaluates; accounted, never silently dropped).
+	Degraded int64
+	// SummaryTransfers counts summary transfer-function applications.
+	SummaryTransfers int64
 }
 
 // ClassIDs returns the classes present in ByClass in stable (sorted) order,
@@ -128,6 +153,9 @@ func (s *ScanStats) ClassIDs() []vuln.ClassID {
 type statsCollector struct {
 	mu sync.Mutex
 	s  ScanStats
+	// transfers accumulates summary transfer-function hits across tasks;
+	// folded into ScanStats.IR at snapshot time.
+	transfers int64
 }
 
 func newStatsCollector() *statsCollector {
@@ -154,6 +182,7 @@ func (c *statsCollector) recordTask(id vuln.ClassID, out taskOutcome, wall time.
 	}
 	c.s.CacheHits += int64(out.cacheHits)
 	c.s.CacheMisses += int64(out.cacheMisses)
+	c.transfers += int64(out.transfers)
 	cs := c.class(id)
 	cs.Tasks++
 	cs.Steps += int64(out.steps)
@@ -253,12 +282,26 @@ func (c *statsCollector) recordBreakerSkip(id vuln.ClassID) {
 	c.class(id).BreakerSkipped++
 }
 
-// snapshot finalizes the stats for the report.
-func (c *statsCollector) snapshot(cacheEntries int) *ScanStats {
+// snapshot finalizes the stats for the report. irc is the scan's IR
+// lowering cache, nil when the legacy walker ran (leaving Stats.IR nil so
+// legacy renderer output is unchanged).
+func (c *statsCollector) snapshot(cacheEntries int, irc *ir.Cache) *ScanStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := c.s
 	out.CacheEntries = cacheEntries
+	if irc != nil {
+		cs := irc.Stats()
+		out.IR = &IRScanStats{
+			LowerWall:        cs.LowerWall,
+			Files:            cs.Files,
+			Funcs:            cs.Funcs,
+			Blocks:           cs.Blocks,
+			Instrs:           cs.Instrs,
+			Degraded:         cs.Degraded,
+			SummaryTransfers: c.transfers,
+		}
+	}
 	out.ByClass = make(map[vuln.ClassID]*ClassStats, len(c.s.ByClass))
 	for id, cs := range c.s.ByClass {
 		cp := *cs

@@ -1,0 +1,126 @@
+package ir
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/php/ast"
+)
+
+// Provider resolves the lowered form of a function declaration. The taint
+// engine uses it when a resolver hands back a declaration from another file:
+// the scan-scoped cache lowers it once and every task shares the result.
+type Provider interface {
+	// Func returns the lowered form of fn, lowering on first use. fn must
+	// have a body.
+	Func(fn *ast.FunctionDecl) *Func
+}
+
+// CacheStats aggregates lowering work done through a Cache.
+type CacheStats struct {
+	// LowerWall is the summed wall time spent lowering (files and
+	// stand-alone functions).
+	LowerWall time.Duration
+	// Files and Funcs count lowerings performed (not cache hits); Funcs
+	// includes nested closures and stand-alone declaration lowerings.
+	Files int64
+	Funcs int64
+	// Blocks and Instrs are the total lowered shape.
+	Blocks int64
+	Instrs int64
+	// Degraded counts AST subtrees recorded as Degraded diagnostics.
+	Degraded int64
+}
+
+// Cache lowers files and declarations once and shares the immutable results
+// across concurrently running scan tasks.
+type Cache struct {
+	mu    sync.Mutex
+	files map[*ast.File]*fileEntry
+	funcs map[*ast.FunctionDecl]*Func
+	stats CacheStats
+}
+
+type fileEntry struct {
+	once sync.Once
+	ir   *File
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		files: make(map[*ast.File]*fileEntry),
+		funcs: make(map[*ast.FunctionDecl]*Func),
+	}
+}
+
+// File returns the lowered form of f, lowering it exactly once; concurrent
+// callers for the same file block until the first finishes.
+func (c *Cache) File(f *ast.File) *File {
+	c.mu.Lock()
+	e := c.files[f]
+	if e == nil {
+		e = &fileEntry{}
+		c.files[f] = e
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		start := time.Now()
+		fir := LowerFile(f)
+		wall := time.Since(start)
+		e.ir = fir
+
+		c.mu.Lock()
+		c.stats.LowerWall += wall
+		c.stats.Files++
+		c.stats.Funcs += int64(fir.NumFuncs)
+		c.stats.Blocks += int64(fir.NumBlocks)
+		c.stats.Instrs += int64(fir.NumInstrs)
+		c.stats.Degraded += int64(len(fir.Notes))
+		// Register the file's declarations so cross-file resolution finds
+		// them without re-lowering.
+		for d, fn := range fir.ByDecl {
+			if _, ok := c.funcs[d]; !ok {
+				c.funcs[d] = fn
+			}
+		}
+		c.mu.Unlock()
+	})
+	return e.ir
+}
+
+// Func implements Provider: it returns the lowered form of fn, lowering it
+// on first use. Concurrent first uses may lower twice; the first stored
+// result wins, so every caller observes one canonical *Func.
+func (c *Cache) Func(fn *ast.FunctionDecl) *Func {
+	c.mu.Lock()
+	if got, ok := c.funcs[fn]; ok {
+		c.mu.Unlock()
+		return got
+	}
+	c.mu.Unlock()
+
+	start := time.Now()
+	lowered := LowerFunc(fn)
+	wall := time.Since(start)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if got, ok := c.funcs[fn]; ok {
+		return got
+	}
+	c.funcs[fn] = lowered
+	c.stats.LowerWall += wall
+	c.stats.Funcs++
+	c.stats.Blocks += int64(len(lowered.Blocks))
+	c.stats.Instrs += int64(lowered.NumInstrs())
+	return lowered
+}
+
+// Stats returns a snapshot of the accumulated lowering statistics.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -212,6 +212,15 @@ func WriteHTML(w io.Writer, rep *core.Report) error {
 				"parse: %s wall across %d loader worker(s)",
 				s.ParseWall.Round(10*time.Microsecond), s.LoadWorkers))
 		}
+		if ir := s.IR; ir != nil {
+			line := fmt.Sprintf("ir: %d files lowered (%d funcs, %d blocks, %d instrs) in %s; %d summary transfers",
+				ir.Files, ir.Funcs, ir.Blocks, ir.Instrs,
+				ir.LowerWall.Round(10*time.Microsecond), ir.SummaryTransfers)
+			if ir.Degraded > 0 {
+				line += fmt.Sprintf("; %d degraded subtrees", ir.Degraded)
+			}
+			hs.Summary = append(hs.Summary, line)
+		}
 		if s.TaskRetries > 0 || s.TasksRecovered > 0 || s.BreakerSkipped > 0 {
 			hs.Summary = append(hs.Summary, fmt.Sprintf(
 				"robustness: %d retries, %d tasks recovered, %d tasks skipped by open breakers",

@@ -98,7 +98,22 @@ type JSONScanStats struct {
 	// pluggable backend. Like every stats field it describes work, never
 	// findings: a degraded backend changes these counters only.
 	Backend *resultstore.BackendState `json:"backend,omitempty"`
-	ByClass []JSONClassStats          `json:"by_class,omitempty"`
+	// IR accounts the IR engine's lowering layer and summary
+	// transfer-function traffic; absent on legacy-walker scans, keeping
+	// their output byte-identical to pre-IR reports.
+	IR      *JSONIRStats     `json:"ir,omitempty"`
+	ByClass []JSONClassStats `json:"by_class,omitempty"`
+}
+
+// JSONIRStats mirrors core.IRScanStats.
+type JSONIRStats struct {
+	LowerWallMS      float64 `json:"lower_wall_ms"`
+	Files            int64   `json:"files"`
+	Funcs            int64   `json:"funcs"`
+	Blocks           int64   `json:"blocks"`
+	Instrs           int64   `json:"instrs"`
+	Degraded         int64   `json:"degraded,omitempty"`
+	SummaryTransfers int64   `json:"summary_transfers"`
 }
 
 // JSONReport is the machine-readable analysis report.
@@ -206,6 +221,17 @@ func ToJSON(rep *core.Report) *JSONReport {
 			ActiveWeapons:     append([]string(nil), s.ActiveWeapons...),
 			WeaponSetRevision: s.WeaponSetRevision,
 			Backend:           s.Backend,
+		}
+		if s.IR != nil {
+			js.IR = &JSONIRStats{
+				LowerWallMS:      float64(s.IR.LowerWall.Microseconds()) / 1000,
+				Files:            s.IR.Files,
+				Funcs:            s.IR.Funcs,
+				Blocks:           s.IR.Blocks,
+				Instrs:           s.IR.Instrs,
+				Degraded:         s.IR.Degraded,
+				SummaryTransfers: s.IR.SummaryTransfers,
+			}
 		}
 		for _, id := range s.ClassIDs() {
 			cs := s.ByClass[id]

@@ -28,6 +28,15 @@ func RenderStats(s *core.ScanStats) string {
 	}
 	fmt.Fprintf(&b, "  summary cache: %d hits, %d misses, %d entries committed\n",
 		s.CacheHits, s.CacheMisses, s.CacheEntries)
+	if ir := s.IR; ir != nil {
+		fmt.Fprintf(&b, "  ir: %d files lowered (%d funcs, %d blocks, %d instrs) in %s; %d summary transfers",
+			ir.Files, ir.Funcs, ir.Blocks, ir.Instrs,
+			ir.LowerWall.Round(10*time.Microsecond), ir.SummaryTransfers)
+		if ir.Degraded > 0 {
+			fmt.Fprintf(&b, "; %d degraded subtrees", ir.Degraded)
+		}
+		b.WriteByte('\n')
+	}
 	if s.TaskRetries > 0 || s.TasksRecovered > 0 || s.BreakerSkipped > 0 {
 		fmt.Fprintf(&b, "  robustness: %d retries, %d tasks recovered, %d tasks skipped by open breakers\n",
 			s.TaskRetries, s.TasksRecovered, s.BreakerSkipped)

@@ -1,0 +1,257 @@
+package taint
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/php/parser"
+	"repro/internal/vuln"
+)
+
+// candDetail renders a candidate with everything the report layer consumes,
+// so walker/IR equivalence is checked at full fidelity, not just sink names.
+func candDetail(c *Candidate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s@%s arg=%d fn=%q file=%q", c.Class, c.SinkName, c.SinkPos, c.ArgIndex, c.EnclosingFunc, c.File)
+	for _, s := range c.Value.Sources {
+		fmt.Fprintf(&b, " src=%s@%s", s.Name, s.Pos)
+	}
+	for _, s := range c.Value.Trace {
+		fmt.Fprintf(&b, " step=%q@%s", s.Desc, s.Pos)
+	}
+	for _, s := range c.Value.Sanitizers {
+		fmt.Fprintf(&b, " san=%s", s)
+	}
+	return b.String()
+}
+
+func candDetails(cands []*Candidate) []string {
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = candDetail(c)
+	}
+	return out
+}
+
+// runBoth analyzes src with the walker and the IR engine under the same
+// configuration and returns both candidate listings.
+func runBoth(t *testing.T, cfg Config, src string) (legacy, irc []string) {
+	t.Helper()
+	f, errs := parser.Parse("test.php", src)
+	if len(errs) > 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	legacy = candDetails(New(cfg).File(f))
+	fir := ir.LowerFile(f)
+	irc = candDetails(New(cfg).FileIR(f, fir, nil))
+	return legacy, irc
+}
+
+func wantSame(t *testing.T, cfg Config, src string) {
+	t.Helper()
+	legacy, irc := runBoth(t, cfg, src)
+	if strings.Join(legacy, "\n") != strings.Join(irc, "\n") {
+		t.Errorf("walker/IR divergence:\nwalker:\n  %s\nir:\n  %s",
+			strings.Join(legacy, "\n  "), strings.Join(irc, "\n  "))
+	}
+}
+
+func wantSameAllClasses(t *testing.T, src string) {
+	t.Helper()
+	for _, cls := range vuln.All() {
+		cls := cls
+		t.Run(string(cls.ID), func(t *testing.T) {
+			wantSame(t, Config{Class: cls}, src)
+		})
+	}
+}
+
+func TestIREquivBasicFlows(t *testing.T) {
+	wantSameAllClasses(t, `<?php
+$id = $_GET['id'];
+$q = "SELECT * FROM users WHERE id=" . $id;
+mysql_query($q);
+echo $_POST['msg'];
+$safe = htmlentities($_GET['x']);
+echo $safe;
+print $_COOKIE['c'];
+$cmd = $_REQUEST['cmd'];
+system($cmd);
+include($_GET['page']);
+exit($_GET['bye']);
+$addr = $_SERVER['REMOTE_ADDR'];
+echo $addr;
+$agent = $_SERVER['HTTP_USER_AGENT'];
+echo $agent;`)
+}
+
+func TestIREquivBranchesAndLoops(t *testing.T) {
+	wantSameAllClasses(t, `<?php
+$a = $_GET['a'];
+if ($a) { $b = $a; } else { $b = "x"; }
+mysql_query($b);
+while ($i < 3) { $c = $c . $a; $i++; }
+mysql_query($c);
+do { $d .= $a; } while ($d);
+echo $d;
+for ($i = 0; $i < 2; $i++) { $e = $a; }
+echo $e;
+foreach ($_POST as $k => $v) { echo $v; }
+$f = $a ?: "z";
+$g = $a ? $a : "w";
+echo $f; echo $g;
+$h = $a ?? "q";
+echo $h;`)
+}
+
+func TestIREquivSwitchNoDefault(t *testing.T) {
+	// Without a default arm the switch join is identical in both engines.
+	wantSameAllClasses(t, `<?php
+$x = $_GET['x'];
+switch ($x) {
+case 1: $y = $x; break;
+case 2: $y = "two"; break;
+}
+mysql_query($y);`)
+}
+
+func TestIREquivFunctionsAndSummaries(t *testing.T) {
+	wantSameAllClasses(t, `<?php
+function wrap($s) { return "[" . $s . "]"; }
+function pick($a, $b = "dflt") { return $a . $b; }
+function fill(&$out) { $out = $_GET['v']; }
+$q = wrap($_GET['id']);
+mysql_query($q);
+mysql_query(wrap("safe"));
+mysql_query(pick($_POST['p']));
+fill($z);
+mysql_query($z);
+function deep($n) { return deep($n); }
+echo deep($_GET['r']);`)
+}
+
+func TestIREquivClassesAndClosures(t *testing.T) {
+	wantSameAllClasses(t, `<?php
+class DB {
+	function run($q) { mysql_query($q); }
+	static function quote($s) { return "'" . $s . "'"; }
+}
+$db = new DB();
+$db->run($_GET['q']);
+mysql_query(DB::quote($_GET['w']));
+$fn = function ($p) use ($db) { echo $_GET['cl']; };
+$fn("x");
+$obj->prop = $_GET['pp'];
+echo $obj->prop;`)
+}
+
+func TestIREquivMiscStatements(t *testing.T) {
+	wantSameAllClasses(t, `<?php
+$t = $_GET['t'];
+try { $u = $t; } catch (Exception $e) { echo $e; } finally { echo $u; }
+list($m, $n) = $_POST['arr'];
+echo $m;
+preg_match('/x/', $t, $mm);
+mysql_query($mm);
+parse_str($t, $ps);
+echo $ps;
+$s = sprintf("q=%s", $t);
+mysql_query($s);
+unset($t);
+echo $t;
+global $gv;
+static $sv = "s";
+echo "interp $n done";
+$arr = array("k" => $_GET['av']);
+mysql_query($arr);
+$w = (int)$_GET['cast'];
+mysql_query($w);
+$x = (string)$_GET['cast2'];
+mysql_query($x);`)
+}
+
+func TestIREquivStepBudget(t *testing.T) {
+	// Budget exhaustion must degrade the same way at matching budgets: the
+	// engines charge steps at different granularity (AST node vs IR
+	// instruction), so equality is checked per engine pair at a generous
+	// budget where both complete.
+	src := `<?php
+$a = $_GET['a'];
+for ($i = 0; $i < 3; $i++) { $b = $b . $a; }
+mysql_query($b);`
+	wantSame(t, Config{Class: vuln.MustGet(vuln.SQLI), MaxSteps: 100000}, src)
+}
+
+// TestIRSwitchDominatingSanitizerKillsFlow pins the one intentional
+// precision delta: a sanitizer on every arm of an exhaustive switch kills
+// the flow in the IR engine while the walker still reports it.
+func TestIRSwitchDominatingSanitizerKillsFlow(t *testing.T) {
+	src := `<?php
+$id = $_GET['id'];
+switch ($mode) {
+case "a": $id = intval($id); break;
+case "b": $id = intval($id); break;
+default: $id = 0; break;
+}
+mysql_query("SELECT * FROM t WHERE id=" . $id);`
+	cfg := Config{Class: vuln.MustGet(vuln.SQLI)}
+	legacy, irc := runBoth(t, cfg, src)
+	if len(legacy) != 1 {
+		t.Fatalf("walker candidates = %d, want 1 (the known false positive)\n%s", len(legacy), strings.Join(legacy, "\n"))
+	}
+	if len(irc) != 0 {
+		t.Fatalf("IR candidates = %d, want 0 (branch-dominated sanitizer)\n%s", len(irc), strings.Join(irc, "\n"))
+	}
+}
+
+// TestIRSwitchPartialSanitizerKeepsFlow: a sanitizer on only one arm must
+// NOT kill the flow in either engine.
+func TestIRSwitchPartialSanitizerKeepsFlow(t *testing.T) {
+	src := `<?php
+$id = $_GET['id'];
+switch ($mode) {
+case "a": $id = intval($id); break;
+default: break;
+}
+mysql_query("SELECT * FROM t WHERE id=" . $id);`
+	cfg := Config{Class: vuln.MustGet(vuln.SQLI)}
+	legacy, irc := runBoth(t, cfg, src)
+	if len(legacy) != 1 || len(irc) != 1 {
+		t.Fatalf("walker=%d ir=%d, want 1/1", len(legacy), len(irc))
+	}
+}
+
+// TestIRSwitchNoDefaultKeepsFlow: without a default the arm set is not
+// exhaustive, so even all-arms sanitization must not kill the flow.
+func TestIRSwitchNoDefaultKeepsFlow(t *testing.T) {
+	src := `<?php
+$id = $_GET['id'];
+switch ($mode) {
+case "a": $id = intval($id); break;
+case "b": $id = intval($id); break;
+}
+mysql_query("SELECT * FROM t WHERE id=" . $id);`
+	cfg := Config{Class: vuln.MustGet(vuln.SQLI)}
+	legacy, irc := runBoth(t, cfg, src)
+	if len(legacy) != 1 || len(irc) != 1 {
+		t.Fatalf("walker=%d ir=%d, want 1/1", len(legacy), len(irc))
+	}
+}
+
+func TestIRTransferHits(t *testing.T) {
+	src := `<?php
+function wrap($s) { return "[" . $s . "]"; }
+echo wrap("x");
+echo wrap("y");`
+	f, errs := parser.Parse("test.php", src)
+	if len(errs) > 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	a := New(Config{Class: vuln.MustGet(vuln.SQLI)})
+	a.FileIR(f, ir.LowerFile(f), nil)
+	if a.TransferHits() == 0 {
+		t.Fatal("expected at least one summary transfer-function hit")
+	}
+}

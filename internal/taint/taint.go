@@ -10,6 +10,7 @@ package taint
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync/atomic"
 
@@ -68,6 +69,122 @@ func capSlice[T any](s []T, limit int) []T {
 		return s[:limit]
 	}
 	return s
+}
+
+// join combines two abstract values at a control-flow join point. Unlike the
+// sequential merge (which concatenates bookkeeping, because every hop really
+// happened in order) a join is a set union: sources, sanitizers and trace
+// steps are deduplicated by content, keeping the first occurrence of each.
+// That makes the join idempotent (join(v, v) == v) and independent of how
+// many branch snapshots mention an unchanged binding — the property the
+// legacy walker and the IR engine both need so branch merges are stable no
+// matter which order snapshots arrive in.
+func join(v, other Value) Value {
+	// Fast paths: joining a value with itself (a branch that never touched
+	// the binding snapshots the identical slices) or with a bottom value is
+	// the identity — skip the dedup allocations.
+	if sameValue(v, other) {
+		return v
+	}
+	if isBottom(other) {
+		v.Tainted = v.Tainted || other.Tainted
+		return v
+	}
+	if isBottom(v) {
+		other.Tainted = other.Tainted || v.Tainted
+		return other
+	}
+	out := Value{Tainted: v.Tainted || other.Tainted}
+	out.Sources = capSlice(dedupSources(v.Sources, other.Sources), maxSources)
+	out.Sanitizers = dedupStrings(v.Sanitizers, other.Sanitizers)
+	out.Trace = capSlice(dedupSteps(v.Trace, other.Trace), maxTraceSteps)
+	return out
+}
+
+// sameValue reports whether two values share identical bookkeeping slices —
+// the cheap identity check behind join's fast path.
+func sameValue(a, b Value) bool {
+	return a.Tainted == b.Tainted &&
+		sameSlice(a.Sources, b.Sources) &&
+		sameSlice(a.Sanitizers, b.Sanitizers) &&
+		sameSlice(a.Trace, b.Trace)
+}
+
+func sameSlice[T any](a, b []T) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// isBottom reports whether v carries no bookkeeping at all (taint bit aside).
+func isBottom(v Value) bool {
+	return len(v.Sources) == 0 && len(v.Sanitizers) == 0 && len(v.Trace) == 0
+}
+
+type sourceKey struct {
+	name      string
+	line, col int
+}
+
+func dedupSources(a, b []Source) []Source {
+	out := make([]Source, 0, len(a)+len(b))
+	seen := make(map[sourceKey]bool, len(a)+len(b))
+	for _, s := range a {
+		k := sourceKey{s.Name, s.Pos.Line, s.Pos.Column}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		k := sourceKey{s.Name, s.Pos.Line, s.Pos.Column}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func dedupStrings(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	seen := make(map[string]bool, len(a)+len(b))
+	for _, s := range a {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+type stepKey struct {
+	desc      string
+	line, col int
+}
+
+func dedupSteps(a, b []Step) []Step {
+	out := make([]Step, 0, len(a)+len(b))
+	seen := make(map[stepKey]bool, len(a)+len(b))
+	for _, s := range a {
+		k := stepKey{s.Desc, s.Pos.Line, s.Pos.Column}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		k := stepKey{s.Desc, s.Pos.Line, s.Pos.Column}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // clean returns an untainted value.
@@ -184,7 +301,17 @@ type Analyzer struct {
 	steps     int
 	exhausted bool
 	stopped   bool
+
+	// transferHits counts summary transfer-function applications — memoized
+	// or shared summaries applied at a call edge instead of re-walking the
+	// callee body. Only the IR engine increments it; the legacy walker
+	// reports 0.
+	transferHits int
 }
+
+// TransferHits reports how many times the last run applied a function
+// summary as a transfer function at a call edge (IR engine only).
+func (a *Analyzer) TransferHits() int { return a.transferHits }
 
 // step counts one AST-node visit and flips the analyzer into degraded mode
 // when the budget runs out or the cooperative stop flag is set. It returns
@@ -259,13 +386,16 @@ func (a *Analyzer) File(f *ast.File) []*Candidate {
 	a.pending = nil
 	a.sharedHits = 0
 	a.sharedMisses = 0
+	a.transferHits = 0
 	env := newEnv(nil)
 	a.stmts(f.Stmts, env)
 
 	// Second pass: functions never called from top level, assuming tainted
 	// superglobals only (not tainted params — params of library functions
-	// are an unknown; WAP flags flows from superglobals inside them).
-	for _, fn := range f.Funcs {
+	// are an unknown; WAP flags flows from superglobals inside them). The
+	// pass runs in source order (f.Funcs is a map) so the candidate list is
+	// deterministic and the IR engine can mirror it exactly.
+	for _, fn := range sortedFuncs(f) {
 		if a.exhausted {
 			break
 		}
@@ -275,6 +405,30 @@ func (a *Analyzer) File(f *ast.File) []*Candidate {
 		a.analyzeUncalled(fn)
 	}
 	return a.cands
+}
+
+// sortedFuncs returns the file's registered function declarations in source
+// position order, deduplicated by declaration identity.
+func sortedFuncs(f *ast.File) []*ast.FunctionDecl {
+	fns := make([]*ast.FunctionDecl, 0, len(f.Funcs))
+	seen := make(map[*ast.FunctionDecl]bool, len(f.Funcs))
+	for _, fn := range f.Funcs {
+		if !seen[fn] {
+			seen[fn] = true
+			fns = append(fns, fn)
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool {
+		a, b := fns[i], fns[j]
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Name < b.Name
+	})
+	return fns
 }
 
 func (a *Analyzer) analyzeUncalled(fn *ast.FunctionDecl) {
@@ -321,6 +475,11 @@ func (a *Analyzer) report(c *Candidate) {
 type env struct {
 	vars   map[string]Value
 	parent *env
+	// written, when non-nil, records every binding name this env has set or
+	// merge-set since the map was installed. The IR engine uses it to compute
+	// per-branch write sets for its path-sensitive switch join; the legacy
+	// walker never installs it.
+	written map[string]bool
 }
 
 func newEnv(parent *env) *env {
@@ -337,12 +496,22 @@ func (e *env) get(name string) Value {
 	return clean()
 }
 
-func (e *env) set(name string, v Value) { e.vars[name] = v }
+func (e *env) set(name string, v Value) {
+	e.vars[name] = v
+	if e.written != nil {
+		e.written[name] = true
+	}
+}
 
 // mergeSet unions taint into an existing binding (used for index assignment
-// and loop bodies).
+// and loop bodies). The union is the canonical join, so re-running a loop
+// body (the walker's two-pass widening) or replaying a by-ref summary does
+// not duplicate bookkeeping: merge-setting the same value twice is a no-op.
 func (e *env) mergeSet(name string, v Value) {
-	e.vars[name] = e.get(name).merge(v)
+	e.vars[name] = join(e.get(name), v)
+	if e.written != nil {
+		e.written[name] = true
+	}
 }
 
 // snapshot copies the current bindings (for branch merging).
@@ -358,11 +527,24 @@ func copyBindings(m map[string]Value) map[string]Value {
 	return out
 }
 
-// mergeFrom unions bindings from a branch snapshot.
+// mergeFrom unions bindings from a branch snapshot. Each binding is combined
+// with the canonical join, which is idempotent and order-independent: merging
+// N snapshots that agree on a binding leaves it untouched, no matter the
+// order the snapshots are applied in.
 func (e *env) mergeFrom(snap map[string]Value) {
+	e.mergeFromExcept(snap, nil)
+}
+
+// mergeFromExcept is mergeFrom with a kill set: bindings in skip were
+// already resolved by a path-sensitive join (every branch overwrote them),
+// so the stale pre-branch value must not be re-merged.
+func (e *env) mergeFromExcept(snap map[string]Value, skip map[string]bool) {
 	for k, v := range snap {
+		if skip[k] {
+			continue
+		}
 		if v.Tainted {
-			e.vars[k] = e.get(k).merge(v)
+			e.vars[k] = join(e.get(k), v)
 		} else if _, ok := e.vars[k]; !ok {
 			e.vars[k] = v
 		}
