@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-compare bench-smoke wapd serve fuzz-smoke chaos chaos-backend weapons-gate ir-diff
+.PHONY: all build test race vet lint bench bench-compare bench-smoke wapd serve fuzz-smoke chaos chaos-backend weapons-gate ir-diff fuse-diff
 
 all: build vet test
 
@@ -72,9 +72,11 @@ lint:
 
 # Run the analysis + front-end benchmarks and append one entry to the bench
 # trajectory (BENCH_analyze.json, JSON lines — appended, never overwritten).
-# -benchmem makes benchtrend record B/op and allocs/op alongside ns/op.
+# -benchmem makes benchtrend record B/op and allocs/op alongside ns/op;
+# -count=3 runs each benchmark three times and benchtrend keeps the minimum,
+# so the trajectory gates on signal instead of scheduler jitter.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkAnalyzeApp|BenchmarkLoadDir|BenchmarkLexFile|BenchmarkParseFile|BenchmarkLowerFile' -benchmem . | $(GO) run ./cmd/benchtrend -file BENCH_analyze.json
+	$(GO) test -run '^$$' -bench 'BenchmarkAnalyzeApp|BenchmarkLoadDir|BenchmarkLexFile|BenchmarkParseFile|BenchmarkLowerFile' -benchmem -count=3 . | $(GO) run ./cmd/benchtrend -file BENCH_analyze.json
 
 # Diff the last two trajectory entries; fails on a >10% regression of any
 # benchmark in any recorded dimension (ns/op, B/op, allocs/op) and prints the
@@ -96,3 +98,13 @@ bench-smoke:
 ir-diff:
 	$(GO) test -race -count=1 ./internal/core/ -run 'TestIRDifferential'
 	$(GO) test -race -count=1 ./internal/taint/ -run 'TestIR'
+
+# Differential harness for fused scheduling: every corpus app scanned with
+# fused multi-class evaluation (the default) and per-class execution
+# (DisableFusion), at parallelism 1 and 3 under the race detector, plus the
+# taint-level lane-equivalence and demotion fault-injection suites. Reports
+# must be byte-identical — fusion is pure scheduling, so there is no golden
+# delta file. Mirrors the CI fuse-diff job.
+fuse-diff:
+	$(GO) test -race -count=1 ./internal/core/ -run 'TestFused'
+	$(GO) test -race -count=1 ./internal/taint/ -run 'TestFused'

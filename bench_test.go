@@ -353,6 +353,43 @@ func BenchmarkAnalyzeAppUncached(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeAppUncachedFused / BenchmarkAnalyzeAppUncachedUnfused pin
+// the fused-scheduling speedup on the uncached scan: identical options except
+// DisableFusion, so the ratio is exactly the win of evaluating all weapon
+// classes in one IR traversal instead of one traversal per class. benchtrend
+// -compare gates on fused ≥2× unfused. Findings are byte-identical either
+// way (TestFusedDifferential in internal/core).
+func BenchmarkAnalyzeAppUncachedFused(b *testing.B) {
+	benchAnalyzeUncached(b, false)
+}
+
+func BenchmarkAnalyzeAppUncachedUnfused(b *testing.B) {
+	benchAnalyzeUncached(b, true)
+}
+
+func benchAnalyzeUncached(b *testing.B, disableFusion bool) {
+	app := benchApp()
+	eng, err := core.New(core.Options{
+		Mode: core.ModeWAPe, Seed: 1,
+		DisableSummaryCache:  true,
+		DisableSinkPrefilter: true,
+		DisableFusion:        disableFusion,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Train(); err != nil {
+		b.Fatal(err)
+	}
+	proj := core.LoadMap(app.Name, app.Files)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Analyze(proj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // incrementalBenchApp is the corpus both incremental benchmarks share: a
 // Play_sms-scale tree (the paper's motivating case for rescans — full scans
 // of its largest packages took minutes). Incremental reuse is proportional

@@ -7,9 +7,11 @@
 // Append mode (the default) reads `go test -bench` output on stdin, echoes
 // it through unchanged, and appends one entry recording the ns/op — and, when
 // the run used -benchmem, the B/op and allocs/op — of every benchmark in the
-// run:
+// run. With -count=N each benchmark's minimum across repetitions is recorded,
+// so the gate compares the least scheduler-disturbed measurement instead of
+// run-to-run jitter:
 //
-//	go test -run '^$' -bench . -benchmem . | benchtrend -file BENCH_analyze.json
+//	go test -run '^$' -bench . -benchmem -count=3 . | benchtrend -file BENCH_analyze.json
 //
 // Compare mode diffs the last two entries and exits non-zero when any
 // benchmark got slower — or allocation-heavier — by more than -threshold
@@ -66,12 +68,19 @@ type benchRun struct {
 
 // parseBench scans bench output from r, echoing every line to echo, and
 // returns the ns/op (plus B/op and allocs/op when present) per benchmark
-// name. A benchmark that ran more than once keeps its last result.
+// name. A benchmark that ran more than once (-count=N) keeps its minimum:
+// the fastest repetition is the least scheduler-disturbed measurement of the
+// code's actual cost, so gating on it compares signal, not jitter.
 func parseBench(r io.Reader, echo io.Writer) (benchRun, error) {
 	out := benchRun{
 		ns:     make(map[string]float64),
 		bytes:  make(map[string]float64),
 		allocs: make(map[string]float64),
+	}
+	keepMin := func(m map[string]float64, name string, v float64) {
+		if old, ok := m[name]; !ok || v < old {
+			m[name] = v
+		}
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
@@ -87,17 +96,17 @@ func parseBench(r io.Reader, echo io.Writer) (benchRun, error) {
 		if _, err := fmt.Sscanf(m[2], "%g", &ns); err != nil {
 			continue
 		}
-		out.ns[name] = ns
+		keepMin(out.ns, name, ns)
 		if bm := bytesCol.FindStringSubmatch(line); bm != nil {
 			var v float64
 			if _, err := fmt.Sscanf(bm[1], "%g", &v); err == nil {
-				out.bytes[name] = v
+				keepMin(out.bytes, name, v)
 			}
 		}
 		if am := allocsCol.FindStringSubmatch(line); am != nil {
 			var v float64
 			if _, err := fmt.Sscanf(am[1], "%g", &v); err == nil {
-				out.allocs[name] = v
+				keepMin(out.allocs, name, v)
 			}
 		}
 	}
@@ -213,6 +222,20 @@ func compare(entries []entry, threshold float64, w io.Writer) (regressed bool) {
 		if irNs > legNs*(1+threshold) {
 			fmt.Fprintf(w, "  REGRESSION: IR-engine scan is %.1f%% slower than the legacy walker\n",
 				(irNs/legNs-1)*100)
+			regressed = true
+		}
+	}
+	// Fused scheduling's acceptance gate: the fused uncached scan must hold
+	// at least a 2x win over per-class execution of the identical workload —
+	// that is the tentpole's reason to exist, so losing it is a regression,
+	// not a drift.
+	fusedNs, okf := last.Benchmarks["BenchmarkAnalyzeAppUncachedFused"]
+	unfNs, oku := last.Benchmarks["BenchmarkAnalyzeAppUncachedUnfused"]
+	if okf && oku && fusedNs > 0 {
+		fmt.Fprintf(w, "fused vs per-class uncached: %.2fx\n", unfNs/fusedNs)
+		if unfNs < 2*fusedNs {
+			fmt.Fprintf(w, "  REGRESSION: fused uncached scan is only %.2fx the per-class baseline (gate: 2x)\n",
+				unfNs/fusedNs)
 			regressed = true
 		}
 	}

@@ -238,8 +238,12 @@ func TestTimedOutTaskCountsAsDispositioned(t *testing.T) {
 	e := newTestEngine(t, Options{
 		Parallelism:          1,
 		DisableSinkPrefilter: true,
-		Classes:              []vuln.ClassID{vuln.XSSR, vuln.SQLI},
-		TaskTimeout:          20 * time.Millisecond,
+		// The watchdog accounting under test is per-task, i.e. the unfused
+		// path; a fused group's watchdog cut demotes instead of
+		// dispositioning (fusedfault_test.go).
+		DisableFusion: true,
+		Classes:       []vuln.ClassID{vuln.XSSR, vuln.SQLI},
+		TaskTimeout:   20 * time.Millisecond,
 		TaskHook: func(string, vuln.ClassID) {
 			switch n.Add(1) {
 			case 1:

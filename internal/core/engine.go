@@ -133,6 +133,14 @@ type Options struct {
 	// switch exists for benchmarking and for the differential harness that
 	// pins the equivalence.
 	DisableIR bool
+	// DisableFusion turns off fused scheduling: with it set, every (file,
+	// class) task runs its own IR traversal instead of all runnable classes
+	// of a file sharing one multi-class pass. Findings are byte-identical
+	// either way (a fused pass is pinned to per-class execution by the
+	// fuse-diff harness); the switch exists for benchmarking and for the
+	// differential tests that prove it. Fusion requires the IR engine, so
+	// DisableIR implies it.
+	DisableFusion bool
 	// ResultStore, when set, makes every scan incremental: cleanly completed
 	// (file, class) tasks are persisted keyed by closure fingerprint, and
 	// later scans reuse stored results for tasks whose fingerprints match.
@@ -820,6 +828,150 @@ func (e *Engine) executePlan(ctx context.Context, p *Project, plan *scanPlan, st
 		}
 	}
 
+	// execGroup dispositions one fused group: every runnable class lane of a
+	// file evaluated in a single multi-class IR pass. Lanes whose breaker is
+	// open are dispositioned here exactly as execTask would; a clean fused
+	// pass gives each surviving lane execTask's first-attempt-completion
+	// disposition; any fault inside the pass (panic, watchdog deadline, a
+	// lane's step budget) demotes every lane to the unfused per-class ladder,
+	// which owns fault isolation, retries and breaker attribution from there.
+	execGroup := func(idxs []int) {
+		if len(idxs) == 1 {
+			execTask(idxs[0])
+			return
+		}
+		type lane struct {
+			idx   int
+			probe bool
+		}
+		lanes := make([]lane, 0, len(idxs))
+		for _, i := range idxs {
+			t := tasks[i]
+			if e.breakers != nil {
+				ok, probe := e.breakers.allow(t.cls.ID)
+				if !ok {
+					completed.Add(1)
+					ck.taskDone(i, nil, 0, false)
+					stats.recordBreakerSkip(t.cls.ID)
+					addDiag(Diagnostic{
+						File: t.file.Path, Class: t.cls.ID, Kind: DiagBreakerOpen,
+						Message: fmt.Sprintf("class circuit breaker open after repeated faults; task skipped (cool-down %v)", e.breakers.cooldown),
+					})
+					continue
+				}
+				lanes = append(lanes, lane{i, probe})
+			} else {
+				lanes = append(lanes, lane{i, false})
+			}
+		}
+		releaseProbes := func() {
+			if e.breakers == nil {
+				return
+			}
+			for _, l := range lanes {
+				e.breakers.releaseProbe(tasks[l.idx].cls.ID, l.probe)
+			}
+		}
+		if len(lanes) < 2 {
+			// Not enough survivors to fuse. The probe slot is handed back
+			// first: the unfused path re-runs its own breaker admission.
+			releaseProbes()
+			for _, l := range lanes {
+				execTask(l.idx)
+			}
+			return
+		}
+
+		ts := make([]task, len(lanes))
+		for k, l := range lanes {
+			ts[k] = tasks[l.idx]
+		}
+		// The fused attempt runs in its own goroutine under the same
+		// containment as runAttempt: a panic is recovered there, the
+		// watchdog can abandon it, and an abandoned attempt reports into a
+		// buffered channel it owns.
+		type fusedResult struct {
+			outs []taskOutcome
+			ok   bool
+		}
+		stop := new(atomic.Bool)
+		groupStart := time.Now()
+		outc := make(chan fusedResult, 1)
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					outc <- fusedResult{}
+				}
+			}()
+			outs, ok := e.runFusedTasks(ts, p, stop, budget, shared)
+			outc <- fusedResult{outs: outs, ok: ok}
+		}()
+		var timeoutC <-chan time.Time
+		if e.opts.TaskTimeout > 0 {
+			timer := time.NewTimer(e.opts.TaskTimeout)
+			defer timer.Stop()
+			timeoutC = timer.C
+		}
+		var res fusedResult
+		select {
+		case res = <-outc:
+		case <-timeoutC:
+			stop.Store(true)
+		case <-ctx.Done():
+			// Scan-level cancellation: the group stays undispositioned (the
+			// scan-level diagnostic accounts for it) and unused probe slots
+			// are handed back, like an interrupted unfused attempt.
+			stop.Store(true)
+			releaseProbes()
+			return
+		}
+		if !res.ok {
+			// Fault inside the fused pass. Per-lane dispositions, findings,
+			// diagnostics and breaker charges all come from the unfused
+			// reruns; the fused attempt leaves no trace beyond the demotion
+			// counter.
+			stats.recordFusedDemotion(len(lanes))
+			releaseProbes()
+			for _, l := range lanes {
+				if ctx.Err() != nil {
+					return
+				}
+				execTask(l.idx)
+			}
+			return
+		}
+		// Clean fused pass: each lane gets execTask's first-attempt
+		// completion disposition. The group's wall time is split evenly
+		// across lanes (per-class wall is schedule-dependent accounting
+		// either way).
+		wall := time.Since(groupStart) / time.Duration(len(lanes))
+		stats.recordFusedPass(len(lanes))
+		for k, l := range lanes {
+			i, out := l.idx, res.outs[k]
+			t := tasks[i]
+			completed.Add(1)
+			stats.recordTask(t.cls.ID, out, wall)
+			shared.Commit(out.pending)
+			results[i] = out.findings
+			exec.clean[i] = true
+			exec.steps[i] = out.steps
+			ck.taskDone(i, out.findings, out.steps, true)
+			if e.breakers != nil {
+				e.breakers.recordSuccess(t.cls.ID, l.probe)
+			}
+		}
+	}
+
+	// Fused scheduling claims file groups (planScan emits the execution
+	// queue file-major, so a group is a consecutive run of queue entries);
+	// unfused scheduling claims individual queue positions.
+	useFusion := !e.opts.DisableFusion && !e.opts.DisableIR
+	var groups [][]int
+	nUnits := len(plan.execIdx)
+	if useFusion {
+		groups = fuseGroups(plan)
+		nUnits = len(groups)
+	}
 	workers := e.opts.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -827,8 +979,8 @@ func (e *Engine) executePlan(ctx context.Context, p *Project, plan *scanPlan, st
 			workers = 8
 		}
 	}
-	if workers > len(plan.execIdx) && len(plan.execIdx) > 0 {
-		workers = len(plan.execIdx)
+	if workers > nUnits && nUnits > 0 {
+		workers = nUnits
 	}
 	// Workers claim execution-queue positions from an atomic counter (not an
 	// unbuffered feed channel), so there is no send loop that cancellation
@@ -841,10 +993,14 @@ func (e *Engine) executePlan(ctx context.Context, p *Project, plan *scanPlan, st
 			defer wg.Done()
 			for ctx.Err() == nil {
 				n := int(nextIdx.Add(1)) - 1
-				if n >= len(plan.execIdx) {
+				if n >= nUnits {
 					return
 				}
-				execTask(plan.execIdx[n])
+				if useFusion {
+					execGroup(groups[n])
+				} else {
+					execTask(plan.execIdx[n])
+				}
 			}
 		}()
 	}
@@ -1074,7 +1230,17 @@ func (e *Engine) predict(symptoms map[string]bool) (bool, []bool) {
 		vec = symptom.NewVectorFromSet(symptoms, false)
 	}
 	inst := ml.NewInstance(vec.Attrs, false)
-	return e.ensemble.Predict(inst.Features), e.ensemble.Votes(inst.Features)
+	// One pass over the members: the majority decision is a fold over the
+	// same votes the explanation output records, so classifying twice (once
+	// for Predict, once for Votes) would walk every forest tree twice.
+	votes := e.ensemble.Votes(inst.Features)
+	n := 0
+	for _, v := range votes {
+		if v {
+			n++
+		}
+	}
+	return n*2 > len(votes), votes
 }
 
 // FixProject applies the code corrector to every real (non-FP)

@@ -1,0 +1,65 @@
+package core_test
+
+// The fused-scheduling differential harness (make fuse-diff): every corpus
+// app — web suite, micro suite, branch-sanitizer proofs and the weapon
+// dry-run proofs — is scanned with fused multi-class evaluation (the
+// default) and with per-class execution (DisableFusion), at parallelism 1
+// and 3, and the rendered reports must be byte-identical. Unlike the IR
+// migration (make ir-diff) there is no golden delta file: fusion is pure
+// scheduling, so any divergence at all is a bug.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/weapon"
+)
+
+func fusediffEngine(t *testing.T, disableFusion bool, par int, weapons []*weapon.Weapon) *core.Engine {
+	t.Helper()
+	e, err := core.New(core.Options{
+		Mode:          core.ModeWAPe,
+		Seed:          1,
+		Parallelism:   par,
+		DisableFusion: disableFusion,
+		Weapons:       weapons,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestFusedDifferential(t *testing.T) {
+	native, dryrun, weapons := irdiffApps(t)
+	for _, par := range []int{1, 3} {
+		unfusedEng := fusediffEngine(t, true, par, nil)
+		fusedEng := fusediffEngine(t, false, par, nil)
+		unfusedWpn := fusediffEngine(t, true, par, weapons)
+		fusedWpn := fusediffEngine(t, false, par, weapons)
+
+		scan := func(ue, fe *core.Engine, apps []*corpus.App) {
+			for _, app := range apps {
+				unfusedJSON, unfusedKeys := renderNormalized(t, ue, app)
+				fusedJSON, fusedKeys := renderNormalized(t, fe, app)
+				if unfusedJSON == fusedJSON {
+					continue
+				}
+				removed, added := diffKeys(unfusedKeys, fusedKeys)
+				if len(removed) == 0 && len(added) == 0 {
+					t.Errorf("par %d, %s: reports differ but finding keys match — trace or source divergence:\nunfused:\n%s\nfused:\n%s",
+						par, app.Name, unfusedJSON, fusedJSON)
+					continue
+				}
+				t.Errorf("par %d, %s: fused scheduling changed the findings: removed=%v added=%v",
+					par, app.Name, removed, added)
+			}
+		}
+		scan(unfusedEng, fusedEng, native)
+		scan(unfusedWpn, fusedWpn, dryrun)
+	}
+}

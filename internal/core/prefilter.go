@@ -100,15 +100,44 @@ type prefilter struct {
 	files    []*SourceFile
 	reach    [][]int // per file index: reachable file indices (self included)
 	tokCache map[vuln.ClassID][]string
+	// closureToks memoizes, per file index, whether a sink token appears
+	// anywhere in the file's reachable closure. Classes share sink tokens
+	// heavily (echo/print across the XSS classes, mysql_query across the
+	// SQL classes), so the closure is walked once per (file, token) instead
+	// of once per (file, class, token). planScan drives the pre-filter from
+	// a single goroutine, so the memo needs no lock.
+	closureToks []map[string]bool
 }
 
 // newPrefilter builds the reachability closure for p's files.
 func newPrefilter(p *Project) *prefilter {
 	return &prefilter{
-		files:    p.Files,
-		reach:    fileClosures(p),
-		tokCache: make(map[vuln.ClassID][]string),
+		files:       p.Files,
+		reach:       fileClosures(p),
+		tokCache:    make(map[vuln.ClassID][]string),
+		closureToks: make([]map[string]bool, len(p.Files)),
 	}
+}
+
+// closureHasToken reports whether tok appears in any file of fileIdx's
+// reachable closure, walking the closure at most once per (file, token).
+func (pf *prefilter) closureHasToken(fileIdx int, tok string) bool {
+	m := pf.closureToks[fileIdx]
+	if m == nil {
+		m = make(map[string]bool)
+		pf.closureToks[fileIdx] = m
+	}
+	present, ok := m[tok]
+	if !ok {
+		for _, j := range pf.reach[fileIdx] {
+			if pf.files[j].hasToken(tok) {
+				present = true
+				break
+			}
+		}
+		m[tok] = present
+	}
+	return present
 }
 
 // fileClosures computes, per file index, the set of files reachable through
@@ -160,12 +189,9 @@ func (pf *prefilter) sinkReachable(fileIdx int, cls *vuln.Class, extra []vuln.Si
 		toks = sinkTokens(cls, extra)
 		pf.tokCache[cls.ID] = toks
 	}
-	for _, j := range pf.reach[fileIdx] {
-		f := pf.files[j]
-		for _, tok := range toks {
-			if f.hasToken(tok) {
-				return true
-			}
+	for _, tok := range toks {
+		if pf.closureHasToken(fileIdx, tok) {
+			return true
 		}
 	}
 	return false

@@ -110,6 +110,15 @@ type ScanStats struct {
 	// class ID, flagged with ClassStats.Weapon.
 	ActiveWeapons     []string
 	WeaponSetRevision int64
+	// Fused-execution account (all zero when fusion is disabled, the legacy
+	// walker ran, or no file had two runnable classes). FusedPasses counts
+	// clean multi-class IR passes; FusedTasks the (file, class) tasks those
+	// passes dispositioned; FusedDemoted the tasks a mid-pass fault demoted
+	// to unfused per-class execution (those tasks' dispositions are accounted
+	// by their unfused reruns as usual).
+	FusedPasses  int
+	FusedTasks   int
+	FusedDemoted int
 	// IR accounts the IR engine's lowering layer and summary
 	// transfer-function traffic; nil when the scan ran the legacy walker
 	// (Options.DisableIR), so legacy renderer output is byte-identical.
@@ -272,6 +281,22 @@ func (c *statsCollector) recordResumes(n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.s.Resumes = n
+}
+
+// recordFusedPass accounts one clean fused pass that dispositioned n tasks.
+func (c *statsCollector) recordFusedPass(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.FusedPasses++
+	c.s.FusedTasks += n
+}
+
+// recordFusedDemotion accounts n tasks demoted to unfused execution by a
+// fault inside their fused pass.
+func (c *statsCollector) recordFusedDemotion(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.FusedDemoted += n
 }
 
 // recordBreakerSkip accounts one task skipped by an open circuit breaker.

@@ -221,6 +221,11 @@ func WriteHTML(w io.Writer, rep *core.Report) error {
 			}
 			hs.Summary = append(hs.Summary, line)
 		}
+		if s.FusedPasses > 0 || s.FusedDemoted > 0 {
+			hs.Summary = append(hs.Summary, fmt.Sprintf(
+				"fused: %d tasks over %d multi-class passes, %d demoted to per-class",
+				s.FusedTasks, s.FusedPasses, s.FusedDemoted))
+		}
 		if s.TaskRetries > 0 || s.TasksRecovered > 0 || s.BreakerSkipped > 0 {
 			hs.Summary = append(hs.Summary, fmt.Sprintf(
 				"robustness: %d retries, %d tasks recovered, %d tasks skipped by open breakers",

@@ -67,6 +67,12 @@ type JSONScanStats struct {
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
+	// FusedPasses / FusedTasks / FusedDemoted account fused scheduling:
+	// multi-class IR passes, the tasks they dispositioned, and the tasks a
+	// mid-pass fault demoted to unfused per-class execution.
+	FusedPasses  int `json:"fused_passes,omitempty"`
+	FusedTasks   int `json:"fused_tasks,omitempty"`
+	FusedDemoted int `json:"fused_demoted,omitempty"`
 	// TaskRetries / TasksRecovered / BreakerSkipped account the retry
 	// ladder and circuit breakers.
 	TaskRetries    int `json:"task_retries,omitempty"`
@@ -205,6 +211,9 @@ func ToJSON(rep *core.Report) *JSONReport {
 			CacheHits:         s.CacheHits,
 			CacheMisses:       s.CacheMisses,
 			CacheEntries:      s.CacheEntries,
+			FusedPasses:       s.FusedPasses,
+			FusedTasks:        s.FusedTasks,
+			FusedDemoted:      s.FusedDemoted,
 			TaskRetries:       s.TaskRetries,
 			TasksRecovered:    s.TasksRecovered,
 			BreakerSkipped:    s.BreakerSkipped,

@@ -37,6 +37,10 @@ func RenderStats(s *core.ScanStats) string {
 		}
 		b.WriteByte('\n')
 	}
+	if s.FusedPasses > 0 || s.FusedDemoted > 0 {
+		fmt.Fprintf(&b, "  fused: %d tasks over %d multi-class passes, %d demoted to per-class\n",
+			s.FusedTasks, s.FusedPasses, s.FusedDemoted)
+	}
 	if s.TaskRetries > 0 || s.TasksRecovered > 0 || s.BreakerSkipped > 0 {
 		fmt.Fprintf(&b, "  robustness: %d retries, %d tasks recovered, %d tasks skipped by open breakers\n",
 			s.TaskRetries, s.TasksRecovered, s.BreakerSkipped)

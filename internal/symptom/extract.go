@@ -2,6 +2,7 @@ package symptom
 
 import (
 	"strings"
+	"sync"
 
 	"repro/internal/php/ast"
 	"repro/internal/taint"
@@ -13,6 +14,37 @@ import (
 type Extractor struct {
 	dynamic map[string]string // user function -> static symptom name
 	funcSet map[string]int    // static function symptoms
+
+	// scopes memoizes the symptom-relevant sites of each scanned scope. A
+	// scope (file or function body) hosts every candidate whose sink it
+	// encloses, so without the memo each candidate re-walks the whole scope
+	// AST; with it the walk happens once and per-candidate work shrinks to
+	// testing the few relevant sites against the candidate's flow variables.
+	mu     sync.Mutex
+	scopes map[ast.Node]*scopeIndex
+}
+
+// scopeIndexCap bounds the scope memo. Scope keys are AST node pointers, so
+// entries for re-parsed files can never be revalidated — a long-lived
+// extractor (wapd keeps one per engine across scans) just drops the whole
+// memo when it fills and lets the active scan rebuild its own scopes.
+const scopeIndexCap = 4096
+
+// scopeIndex is the candidate-independent part of one scope's symptom scan:
+// the sites a candidate's flow variables have to be tested against, found by
+// a single AST walk.
+type scopeIndex struct {
+	calls   []symptomCall
+	issets  []*ast.IssetExpr
+	empties []*ast.EmptyExpr
+	exitIfs []*ast.IfStmt // if statements whose then-block exits
+}
+
+// symptomCall is a call to a symptom function (static or weapon-dynamic),
+// with the symptom name it establishes when an argument touches the flow.
+type symptomCall struct {
+	sym  string
+	args []ast.Expr
 }
 
 // NewExtractor returns an extractor with the given dynamic symptoms.
@@ -21,7 +53,51 @@ func NewExtractor(dynamics []Dynamic) *Extractor {
 	for _, d := range dynamics {
 		dyn[strings.ToLower(d.Func)] = d.MapsTo
 	}
-	return &Extractor{dynamic: dyn, funcSet: FuncSymptoms()}
+	return &Extractor{dynamic: dyn, funcSet: FuncSymptoms(), scopes: make(map[ast.Node]*scopeIndex)}
+}
+
+// scopeIndexFor returns the memoized site index of scope, building it on
+// first use.
+func (x *Extractor) scopeIndexFor(scope ast.Node) *scopeIndex {
+	x.mu.Lock()
+	if idx, ok := x.scopes[scope]; ok {
+		x.mu.Unlock()
+		return idx
+	}
+	x.mu.Unlock()
+
+	idx := &scopeIndex{}
+	ast.Inspect(scope, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.CallExpr:
+			name := ast.CalleeName(t)
+			if name == "" {
+				return true
+			}
+			if _, ok := x.funcSet[name]; ok {
+				idx.calls = append(idx.calls, symptomCall{sym: name, args: t.Args})
+			} else if mapped, ok := x.dynamic[name]; ok {
+				idx.calls = append(idx.calls, symptomCall{sym: mapped, args: t.Args})
+			}
+		case *ast.IssetExpr:
+			idx.issets = append(idx.issets, t)
+		case *ast.EmptyExpr:
+			idx.empties = append(idx.empties, t)
+		case *ast.IfStmt:
+			if blockExits(t.Then) {
+				idx.exitIfs = append(idx.exitIfs, t)
+			}
+		}
+		return true
+	})
+
+	x.mu.Lock()
+	if len(x.scopes) >= scopeIndexCap {
+		x.scopes = make(map[ast.Node]*scopeIndex)
+	}
+	x.scopes[scope] = idx
+	x.mu.Unlock()
+	return idx
 }
 
 // Extract returns the set of symptom names present around the candidate's
@@ -34,40 +110,34 @@ func (x *Extractor) Extract(c *taint.Candidate, file *ast.File) map[string]bool 
 	fv := involvedVars(c)
 	scope := enclosingScope(c, file)
 
-	// Scan the scope for symptom functions/constructs touching the flow.
+	// Test the scope's memoized symptom sites against the flow.
 	if scope != nil {
-		ast.Inspect(scope, func(n ast.Node) bool {
-			switch t := n.(type) {
-			case *ast.CallExpr:
-				name := ast.CalleeName(t)
-				if name == "" {
-					return true
-				}
-				if !fv.touchesAny(t.Args) {
-					return true
-				}
-				if _, ok := x.funcSet[name]; ok {
-					present[name] = true
-				} else if mapped, ok := x.dynamic[name]; ok {
-					present[mapped] = true
-				}
-			case *ast.IssetExpr:
-				if fv.touchesAny(t.Args) {
-					present["isset"] = true
-				}
-			case *ast.EmptyExpr:
-				if fv.mentions(t.X) {
-					present["empty"] = true
-				}
-			case *ast.IfStmt:
-				// exit/die/error guarding the flow: an if whose condition
-				// touches flow vars and whose body exits.
-				if fv.mentions(t.Cond) && blockExits(t.Then) {
-					present["exit"] = true
-				}
+		idx := x.scopeIndexFor(scope)
+		for _, call := range idx.calls {
+			if !present[call.sym] && fv.touchesAny(call.args) {
+				present[call.sym] = true
 			}
-			return true
-		})
+		}
+		for _, is := range idx.issets {
+			if fv.touchesAny(is.Args) {
+				present["isset"] = true
+				break
+			}
+		}
+		for _, em := range idx.empties {
+			if fv.mentions(em.X) {
+				present["empty"] = true
+				break
+			}
+		}
+		// exit/die/error guarding the flow: an if whose condition touches
+		// flow vars and whose body exits.
+		for _, ifs := range idx.exitIfs {
+			if fv.mentions(ifs.Cond) {
+				present["exit"] = true
+				break
+			}
+		}
 	}
 
 	// Symptoms recorded on the taint trace itself.

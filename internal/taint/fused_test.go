@@ -1,0 +1,278 @@
+package taint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/php/parser"
+	"repro/internal/vuln"
+)
+
+// fusedDiffSrcs are the scenarios the fused evaluator must reproduce
+// byte-for-byte per lane: class-divergent sanitizers (which spill uniform
+// cells to per-lane values), shared entry points, branch and switch joins
+// over spilled cells, user functions with memoized/by-ref summaries,
+// methods, closures and taint-transferring builtins.
+var fusedDiffSrcs = map[string]string{
+	"basic": `<?php
+$id = $_GET['id'];
+$q = "SELECT * FROM users WHERE id=" . $id;
+mysql_query($q);
+echo $_POST['msg'];
+$safe = htmlentities($_GET['x']);
+echo $safe;
+mysql_query($safe);
+print $_COOKIE['c'];
+$cmd = $_REQUEST['cmd'];
+system($cmd);
+include($_GET['page']);
+exit($_GET['bye']);
+$addr = $_SERVER['REMOTE_ADDR'];
+echo $addr;`,
+	"sanitizer-divergence": `<?php
+$a = $_GET['a'];
+$h = htmlentities($a);
+$s = mysql_real_escape_string($a);
+$i = intval($a);
+echo $h; echo $s; echo $i;
+mysql_query($h); mysql_query($s); mysql_query($i);
+system($h); system($s);
+$mix = $h . $a;
+echo $mix;
+mysql_query($mix);`,
+	"branches": `<?php
+$a = $_GET['a'];
+$b = htmlentities($a);
+if ($a) { $c = $a; } else { $c = $b; }
+echo $c;
+mysql_query($c);
+while ($i < 3) { $d = $d . $b; $i++; }
+echo $d;
+for ($i = 0; $i < 2; $i++) { $e = $a; $b = $e; }
+echo $b;
+foreach ($_POST as $k => $v) { echo $v; }`,
+	"switch-kill": `<?php
+$id = $_GET['id'];
+switch ($mode) {
+case "a": $id = intval($id); break;
+case "b": $id = intval($id); break;
+default: $id = 0; break;
+}
+mysql_query("SELECT * FROM t WHERE id=" . $id);
+echo $id;
+$x = $_GET['x'];
+switch ($m2) {
+case "a": $x = htmlentities($x); break;
+default: $x = htmlentities($x); break;
+}
+echo $x;
+mysql_query($x);`,
+	"functions": `<?php
+function wrap($s) { return "[" . $s . "]"; }
+function clean2($s) { return htmlentities($s); }
+function pick($a, $b = "dflt") { return $a . $b; }
+function fill(&$out) { $out = $_GET['v']; }
+$q = wrap($_GET['id']);
+mysql_query($q);
+echo $q;
+mysql_query(wrap("safe"));
+echo clean2($_GET['h']);
+mysql_query(clean2($_GET['h']));
+mysql_query(pick($_POST['p']));
+fill($z);
+mysql_query($z);
+function deep($n) { return deep($n); }
+echo deep($_GET['r']);
+function uncalled() { echo $_GET['u']; system($_GET['u']); }`,
+	"classes-closures": `<?php
+class DB {
+	function run($q) { mysql_query($q); }
+	static function quote($s) { return "'" . $s . "'"; }
+}
+$db = new DB();
+$db->run($_GET['q']);
+mysql_query(DB::quote($_GET['w']));
+$fn = function ($p) use ($db) { echo $_GET['cl']; };
+$fn("x");
+$obj->prop = $_GET['pp'];
+echo $obj->prop;`,
+	"builtins": `<?php
+$t = $_GET['t'];
+preg_match('/x/', $t, $mm);
+mysql_query($mm);
+parse_str($t, $ps);
+echo $ps;
+$s = sprintf("q=%s", $t);
+mysql_query($s);
+settype($t, "integer");
+echo $t;
+list($m, $n) = $_POST['arr'];
+echo $m;
+echo "interp $n done";
+$arr = array("k" => $_GET['av']);
+mysql_query($arr);`,
+}
+
+// fusedLaneState captures everything the engine consumes from one lane.
+type fusedLaneState struct {
+	cands   []string
+	steps   int
+	hits    int
+	misses  int
+	xfers   int
+	pending []SummaryKey
+}
+
+func pendingKeys(ps []PendingSummary) []SummaryKey {
+	out := make([]SummaryKey, len(ps))
+	for i, p := range ps {
+		out[i] = p.Key
+	}
+	return out
+}
+
+func sameKeys(a, b []SummaryKey) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffFusedUnfused runs every weapon class over src unfused (one FileIR per
+// class) and fused (one pass), asserting per-lane state is byte-identical.
+func diffFusedUnfused(t *testing.T, src string, mkCfg func(cls *vuln.Class) Config) {
+	t.Helper()
+	f, errs := parser.Parse("test.php", src)
+	if len(errs) > 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	fir := ir.LowerFile(f)
+	classes := vuln.All()
+
+	want := make([]fusedLaneState, len(classes))
+	for i, cls := range classes {
+		a := New(mkCfg(cls))
+		cands := a.FileIR(f, fir, nil)
+		if a.Exhausted() {
+			t.Fatalf("[%s] unfused run exhausted; raise the test budget", cls.ID)
+		}
+		want[i] = fusedLaneState{
+			cands:   candDetails(cands),
+			steps:   a.Steps(),
+			hits:    a.SharedHits(),
+			misses:  a.SharedMisses(),
+			xfers:   a.TransferHits(),
+			pending: pendingKeys(a.PendingShared()),
+		}
+	}
+
+	cfgs := make([]Config, len(classes))
+	for i, cls := range classes {
+		cfgs[i] = mkCfg(cls)
+	}
+	fz := NewFused(cfgs)
+	if !fz.FileIR(f, fir, nil) {
+		t.Fatal("fused pass aborted; expected clean completion")
+	}
+	for i, cls := range classes {
+		got := fusedLaneState{
+			cands:   candDetails(fz.Candidates(i)),
+			steps:   fz.Steps(i),
+			hits:    fz.SharedHits(i),
+			misses:  fz.SharedMisses(i),
+			xfers:   fz.TransferHits(i),
+			pending: pendingKeys(fz.PendingShared(i)),
+		}
+		if strings.Join(got.cands, "\n") != strings.Join(want[i].cands, "\n") {
+			t.Errorf("[%s] candidate divergence:\nunfused:\n  %s\nfused:\n  %s", cls.ID,
+				strings.Join(want[i].cands, "\n  "), strings.Join(got.cands, "\n  "))
+		}
+		if got.steps != want[i].steps {
+			t.Errorf("[%s] steps: unfused %d, fused %d", cls.ID, want[i].steps, got.steps)
+		}
+		if got.hits != want[i].hits || got.misses != want[i].misses || got.xfers != want[i].xfers {
+			t.Errorf("[%s] cache counters: unfused hit=%d miss=%d xfer=%d, fused hit=%d miss=%d xfer=%d",
+				cls.ID, want[i].hits, want[i].misses, want[i].xfers, got.hits, got.misses, got.xfers)
+		}
+		if !sameKeys(got.pending, want[i].pending) {
+			t.Errorf("[%s] pending summaries: unfused %v, fused %v", cls.ID, want[i].pending, got.pending)
+		}
+	}
+}
+
+func TestFusedEquivAllClasses(t *testing.T) {
+	for name, src := range fusedDiffSrcs {
+		t.Run(name, func(t *testing.T) {
+			diffFusedUnfused(t, src, func(cls *vuln.Class) Config {
+				return Config{Class: cls}
+			})
+		})
+	}
+}
+
+// TestFusedEquivWithSharedCache pins per-lane shared-summary bookkeeping:
+// hits, misses, transfer counts and pending fills must match an unfused run
+// against an identically seeded store.
+func TestFusedEquivWithSharedCache(t *testing.T) {
+	for name, src := range fusedDiffSrcs {
+		t.Run(name, func(t *testing.T) {
+			unfusedShared := NewSharedSummaries()
+			fusedShared := NewSharedSummaries()
+			calls := 0
+			diffFusedUnfused(t, src, func(cls *vuln.Class) Config {
+				// diffFusedUnfused builds unfused configs first, then the
+				// fused slice — give each engine its own empty store.
+				calls++
+				if calls <= len(vuln.All()) {
+					return Config{Class: cls, Shared: unfusedShared}
+				}
+				return Config{Class: cls, Shared: fusedShared}
+			})
+		})
+	}
+}
+
+// TestFusedBudgetAbort pins the demotion trigger: the fused pass must abort
+// exactly when some lane's unfused run would exhaust its step budget, and
+// must complete when no lane would.
+func TestFusedBudgetAbort(t *testing.T) {
+	src := fusedDiffSrcs["functions"]
+	f, errs := parser.Parse("test.php", src)
+	if len(errs) > 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	fir := ir.LowerFile(f)
+	classes := vuln.All()
+
+	maxSteps := 0
+	for _, cls := range classes {
+		a := New(Config{Class: cls})
+		a.FileIR(f, fir, nil)
+		if a.Steps() > maxSteps {
+			maxSteps = a.Steps()
+		}
+	}
+	if maxSteps == 0 {
+		t.Fatal("expected nonzero step counts")
+	}
+
+	mk := func(budget int) []Config {
+		cfgs := make([]Config, len(classes))
+		for i, cls := range classes {
+			cfgs[i] = Config{Class: cls, MaxSteps: budget}
+		}
+		return cfgs
+	}
+	if fz := NewFused(mk(maxSteps)); !fz.FileIR(f, fir, nil) {
+		t.Errorf("fused pass aborted at budget %d, where every lane completes", maxSteps)
+	}
+	if fz := NewFused(mk(maxSteps - 1)); fz.FileIR(f, fir, nil) {
+		t.Errorf("fused pass completed at budget %d, where the furthest lane exhausts", maxSteps-1)
+	}
+}

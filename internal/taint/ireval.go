@@ -17,6 +17,7 @@ package taint
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/ir"
 	"repro/internal/php/ast"
@@ -27,10 +28,51 @@ import (
 // file, the variable environment and the return-value accumulator.
 type irFrame struct {
 	regs []Value
-	env  *env
+	// regBox is the pool box regs was drawn from, returned on frame release.
+	regBox *[]Value
+	env    *env
 	// ret accumulates return-statement values in evaluation order, exactly
 	// like the walker's stmts() merge chain.
 	ret Value
+}
+
+// irRegPool recycles register files across frames, files and tasks.
+// Registers are dense contiguous ints from the lowering, so a register file
+// is a plain slice; boxes at rest are zero over their whole capacity —
+// getIRRegs only exposes [0:n) and putIRRegs scrubs exactly that window, so
+// reslicing never surfaces a stale Value or keeps one reachable by the GC.
+var irRegPool = sync.Pool{New: func() any { b := make([]Value, 0, 64); return &b }}
+
+func getIRRegs(n int) *[]Value {
+	bp := irRegPool.Get().(*[]Value)
+	if b := *bp; cap(b) >= n {
+		*bp = b[:n]
+	} else {
+		*bp = make([]Value, n)
+	}
+	return bp
+}
+
+func putIRRegs(bp *[]Value) {
+	b := *bp
+	for i := range b {
+		b[i] = Value{}
+	}
+	irRegPool.Put(bp)
+}
+
+// newIRFrame builds a frame with a pooled register file; releaseIRFrame
+// returns the file to the pool (values the frame produced — candidates,
+// env bindings, return values — are Value structs copied out of the
+// registers, so scrubbing the file cannot reach them).
+func newIRFrame(n int, e *env) *irFrame {
+	bp := getIRRegs(n)
+	return &irFrame{regs: *bp, regBox: bp, env: e}
+}
+
+func releaseIRFrame(fr *irFrame) {
+	putIRRegs(fr.regBox)
+	fr.regs, fr.regBox = nil, nil
 }
 
 // val reads a register; NoReg (and the reserved register 0) is clean.
@@ -88,8 +130,9 @@ func (a *Analyzer) FileIR(f *ast.File, fir *ir.File, prov ir.Provider) []*Candid
 	a.sharedMisses = 0
 	a.transferHits = 0
 	p := &irProvider{file: fir, prov: prov}
-	fr := &irFrame{regs: make([]Value, fir.Top.NumRegs), env: newEnv(nil)}
+	fr := newIRFrame(fir.Top.NumRegs, newEnv(nil))
 	a.runRegion(fir.Top.Body, fr, p)
+	releaseIRFrame(fr)
 
 	// Uncalled-function pass, in the same source order as the walker's.
 	for _, fn := range fir.Funcs {
@@ -108,7 +151,7 @@ func (a *Analyzer) analyzeUncalledIR(fn *ir.Func, p *irProvider) {
 	prev := a.curFunc
 	a.curFunc = fn.Name
 	a.analyzing[fn.Decl] = true
-	fr := &irFrame{regs: make([]Value, fn.NumRegs), env: newEnv(nil)}
+	fr := newIRFrame(fn.NumRegs, newEnv(nil))
 	for _, prm := range fn.Params {
 		if prm.Default != nil {
 			fr.env.set(prm.Name, a.runBlockValue(prm.Default, fr, p))
@@ -117,6 +160,7 @@ func (a *Analyzer) analyzeUncalledIR(fn *ir.Func, p *irProvider) {
 		}
 	}
 	a.runRegion(fn.Body, fr, p)
+	releaseIRFrame(fr)
 	delete(a.analyzing, fn.Decl)
 	a.curFunc = prev
 }
@@ -511,8 +555,9 @@ func (a *Analyzer) runClosure(ins *ir.Instr, fr *irFrame, p *irProvider) {
 	for _, prm := range cf.Params {
 		inner.set(prm.Name, clean())
 	}
-	cfr := &irFrame{regs: make([]Value, cf.NumRegs), env: inner}
+	cfr := newIRFrame(cf.NumRegs, inner)
 	a.runRegion(cf.Body, cfr, p)
+	releaseIRFrame(cfr)
 }
 
 // inlineCallIR applies a user function at a call edge. Memoized and shared
@@ -564,7 +609,7 @@ func (a *Analyzer) inlineCallIR(fn *ast.FunctionDecl, argExprs []ast.Expr, args 
 	a.curFunc = fn.Name
 
 	inner := newEnv(nil)
-	cfr := &irFrame{regs: make([]Value, cf.NumRegs), env: inner}
+	cfr := newIRFrame(cf.NumRegs, inner)
 	for i, prm := range cf.Params {
 		switch {
 		case i < len(args):
@@ -577,6 +622,7 @@ func (a *Analyzer) inlineCallIR(fn *ast.FunctionDecl, argExprs []ast.Expr, args 
 	}
 	a.runRegion(cf.Body, cfr, p)
 	ret := cfr.ret
+	releaseIRFrame(cfr)
 
 	// Propagate by-ref parameter taint back to caller arguments.
 	for i, prm := range cf.Params {
